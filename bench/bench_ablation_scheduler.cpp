@@ -1,0 +1,182 @@
+// Ablations over the design choices DESIGN.md calls out (§3.1 "sources of
+// benefits"):
+//   1. forecast quality: the MIP's edge over Greedy vs storm-induced
+//      unpredictability (the paper's premise is that migrations are
+//      predictable — storms break that premise);
+//   2. clique size k (2..5): latency/availability vs overhead trade-off;
+//   3. degradable mix: more degradable VMs absorb dips without traffic;
+//   4. replanning cadence: stale plans force reactive migrations.
+#include <chrono>
+#include <memory>
+
+#include "bench_util.h"
+#include "vbatt/core/densest.h"
+#include "vbatt/core/evaluation.h"
+#include "vbatt/core/mip_scheduler.h"
+#include "vbatt/energy/site.h"
+#include "vbatt/util/csv.h"
+#include "vbatt/workload/app.h"
+
+namespace {
+
+using namespace vbatt;
+
+constexpr std::size_t kSpan = 96u * 5u;
+
+core::VbGraph make_graph(bool storms, bool oracle = false) {
+  energy::FleetConfig fleet_config;
+  fleet_config.n_solar = 4;
+  fleet_config.n_wind = 6;
+  fleet_config.region_km = 2500.0;
+  fleet_config.enable_storms = storms;
+  const energy::Fleet fleet =
+      energy::generate_fleet(fleet_config, util::TimeAxis{15}, kSpan);
+  core::VbGraphConfig graph_config;
+  graph_config.cores_per_mw = 20.0;
+  graph_config.oracle_forecasts = oracle;
+  return core::VbGraph{fleet, graph_config};
+}
+
+std::vector<workload::Application> make_apps(double degradable_fraction) {
+  workload::AppGeneratorConfig config;
+  config.apps_per_hour = 2.2;
+  config.degradable_fraction = degradable_fraction;
+  return workload::generate_apps(config, util::TimeAxis{15}, kSpan);
+}
+
+core::PolicyRow run(const core::VbGraph& graph,
+                    const std::vector<workload::Application>& apps,
+                    std::unique_ptr<core::Scheduler> scheduler) {
+  const core::SimResult result = core::run_simulation(graph, apps, *scheduler);
+  return core::summarize(scheduler->name(), result);
+}
+
+void print_row(const char* ablation, const core::PolicyRow& r) {
+  std::printf("  %-34s total=%9.0f p99=%7.0f peak=%7.0f std=%6.0f "
+              "forced=%5lld displaced=%8lld\n",
+              ablation, r.total_gb, r.p99_gb, r.peak_gb, r.std_gb,
+              static_cast<long long>(r.forced_migrations),
+              static_cast<long long>(r.displaced_stable_core_ticks));
+}
+
+void reproduce() {
+  util::CsvWriter csv{bench::out_path("ablations.csv"),
+                      {"ablation", "total_gb", "p99_gb", "peak_gb", "std_gb",
+                       "forced", "displaced_core_ticks"}};
+  const auto record = [&](const std::string& name,
+                          const core::PolicyRow& r) {
+    print_row(name.c_str(), r);
+    csv.labeled_row(name, {r.total_gb, r.p99_gb, r.peak_gb, r.std_gb,
+                           static_cast<double>(r.forced_migrations),
+                           static_cast<double>(
+                               r.displaced_stable_core_ticks)});
+  };
+
+  const core::VbGraph calm = make_graph(/*storms=*/false);
+  const core::VbGraph stormy = make_graph(/*storms=*/true);
+  const auto apps = make_apps(0.40);
+
+  // --- 1. Predictability: calm vs stormy power for Greedy and MIP ---
+  std::printf("  [predictability: MIP's edge requires forecastable power]\n");
+  record("greedy/calm",
+         run(calm, apps, std::make_unique<core::GreedyScheduler>()));
+  record("mip/calm", run(calm, apps, std::make_unique<core::MipScheduler>(
+                                         core::make_mip_config())));
+  record("greedy/storms",
+         run(stormy, apps, std::make_unique<core::GreedyScheduler>()));
+  record("mip/storms", run(stormy, apps, std::make_unique<core::MipScheduler>(
+                                             core::make_mip_config())));
+
+  // --- 2. Clique size k = 2..5 ---
+  std::printf("  [subgraph size k: bigger subgraphs, more escape routes]\n");
+  for (int k = 2; k <= 5; ++k) {
+    core::MipSchedulerConfig config = core::make_mip_config();
+    config.clique_k = k;
+    config.name = "MIP";
+    record("mip/k=" + std::to_string(k),
+           run(calm, apps, std::make_unique<core::MipScheduler>(config)));
+  }
+
+  // --- 3. Degradable mix ---
+  std::printf("  [degradable mix: spare VMs absorb dips without traffic]\n");
+  for (const double frac : {0.0, 0.2, 0.4, 0.6}) {
+    record("mip/degradable=" + std::to_string(static_cast<int>(frac * 100)) +
+               "%",
+           run(calm, make_apps(frac),
+               std::make_unique<core::MipScheduler>(core::make_mip_config())));
+  }
+
+  // --- 4. Replanning cadence ---
+  std::printf("  [replanning cadence: fresh forecasts preempt migrations]\n");
+  for (const int hours : {6, 12, 24, 48}) {
+    core::MipSchedulerConfig config = core::make_mip_config();
+    config.replan_period = hours * 4;
+    config.name = "MIP";
+    record("mip/replan=" + std::to_string(hours) + "h",
+           run(calm, apps, std::make_unique<core::MipScheduler>(config)));
+  }
+
+  // --- 5. Value of forecast accuracy: realistic vs oracle forecasts ---
+  std::printf("  [forecast quality: oracle forecasts bound the headroom]\n");
+  const core::VbGraph oracle = make_graph(/*storms=*/false, /*oracle=*/true);
+  record("mip/forecast=realistic",
+         run(calm, apps, std::make_unique<core::MipScheduler>(
+                             core::make_mip_config())));
+  record("mip/forecast=oracle",
+         run(oracle, apps, std::make_unique<core::MipScheduler>(
+                               core::make_mip_config())));
+
+  // --- 6. Subgraph identification: exact k-cliques vs greedy peeling ---
+  std::printf("  [subgraph identification at fleet scale]\n");
+  for (const int n_sites : {10, 20, 40}) {
+    energy::FleetConfig big;
+    big.n_solar = n_sites / 2;
+    big.n_wind = n_sites - n_sites / 2;
+    big.region_km = 2500.0;
+    const core::VbGraph g{
+        energy::generate_fleet(big, util::TimeAxis{15}, 96 * 2),
+        core::VbGraphConfig{}};
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto exact = core::rank_subgraphs(g, 4, 0, 96);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto peeled = core::peel_candidate_groups(g, 4, 3, 0, 96);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double exact_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double peel_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    std::printf("  sites=%2d exact: %5zu cliques in %7.1f ms (best cov "
+                "%.3f) | peel: %zu groups in %6.1f ms (best cov %.3f)\n",
+                n_sites, exact.size(), exact_ms,
+                exact.empty() ? -1.0 : exact.front().cov, peeled.size(),
+                peel_ms, peeled.empty() ? -1.0 : peeled.front().cov);
+  }
+
+  bench::note("ablation table -> " + bench::out_path("ablations.csv"));
+}
+
+void bm_mip_place_one_app(benchmark::State& state) {
+  const core::VbGraph graph = make_graph(false);
+  const auto apps = make_apps(0.4);
+  core::FleetState fleet_state;
+  fleet_state.graph = &graph;
+  fleet_state.now = 0;
+  fleet_state.stable_cores.assign(graph.n_sites(), 0);
+  fleet_state.degradable_cores.assign(graph.n_sites(), 0);
+  core::MipScheduler scheduler{core::make_mip_config()};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.place(apps[i % apps.size()],
+                                             fleet_state));
+    ++i;
+  }
+}
+BENCHMARK(bm_mip_place_one_app)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return vbatt::bench::run_reproduction(
+      argc, argv, "Scheduler ablations (§3.1 sources of benefits)",
+      reproduce);
+}

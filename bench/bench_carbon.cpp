@@ -1,0 +1,94 @@
+// §1 motivation quantified: carbon avoided by Virtual Battery datacenters,
+// and the availability each policy delivers (scheduling goal i).
+#include "bench_util.h"
+#include "vbatt/core/availability.h"
+#include "vbatt/core/evaluation.h"
+#include "vbatt/core/mip_scheduler.h"
+#include "vbatt/energy/carbon.h"
+#include "vbatt/energy/site.h"
+#include "vbatt/util/csv.h"
+#include "vbatt/workload/app.h"
+
+namespace {
+
+using namespace vbatt;
+
+constexpr std::size_t kSpan = 96u * 7u;
+
+void reproduce() {
+  const util::TimeAxis axis{15};
+  energy::FleetConfig fleet_config;
+  fleet_config.n_solar = 4;
+  fleet_config.n_wind = 6;
+  fleet_config.region_km = 2500.0;
+  const energy::Fleet fleet = energy::generate_fleet(fleet_config, axis, kSpan);
+  core::VbGraphConfig graph_config;
+  graph_config.cores_per_mw = 20.0;
+  const core::VbGraph graph{fleet, graph_config};
+
+  workload::AppGeneratorConfig app_config;
+  app_config.apps_per_hour = 2.2;
+  const auto apps = workload::generate_apps(app_config, axis, kSpan);
+
+  util::CsvWriter csv{bench::out_path("carbon_availability.csv"),
+                      {"policy", "energy_mwh", "grid_tco2", "vb_tco2",
+                       "avoided_fraction", "availability_mean",
+                       "availability_min", "three_nines_fraction"}};
+
+  std::printf("  %-9s %9s %9s %8s %8s %8s %8s %8s\n", "policy", "MWh",
+              "grid tCO2", "VB tCO2", "avoid%", "avail", "min", "3x9s%");
+  const auto run = [&](std::unique_ptr<core::Scheduler> scheduler) {
+    const core::SimResult result =
+        core::run_simulation(graph, apps, *scheduler);
+    const energy::CarbonReport carbon = energy::compare_carbon(
+        energy::CarbonConfig{}, axis, result.energy_mwh_per_tick);
+    const core::AvailabilityReport availability =
+        core::availability_report(result, apps, kSpan);
+    std::printf("  %-9s %9.1f %9.2f %8.2f %7.0f%% %8.4f %8.4f %7.0f%%\n",
+                scheduler->name().c_str(), result.energy_mwh,
+                carbon.grid_tco2, carbon.vb_tco2,
+                100.0 * carbon.avoided_fraction(), availability.mean,
+                availability.min,
+                100.0 * availability.three_nines_fraction);
+    csv.labeled_row(scheduler->name(),
+                    {result.energy_mwh, carbon.grid_tco2, carbon.vb_tco2,
+                     carbon.avoided_fraction(), availability.mean,
+                     availability.min, availability.three_nines_fraction});
+  };
+  run(std::make_unique<core::GreedyScheduler>());
+  run(std::make_unique<core::MipScheduler>(core::make_mip24h_config()));
+  run(std::make_unique<core::MipScheduler>(core::make_mip_config()));
+  run(std::make_unique<core::MipScheduler>(core::make_mip_peak_config()));
+
+  std::printf("\n");
+  bench::note("VB avoids ~95% of compute carbon vs grid power at default "
+              "intensities — the pledge math behind §1 — while the MIP "
+              "policies keep stable availability at cloud grade.");
+
+  // Fleet-level annualized headline for a single site.
+  std::vector<double> year(96 * 365, 0.0);
+  const double steady_mw = 5.0;  // a ~5 MW edge DC
+  for (double& v : year) v = steady_mw * 0.25;  // MWh per 15-min tick
+  const energy::CarbonReport annual =
+      energy::compare_carbon(energy::CarbonConfig{}, axis, year);
+  bench::row("annual tCO2 avoided by one 5 MW VB site", 13000.0,
+             annual.avoided_tco2());
+}
+
+void bm_compare_carbon(benchmark::State& state) {
+  const util::TimeAxis axis{15};
+  std::vector<double> consumption(96 * 365, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        energy::compare_carbon(energy::CarbonConfig{}, axis, consumption));
+  }
+}
+BENCHMARK(bm_compare_carbon)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return vbatt::bench::run_reproduction(
+      argc, argv, "§1 — carbon avoided and availability delivered",
+      reproduce);
+}

@@ -1,0 +1,63 @@
+// §2.1 — economic motivation for Virtual Batteries.
+// Paper: ~10% of DC opex saved by eliminating transmission (20% power
+// share x 50% transmission share); curtailment (up to ~6% of renewable
+// generation) becomes recoverable compute energy.
+#include "bench_util.h"
+#include "vbatt/energy/cost.h"
+#include "vbatt/energy/wind.h"
+#include "vbatt/util/csv.h"
+
+namespace {
+
+using namespace vbatt;
+
+void reproduce() {
+  energy::WindConfig wind_config;
+  wind_config.start_day_of_year = 0;
+  const energy::PowerTrace farm =
+      energy::WindModel{wind_config}.generate(util::TimeAxis{15},
+                                              96u * 365u);
+
+  const energy::CostSummary base =
+      energy::evaluate_economics(energy::CostModelConfig{}, farm);
+  bench::row("DC opex saving from co-location (%)", 10.0,
+             100.0 * base.opex_saving_fraction);
+  bench::row("curtailed energy recoverable (MWh/yr, 400 MW farm)",
+             farm.total_energy_mwh() * 0.06, base.recoverable_curtailed_mwh);
+  bench::row("wholesale value of recovered energy (kUSD/yr)",
+             base.recoverable_value_usd / 1000.0,
+             base.recoverable_value_usd / 1000.0);
+
+  // Sensitivity sweep: saving as a function of the two shares.
+  util::CsvWriter csv{bench::out_path("economics_sweep.csv"),
+                      {"power_share", "transmission_share",
+                       "opex_saving_fraction"}};
+  for (double power = 0.10; power <= 0.301; power += 0.05) {
+    for (double trans = 0.30; trans <= 0.601; trans += 0.10) {
+      energy::CostModelConfig config;
+      config.power_share_of_opex = power;
+      config.transmission_share_of_power = trans;
+      csv.row({power, trans,
+               energy::evaluate_economics(config, farm).opex_saving_fraction});
+    }
+  }
+  bench::note("sensitivity sweep -> " + bench::out_path("economics_sweep.csv"));
+}
+
+void bm_evaluate_economics(benchmark::State& state) {
+  energy::WindConfig config;
+  const energy::PowerTrace farm =
+      energy::WindModel{config}.generate(util::TimeAxis{15}, 96u * 365u);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        energy::evaluate_economics(energy::CostModelConfig{}, farm));
+  }
+}
+BENCHMARK(bm_evaluate_economics)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return vbatt::bench::run_reproduction(
+      argc, argv, "§2.1 — economic motivation", reproduce);
+}

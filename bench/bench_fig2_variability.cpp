@@ -1,0 +1,128 @@
+// Figure 2: quantifying solar & wind variability.
+//  (a) 4-day sample of normalized production (early May window).
+//  (b) CDF of power generation over a full year, with the paper's headline
+//      statistics: >50% zeros for solar, wind median <= 0.2, 99th/75th
+//      percentile ratios of ~4x (solar) and ~2x (wind).
+#include "bench_util.h"
+#include "vbatt/energy/aggregate.h"
+#include "vbatt/energy/solar.h"
+#include "vbatt/energy/wind.h"
+#include "vbatt/stats/percentile.h"
+#include "vbatt/util/csv.h"
+
+namespace {
+
+using namespace vbatt;
+
+constexpr std::size_t kYearTicks = 96u * 365u;
+
+energy::PowerTrace year_solar() {
+  energy::SolarConfig config;
+  config.start_day_of_year = 0;
+  return energy::SolarModel{config}.generate(util::TimeAxis{15}, kYearTicks);
+}
+
+energy::PowerTrace year_wind() {
+  energy::WindConfig config;
+  config.start_day_of_year = 0;
+  return energy::WindModel{config}.generate(util::TimeAxis{15}, kYearTicks);
+}
+
+void reproduce() {
+  const energy::PowerTrace solar = year_solar();
+  const energy::PowerTrace wind = year_wind();
+
+  // --- Fig. 2a: 4-day May sample (days 122..126) ---
+  {
+    util::CsvWriter csv{vbatt::bench::out_path("fig2a_sample.csv"),
+                        {"tick", "solar", "wind"}};
+    const std::size_t begin = 96u * 122u;
+    for (std::size_t i = begin; i < begin + 96u * 4u; ++i) {
+      csv.row({static_cast<double>(i - begin),
+               solar.normalized_series()[i], wind.normalized_series()[i]});
+    }
+    bench::note("Fig 2a series -> " + bench::out_path("fig2a_sample.csv"));
+  }
+
+  // --- Fig. 2b: year-long CDF + headline stats ---
+  stats::Sampler s{solar.normalized_series()};
+  stats::Sampler w{wind.normalized_series()};
+  {
+    util::CsvWriter csv{vbatt::bench::out_path("fig2b_cdf.csv"),
+                        {"power", "solar_cdf", "wind_cdf"}};
+    for (int i = 0; i <= 100; ++i) {
+      const double x = i / 100.0;
+      csv.row({x, s.cdf_at(x), w.cdf_at(x)});
+    }
+  }
+  bench::row("solar: fraction of exact-zero samples", 0.50,
+             s.zero_fraction(), "(paper: >50%)");
+  bench::row("solar: 99th / 75th percentile ratio", 4.0,
+             s.percentile(99) / s.percentile(75), "x");
+  bench::row("wind: median (fraction of peak)", 0.20, w.median(),
+             "(paper: at most ~0.2)");
+  bench::row("wind: 99th / 75th percentile ratio", 2.0,
+             w.percentile(99) / w.percentile(75), "x");
+  bench::row("wind: fraction of exact-zero samples", 0.02,
+             w.zero_fraction(), "(paper: 'rarely zero')");
+  bench::note("Fig 2b CDF -> " + bench::out_path("fig2b_cdf.csv"));
+
+  // --- §2.2 seasons: monthly peaks and stable fractions ---
+  {
+    util::CsvWriter csv{vbatt::bench::out_path("fig2_seasonal.csv"),
+                        {"month", "solar_p99", "wind_p99", "solar_cov",
+                         "wind_cov"}};
+    double winter_peak = 0.0;
+    double summer_peak = 0.0;
+    for (int month = 0; month < 12; ++month) {
+      const auto begin = static_cast<util::Tick>(96 * 30 * month);
+      const auto end = static_cast<util::Tick>(
+          std::min<std::size_t>(kYearTicks, 96u * 30u * (month + 1)));
+      const auto slice_stats = [&](const energy::PowerTrace& trace) {
+        stats::Sampler sampler{std::vector<double>(
+            trace.normalized_series().begin() + begin,
+            trace.normalized_series().begin() + end)};
+        return sampler.percentile(99);
+      };
+      const double sp = slice_stats(solar);
+      const double wp = slice_stats(wind);
+      csv.row({static_cast<double>(month + 1), sp, wp,
+               energy::trace_cov(solar, begin, end),
+               energy::trace_cov(wind, begin, end)});
+      if (month == 0) winter_peak = sp;
+      if (month == 6) summer_peak = sp;
+    }
+    bench::row("solar winter/summer peak ratio", 0.25,
+               winter_peak / summer_peak,
+               "(paper: winter ~75% below summer)");
+    bench::note("seasonal table -> " +
+                vbatt::bench::out_path("fig2_seasonal.csv"));
+  }
+}
+
+void bm_generate_solar_year(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(year_solar());
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(kYearTicks) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_generate_solar_year)->Unit(benchmark::kMillisecond);
+
+void bm_generate_wind_year(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(year_wind());
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(kYearTicks) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_generate_wind_year)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return vbatt::bench::run_reproduction(
+      argc, argv, "Figure 2 — variability of solar and wind", reproduce);
+}

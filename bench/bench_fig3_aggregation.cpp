@@ -1,0 +1,135 @@
+// Figure 3 + §2.3: masking variability by aggregating multiple VB sites.
+//  (a) NO solar + UK wind + PT wind stacked generation; cov falls ~3.7x
+//      when adding UK wind and a further ~2.3x when adding PT wind; a
+//      4,000 MWh grid purchase stabilizes ~8,000 MWh of variable energy.
+//  (b) stable/variable split for all seven site combinations.
+//  (§2.3) >52% of 2-site combinations improve cov by >50%.
+#include "bench_util.h"
+#include "vbatt/energy/aggregate.h"
+#include "vbatt/energy/scenario.h"
+#include "vbatt/energy/site.h"
+#include "vbatt/util/csv.h"
+
+namespace {
+
+using namespace vbatt;
+
+constexpr std::size_t kSpan = 96u * 4u;
+
+void reproduce() {
+  const util::TimeAxis axis{15};
+  const energy::Fig3Scenario s = energy::make_fig3_scenario(axis, kSpan);
+  const energy::PowerTrace no_uk = energy::combine({&s.trace_no, &s.trace_uk});
+  const energy::PowerTrace no_pt = energy::combine({&s.trace_no, &s.trace_pt});
+  const energy::PowerTrace uk_pt = energy::combine({&s.trace_uk, &s.trace_pt});
+  const energy::PowerTrace all =
+      energy::combine({&s.trace_no, &s.trace_uk, &s.trace_pt});
+
+  // --- Fig. 3a: stacked series + purchase band ---
+  const energy::PurchaseResult purchase = energy::purchase_fill(all, 4000.0);
+  {
+    util::CsvWriter csv{bench::out_path("fig3a_stacked.csv"),
+                        {"tick", "no_solar_mw", "uk_wind_mw", "pt_wind_mw",
+                         "purchased_mw"}};
+    for (std::size_t i = 0; i < kSpan; ++i) {
+      const auto t = static_cast<util::Tick>(i);
+      csv.row({static_cast<double>(i), s.trace_no.mw(t), s.trace_uk.mw(t),
+               s.trace_pt.mw(t), purchase.fill_mw[i]});
+    }
+    bench::note("Fig 3a series -> " + bench::out_path("fig3a_stacked.csv"));
+  }
+  bench::row("cov reduction: NO -> NO+UK", 3.7,
+             energy::trace_cov(s.trace_no) / energy::trace_cov(no_uk), "x");
+  bench::row("cov reduction: NO+UK -> NO+UK+PT", 2.3,
+             energy::trace_cov(no_uk) / energy::trace_cov(all), "x");
+  bench::row("purchased energy (MWh)", 4000.0, purchase.purchased_mwh);
+  bench::row("variable energy stabilized by purchase (MWh)", 8000.0,
+             purchase.stabilized_mwh);
+  bench::row("total additional stable energy (MWh)", 12000.0,
+             purchase.added_stable_mwh);
+
+  // --- Fig. 3b: stable/variable break-down, 3-day window ---
+  const util::Tick window = 96 * 3;
+  struct Combo {
+    const char* name;
+    const energy::PowerTrace* trace;
+    double paper_variable;
+  };
+  const Combo combos[] = {
+      {"NO", &s.trace_no, 1.00},        {"UK", &s.trace_uk, 0.65},
+      {"PT", &s.trace_pt, 0.91},        {"NO+UK", &no_uk, 0.62},
+      {"NO+PT", &no_pt, 0.83},          {"UK+PT", &uk_pt, 0.32},
+      {"NO+UK+PT", &all, 0.33},
+  };
+  util::CsvWriter csv{bench::out_path("fig3b_breakdown.csv"),
+                      {"combo", "stable_mwh", "variable_mwh",
+                       "variable_fraction", "paper_variable_fraction"}};
+  std::printf("  Fig 3b (variable fraction over a 3-day window):\n");
+  for (const Combo& combo : combos) {
+    const energy::EnergySplit split =
+        energy::decompose(*combo.trace, 0, window);
+    bench::row(combo.name, combo.paper_variable, split.variable_fraction());
+    csv.labeled_row(combo.name,
+                    {split.stable_mwh, split.variable_mwh,
+                     split.variable_fraction(), combo.paper_variable});
+  }
+  bench::note("Fig 3b table -> " + bench::out_path("fig3b_breakdown.csv"));
+
+  // --- §2.3: 2-site combination statistics over a generated fleet ---
+  const energy::Fleet fleet =
+      energy::generate_fleet(energy::FleetConfig{}, axis, 96 * 3);
+  int improved = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    for (std::size_t j = i + 1; j < fleet.size(); ++j) {
+      ++total;
+      if (energy::pair_cov_improvement(fleet.traces[i], fleet.traces[j]) >
+          0.5) {
+        ++improved;
+      }
+    }
+  }
+  bench::row("2-site combos improving cov by >50% (%)", 52.0,
+             100.0 * improved / total);
+}
+
+void bm_decompose(benchmark::State& state) {
+  const energy::Fig3Scenario s =
+      energy::make_fig3_scenario(util::TimeAxis{15}, kSpan);
+  const energy::PowerTrace all =
+      energy::combine({&s.trace_no, &s.trace_uk, &s.trace_pt});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(energy::decompose(all));
+  }
+}
+BENCHMARK(bm_decompose);
+
+void bm_purchase_fill(benchmark::State& state) {
+  const energy::Fig3Scenario s =
+      energy::make_fig3_scenario(util::TimeAxis{15}, kSpan);
+  const energy::PowerTrace all =
+      energy::combine({&s.trace_no, &s.trace_uk, &s.trace_pt});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(energy::purchase_fill(all, 4000.0));
+  }
+}
+BENCHMARK(bm_purchase_fill)->Unit(benchmark::kMicrosecond);
+
+void bm_pair_cov_improvement(benchmark::State& state) {
+  const energy::Fleet fleet = energy::generate_fleet(
+      energy::FleetConfig{}, util::TimeAxis{15}, 96 * 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        energy::pair_cov_improvement(fleet.traces[0], fleet.traces[5]));
+  }
+}
+BENCHMARK(bm_pair_cov_improvement)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return vbatt::bench::run_reproduction(
+      argc, argv,
+      "Figure 3 / §2.3 — availability despite variability (multi-VB)",
+      reproduce);
+}

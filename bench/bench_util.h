@@ -1,0 +1,55 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary prints a "paper vs measured" block for its figure or
+// table, dumps the underlying series as CSV into ./vbatt_bench_out/, and
+// then runs google-benchmark timings of the kernels involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace vbatt::bench {
+
+inline std::string out_dir() {
+  const std::string dir = "vbatt_bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline std::string out_path(const std::string& name) {
+  return out_dir() + "/" + name;
+}
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* label, double paper, double measured,
+                const char* unit = "") {
+  std::printf("  %-44s paper %10.2f   measured %10.2f %s\n", label, paper,
+              measured, unit);
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// Print the block header, run `body` (which prints rows / writes CSVs),
+/// then hand control to google-benchmark for the timing section.
+template <typename Body>
+int run_reproduction(int argc, char** argv, const char* title, Body&& body) {
+  header(title);
+  body();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace vbatt::bench

@@ -1,0 +1,56 @@
+#include "vbatt/core/availability.h"
+
+#include <algorithm>
+
+namespace vbatt::core {
+
+AvailabilityReport availability_report(
+    const SimResult& result, const std::vector<workload::Application>& apps,
+    std::size_t n_ticks) {
+  AvailabilityReport report;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  int good = 0;
+  for (const workload::Application& app : apps) {
+    if (app.arrival >= static_cast<util::Tick>(n_ticks)) continue;
+    const util::Tick end =
+        app.lifetime_ticks < 0
+            ? static_cast<util::Tick>(n_ticks)
+            : std::min<util::Tick>(static_cast<util::Tick>(n_ticks),
+                                   app.arrival + app.lifetime_ticks);
+    const auto resident_ticks = static_cast<double>(end - app.arrival);
+    const double demanded =
+        static_cast<double>(app.stable_cores()) * resident_ticks;
+
+    double displaced = 0.0;
+    const auto it = result.displaced_by_app.find(app.app_id);
+    if (it != result.displaced_by_app.end()) {
+      displaced = static_cast<double>(it->second);
+    }
+    AppAvailability entry;
+    entry.app_id = app.app_id;
+    entry.availability =
+        demanded > 0.0
+            ? std::clamp(1.0 - displaced / demanded, 0.0, 1.0)
+            : 1.0;
+    sum += entry.availability;
+    if (entry.availability >= 0.999) ++good;
+    ++counted;
+    report.apps.push_back(entry);
+  }
+  std::sort(report.apps.begin(), report.apps.end(),
+            [](const AppAvailability& a, const AppAvailability& b) {
+              return a.availability < b.availability;
+            });
+  if (!report.apps.empty()) {
+    report.min = report.apps.front().availability;
+    report.p5 =
+        report.apps[report.apps.size() / 20].availability;
+    report.mean = sum / static_cast<double>(counted);
+    report.three_nines_fraction =
+        static_cast<double>(good) / static_cast<double>(counted);
+  }
+  return report;
+}
+
+}  // namespace vbatt::core

@@ -1,0 +1,74 @@
+#include "vbatt/core/cliques.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vbatt/stats/running_stats.h"
+
+namespace vbatt::core {
+
+namespace {
+
+void extend_clique(const net::LatencyGraph& graph, int k,
+                   std::vector<std::size_t>& current,
+                   std::size_t next_candidate,
+                   std::vector<std::vector<std::size_t>>& out) {
+  if (static_cast<int>(current.size()) == k) {
+    out.push_back(current);
+    return;
+  }
+  for (std::size_t v = next_candidate; v < graph.size(); ++v) {
+    bool adjacent_to_all = true;
+    for (const std::size_t u : current) {
+      if (!graph.connected(u, v)) {
+        adjacent_to_all = false;
+        break;
+      }
+    }
+    if (!adjacent_to_all) continue;
+    current.push_back(v);
+    extend_clique(graph, k, current, v + 1, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> find_k_cliques(
+    const net::LatencyGraph& graph, int k) {
+  if (k < 1) throw std::invalid_argument{"find_k_cliques: k < 1"};
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> current;
+  extend_clique(graph, k, current, 0, out);
+  return out;
+}
+
+std::vector<RankedSubgraph> rank_subgraphs(const VbGraph& graph, int k,
+                                           util::Tick now,
+                                           util::Tick window_ticks) {
+  const util::Tick end = std::min<util::Tick>(
+      static_cast<util::Tick>(graph.n_ticks()), now + window_ticks);
+  if (now < 0 || now >= end) {
+    throw std::out_of_range{"rank_subgraphs: bad window"};
+  }
+  std::vector<RankedSubgraph> out;
+  for (auto& clique : find_k_cliques(graph.latency(), k)) {
+    stats::RunningStats rs;
+    for (util::Tick t = now; t < end; ++t) {
+      double cores = 0.0;
+      for (const std::size_t s : clique) {
+        cores += graph.forecast_cores(s, t, now);
+      }
+      rs.add(cores);
+    }
+    out.push_back(RankedSubgraph{std::move(clique), rs.cov(), rs.mean()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedSubgraph& a, const RankedSubgraph& b) {
+              if (a.cov != b.cov) return a.cov < b.cov;
+              return a.sites < b.sites;
+            });
+  return out;
+}
+
+}  // namespace vbatt::core

@@ -1,0 +1,42 @@
+#include "vbatt/core/evaluation.h"
+
+#include "vbatt/core/mip_scheduler.h"
+#include "vbatt/stats/running_stats.h"
+
+namespace vbatt::core {
+
+PolicyRow summarize(const std::string& policy, const SimResult& result) {
+  PolicyRow row;
+  row.policy = policy;
+  stats::RunningStats rs;
+  for (const double v : result.moved_gb) rs.add(v);
+  stats::Sampler sampler{result.moved_gb};
+  row.total_gb = rs.sum();
+  row.p99_gb = sampler.percentile(99.0);
+  row.peak_gb = rs.max();
+  row.std_gb = rs.stddev();
+  row.zero_fraction = sampler.zero_fraction();
+  row.planned_migrations = result.planned_migrations;
+  row.forced_migrations = result.forced_migrations;
+  row.displaced_stable_core_ticks = result.displaced_stable_core_ticks;
+  row.energy_mwh = result.energy_mwh;
+  row.degradable_active_vm_ticks = result.degradable_active_vm_ticks;
+  return row;
+}
+
+Comparison compare_policies(const VbGraph& graph,
+                            const std::vector<workload::Application>& apps) {
+  Comparison comparison;
+  const auto run = [&](std::unique_ptr<Scheduler> scheduler) {
+    const SimResult result = run_simulation(graph, apps, *scheduler);
+    comparison.rows.push_back(summarize(scheduler->name(), result));
+    comparison.moved_gb.push_back(result.moved_gb);
+  };
+  run(std::make_unique<GreedyScheduler>());
+  run(std::make_unique<MipScheduler>(make_mip24h_config()));
+  run(std::make_unique<MipScheduler>(make_mip_config()));
+  run(std::make_unique<MipScheduler>(make_mip_peak_config()));
+  return comparison;
+}
+
+}  // namespace vbatt::core

@@ -1,0 +1,27 @@
+#include "vbatt/core/scheduler.h"
+
+namespace vbatt::core {
+
+Scheduler::Placement GreedyScheduler::place(const workload::Application& app,
+                                            const FleetState& state) {
+  (void)app;
+  // The paper's baseline is deliberately myopic: "always assigns VMs to
+  // the site with the most available power" — raw current power, not
+  // residual headroom (headroom breaks ties).
+  const std::size_t n = state.graph->n_sites();
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < n; ++s) {
+    const int a = state.available(s);
+    const int b = state.available(best);
+    if (a > b || (a == b && state.headroom(s) > state.headroom(best))) {
+      best = s;
+    }
+  }
+  Placement placement;
+  placement.site = best;
+  placement.allowed = state.graph->latency().neighbors(best);
+  placement.allowed.push_back(best);
+  return placement;
+}
+
+}  // namespace vbatt::core

@@ -1,0 +1,36 @@
+// Per-application availability report (scheduling goal i of §3.1).
+//
+// The simulators count displaced stable core-ticks per app; this module
+// turns those into the metric a cloud provider actually sells: the
+// fraction of each app's demanded stable capacity that was powered.
+#pragma once
+
+#include <vector>
+
+#include "vbatt/core/simulation.h"
+
+namespace vbatt::core {
+
+struct AppAvailability {
+  std::int64_t app_id = 0;
+  /// Served / demanded stable core-ticks, in [0, 1]. 1.0 = never degraded.
+  double availability = 1.0;
+};
+
+struct AvailabilityReport {
+  std::vector<AppAvailability> apps;  // sorted ascending by availability
+  double min = 1.0;
+  double p5 = 1.0;
+  double mean = 1.0;
+  /// Fraction of apps with availability >= 0.999 ("three nines" of stable
+  /// capacity — the cloud-grade bar the paper's multi-VB design targets).
+  double three_nines_fraction = 1.0;
+};
+
+/// Build the report for a finished run. `apps` must be the same list the
+/// simulation consumed; `n_ticks` bounds residency for immortal apps.
+AvailabilityReport availability_report(
+    const SimResult& result, const std::vector<workload::Application>& apps,
+    std::size_t n_ticks);
+
+}  // namespace vbatt::core

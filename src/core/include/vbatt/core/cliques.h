@@ -1,0 +1,36 @@
+// Subgraph identification (§3.1 step 1).
+//
+// Find all k-cliques of the latency graph (k = 2..5 in the paper) and rank
+// them by combined coefficient of variation of predicted power — low-cov
+// subgraphs have complementary sites and give the scheduler headroom to
+// absorb dips without migrating.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vbatt/core/vb_graph.h"
+
+namespace vbatt::core {
+
+/// All cliques of exactly `k` vertices, each sorted ascending; the list is
+/// in lexicographic order (deterministic).
+std::vector<std::vector<std::size_t>> find_k_cliques(
+    const net::LatencyGraph& graph, int k);
+
+struct RankedSubgraph {
+  std::vector<std::size_t> sites;
+  /// Coefficient of variation of the subgraph's combined forecast power
+  /// over the ranking window (lower = more complementary).
+  double cov = 0.0;
+  /// Mean combined cores over the window (used as a capacity tiebreak).
+  double mean_cores = 0.0;
+};
+
+/// Rank all k-cliques by combined *forecast* cov over [now, now + window).
+/// Sorted ascending by cov.
+std::vector<RankedSubgraph> rank_subgraphs(const VbGraph& graph, int k,
+                                           util::Tick now,
+                                           util::Tick window_ticks);
+
+}  // namespace vbatt::core

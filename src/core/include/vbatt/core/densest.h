@@ -1,0 +1,37 @@
+// Approximate dense-subgraph identification for large fleets.
+//
+// Exact k-clique enumeration (cliques.h) is fine for tens of sites but
+// combinatorial beyond that. The paper notes that "identifying dense
+// subgraphs has been a well-studied problem in literature with tractable
+// approximate solutions" (its reference [11]); this module provides the
+// classic 2-approximation: Charikar's greedy peeling for the densest
+// subgraph, plus a size-bounded variant that extracts candidate VB groups
+// of a target size, ordered by combined forecast complementarity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vbatt/core/cliques.h"
+#include "vbatt/core/vb_graph.h"
+
+namespace vbatt::core {
+
+/// Charikar's greedy peeling: repeatedly remove the minimum-degree vertex;
+/// return the densest prefix (by average degree |E|/|V|). 2-approximation
+/// of the densest subgraph. O(V^2) on the dense matrix representation.
+std::vector<std::size_t> densest_subgraph(const net::LatencyGraph& graph);
+
+/// Extract up to `count` disjoint candidate groups of exactly `k` sites:
+/// peel to a dense core, pick the k members with the lowest combined
+/// forecast cov (greedy complementarity selection within the core),
+/// remove them, repeat. Falls back to fewer groups when the graph runs
+/// out of connected material. Groups are internally connected cliques-or-
+/// near-cliques suitable as scheduling subgraphs at fleet scales where
+/// exact enumeration is too slow.
+std::vector<RankedSubgraph> peel_candidate_groups(const VbGraph& graph,
+                                                  int k, int count,
+                                                  util::Tick now,
+                                                  util::Tick window_ticks);
+
+}  // namespace vbatt::core

@@ -1,0 +1,45 @@
+// Policy evaluation harness: Table 1 and Figure 7.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vbatt/core/simulation.h"
+#include "vbatt/stats/percentile.h"
+
+namespace vbatt::core {
+
+/// One row of Table 1: migration-overhead statistics of a policy, computed
+/// over the per-tick fleet totals (zeros included, as the paper's Std and
+/// 99%ile imply).
+struct PolicyRow {
+  std::string policy;
+  double total_gb = 0.0;
+  double p99_gb = 0.0;
+  double peak_gb = 0.0;
+  double std_gb = 0.0;
+  /// Fraction of ticks with zero migration (Fig. 7's CDF intercepts).
+  double zero_fraction = 0.0;
+  std::int64_t planned_migrations = 0;
+  std::int64_t forced_migrations = 0;
+  std::int64_t displaced_stable_core_ticks = 0;
+  double energy_mwh = 0.0;
+  /// Delivered degradable (harvest/spot) capacity, VM-ticks.
+  std::int64_t degradable_active_vm_ticks = 0;
+};
+
+/// Summarize a simulation run into a Table-1 row.
+PolicyRow summarize(const std::string& policy, const SimResult& result);
+
+/// Run all four of the paper's policies (Greedy, MIP-24h, MIP, MIP-peak)
+/// on the same fleet and workload. Returns rows in the paper's order plus
+/// the per-tick series for CDF plotting (parallel to the rows).
+struct Comparison {
+  std::vector<PolicyRow> rows;
+  std::vector<std::vector<double>> moved_gb;  // per policy, per tick
+};
+Comparison compare_policies(const VbGraph& graph,
+                            const std::vector<workload::Application>& apps);
+
+}  // namespace vbatt::core

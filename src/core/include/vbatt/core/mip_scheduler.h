@@ -1,0 +1,128 @@
+// The power & network aware MIP co-scheduler (§3.1, steps 1-3).
+//
+// For each application the scheduler:
+//   1. ranks k-cliques of the latency graph by combined forecast cov
+//      (subgraph identification),
+//   2. evaluates the best few candidates by solving a per-app MIP over a
+//      bucketed horizon: binary x[s][τ] = "app resides at site s during
+//      bucket τ", move indicators y[s][τ] ≥ x[s][τ] − x[s][τ−1], objective
+//      O1 = Σ move_bytes + Σ predicted forced-migration bytes (subgraph +
+//      site selection),
+//   3. optionally (MIP-peak) re-optimizes lexicographically: subject to
+//      O1 within (1+ε) of optimal, minimize the peak per-bucket migration
+//      volume P ≥ committed[τ] + app's moves in τ (O2).
+//
+// Applications are committed sequentially against shared capacity/traffic
+// ledgers — a decomposition of the paper's joint MIP that keeps every
+// subproblem small (the per-app LP relaxation has interval structure and
+// solves at the root node almost always). Capacity is soft (deficit cost),
+// matching O1/O2's pure-overhead objectives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "vbatt/core/cliques.h"
+#include "vbatt/core/scheduler.h"
+#include "vbatt/solver/branch_bound.h"
+
+namespace vbatt::core {
+
+struct MipSchedulerConfig {
+  std::string name = "MIP";
+  /// Clique size for subgraph identification (paper: k = 2..5).
+  int clique_k = 4;
+  /// How many top-ranked subgraphs to evaluate with the MIP.
+  int candidate_subgraphs = 3;
+  /// Planning bucket width in ticks (24 ticks = 6 h at 15-min resolution).
+  util::Tick bucket_ticks = 24;
+  /// Lookahead; < 0 means "to the end of the trace" (the paper's MIP /
+  /// MIP-peak). MIP-24h sets this to one day.
+  util::Tick horizon_ticks = -1;
+  /// Replanning cadence (forecast-update cadence), ticks.
+  util::Tick replan_period = 24;
+  /// Enable the lexicographic peak objective (MIP-peak).
+  bool optimize_peak = false;
+  /// Allowed O1 degradation when minimizing the peak.
+  double peak_eps_rel = 0.10;
+  /// Plan against this fraction of forecast capacity (forecast headroom).
+  double capacity_safety = 0.90;
+  /// Weight of predicted forced-migration/displacement cost relative to a
+  /// proactive move of the same bytes. > 1: sitting in a predicted deficit
+  /// is worse than moving away from it (a forced move costs the same bytes
+  /// *plus* availability risk).
+  double deficit_penalty = 2.0;
+  /// Per-bucket discount on future costs: far-horizon forecasts are blurry
+  /// and far-future problems can be fixed by a later replan, so they weigh
+  /// less now. 1.0 disables discounting.
+  double discount_per_bucket = 0.92;
+  /// Spread each planned move uniformly inside its bucket instead of firing
+  /// at the bucket boundary. Enabled for MIP-peak (its whole point is to
+  /// de-burst migrations); MIP / MIP-24h fire at boundaries, which is what
+  /// produces their paper-reported high peaks despite low totals.
+  bool spread_moves_in_bucket = false;
+  /// Hard cap on buckets per solve (bounds model size).
+  int max_buckets = 32;
+  solver::MipOptions mip{};
+};
+
+class MipScheduler final : public Scheduler {
+ public:
+  explicit MipScheduler(MipSchedulerConfig config);
+
+  std::string name() const override { return config_.name; }
+  Placement place(const workload::Application& app,
+                  const FleetState& state) override;
+  std::vector<Move> replan(const FleetState& state) override;
+  util::Tick replan_period_ticks() const override {
+    return config_.replan_period;
+  }
+
+  /// Total per-app MIP solves performed (observability / tests).
+  std::int64_t solve_count() const noexcept { return solve_count_; }
+
+ private:
+  struct Trajectory {
+    double cost = 0.0;
+    util::Tick start = 0;                // tick of bucket 0
+    std::vector<std::size_t> sites;      // site per bucket
+  };
+
+  /// Bucketized conservative capacity forecast for all sites, refreshed
+  /// whenever `now` advances.
+  void refresh_capacity(const FleetState& state);
+
+  /// Solve the per-app MIP over `sites`. `current_site` engaged for live
+  /// apps (moving away from it costs bytes); nullopt for new arrivals.
+  std::optional<Trajectory> solve_app(const FleetState& state,
+                                      int stable_cores, double stable_mem_gb,
+                                      util::Tick end_tick,
+                                      const std::vector<std::size_t>& sites,
+                                      std::optional<std::size_t> current_site);
+
+  /// Commit a trajectory: add loads and planned-move volume to the ledgers
+  /// and derive Moves.
+  std::vector<Move> commit(std::int64_t app_id, const Trajectory& trajectory,
+                           int stable_cores, double stable_mem_gb,
+                           std::optional<std::size_t> current_site);
+
+  int bucket_count(const FleetState& state, util::Tick end_tick) const;
+
+  MipSchedulerConfig config_;
+  std::int64_t solve_count_ = 0;
+
+  // Per-replan caches, keyed to the `now` they were computed at.
+  util::Tick cache_now_ = -1;
+  std::vector<std::vector<double>> capacity_;   // [site][bucket]
+  std::vector<std::vector<double>> load_;       // [site][bucket] cores
+  std::vector<double> committed_moves_gb_;      // [bucket]
+  std::vector<RankedSubgraph> ranked_;
+};
+
+/// Convenience factories for the paper's four policies (Table 1).
+MipSchedulerConfig make_mip_config();
+MipSchedulerConfig make_mip24h_config();
+MipSchedulerConfig make_mip_peak_config();
+
+}  // namespace vbatt::core

@@ -1,0 +1,41 @@
+// Standby replication — §3's alternative to migration.
+//
+// "Such applications must rely on either hot/cold standbys using
+// continuous replication or migration. This introduces continuous or
+// bursty network overheads." This module implements the standby side of
+// that trade-off so the two can be compared on the same fleet/workload:
+//
+//   * hot standby: a replica at a second (complementary) site receives a
+//     continuous delta-sync stream; on a power loss at the primary, roles
+//     swap instantly (negligible traffic) and a new standby is rebuilt in
+//     the background;
+//   * cold standby: periodic checkpoints ship to the standby site; on
+//     failover the standby restores from the last checkpoint (the state
+//     since then is lost time, not modeled further).
+#pragma once
+
+#include "vbatt/core/simulation.h"
+
+namespace vbatt::core {
+
+struct ReplicationConfig {
+  bool hot_standby = true;
+  /// Hot: fraction of the app's stable memory synced per hour.
+  double sync_fraction_per_hour = 0.05;
+  /// Cold: checkpoint cadence and per-checkpoint delta size.
+  double checkpoint_interval_hours = 6.0;
+  double checkpoint_fraction = 0.20;
+  /// Rebuilding a lost standby streams the full footprint over this long.
+  double rebuild_hours = 2.0;
+};
+
+/// Run the fleet with primary+standby placement instead of migration.
+/// Traffic charged: continuous sync (hot) or periodic checkpoints (cold),
+/// plus standby rebuild streams after failovers. The returned SimResult
+/// uses `planned_migrations` for failovers and `forced_migrations` = 0.
+SimResult run_replication_simulation(
+    const VbGraph& graph, const std::vector<workload::Application>& apps,
+    const ReplicationConfig& config = {},
+    const SitePowerModel& power_model = {});
+
+}  // namespace vbatt::core

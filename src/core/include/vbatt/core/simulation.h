@@ -1,0 +1,67 @@
+// Multi-site trace-driven simulation (drives Table 1 / Figure 7).
+//
+// Replays an application arrival trace against a VB fleet under a chosen
+// scheduler. Each tick: departures, replanning (at the scheduler's
+// cadence), arrivals, execution of scheduled proactive moves, and per-site
+// capacity enforcement — degradable VMs pause first, then whole
+// applications are force-migrated within their allowed subgraph, and any
+// remainder is counted as displaced (availability loss). All migration
+// traffic (proactive and forced) is charged as the moved stable memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "vbatt/core/scheduler.h"
+#include "vbatt/net/ledger.h"
+
+namespace vbatt::core {
+
+/// Power draw of the compute itself (scheduling goal iii of §3.1:
+/// "minimizes energy usage"). A site powers ceil(active/cores_per_server)
+/// servers; each powered server draws idle power plus a per-active-core
+/// increment.
+struct SitePowerModel {
+  int cores_per_server = 40;
+  double server_idle_watts = 150.0;
+  double watts_per_active_core = 8.0;
+};
+
+struct SimResult {
+  /// Per-tick migrated volume across the fleet, GB (each byte counted once).
+  std::vector<double> moved_gb;
+  net::MigrationLedger ledger;
+
+  std::int64_t apps_placed = 0;
+  std::int64_t planned_migrations = 0;   // scheduler-ordered app moves
+  std::int64_t forced_migrations = 0;    // reactive app moves on power dips
+  /// Core-ticks of stable demand that had no powered home (availability
+  /// loss — the quantity the paper's schedulers implicitly protect).
+  std::int64_t displaced_stable_core_ticks = 0;
+  /// VM-ticks of degradable capacity paused to absorb power dips.
+  std::int64_t paused_degradable_vm_ticks = 0;
+  /// VM-ticks of degradable capacity actually delivered — the harvest/spot
+  /// capacity the paper wants variable energy to back (§2.3).
+  std::int64_t degradable_active_vm_ticks = 0;
+  /// Compute energy consumed across the fleet, MWh (goal iii of §3.1),
+  /// total and per tick (the per-tick series feeds carbon accounting).
+  double energy_mwh = 0.0;
+  std::vector<double> energy_mwh_per_tick;
+  /// Core-ticks of displaced stable demand attributed per application
+  /// (feeds the per-app availability report).
+  std::map<std::int64_t, std::int64_t> displaced_by_app;
+
+  SimResult(std::size_t n_sites, std::size_t n_ticks)
+      : moved_gb(n_ticks, 0.0),
+        ledger{n_sites, n_ticks},
+        energy_mwh_per_tick(n_ticks, 0.0) {}
+};
+
+/// Run the full span of `graph` with `apps` (sorted by arrival tick).
+SimResult run_simulation(const VbGraph& graph,
+                         const std::vector<workload::Application>& apps,
+                         Scheduler& scheduler,
+                         const SitePowerModel& power_model = {});
+
+}  // namespace vbatt::core

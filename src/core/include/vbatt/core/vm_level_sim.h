@@ -1,0 +1,49 @@
+// VM-granular multi-site simulation (§3.1 step 4 integrated).
+//
+// The app-level simulator (simulation.h) treats each VB node as a bag of
+// cores — the right granularity for Table 1. This variant additionally
+// models every node as a cluster of servers (dcsim::Site) and places each
+// VM through an allocation policy, so intra-site effects become visible:
+//   * fragmentation: cores may be free but no server fits a VM;
+//   * consolidation: best-fit packing leaves whole servers empty, and
+//     empty servers draw no power (the paper's "power down unallocated
+//     cores" taken to server granularity);
+//   * per-VM eviction: a power dip evicts individual VMs round-robin over
+//     servers rather than whole applications.
+#pragma once
+
+#include "vbatt/core/scheduler.h"
+#include "vbatt/core/simulation.h"
+#include "vbatt/dcsim/site.h"
+
+namespace vbatt::core {
+
+struct VmLevelConfig {
+  dcsim::ServerSpec server{40, 512.0};
+  SitePowerModel power{};
+  /// Which allocation policy packs VMs onto servers.
+  enum class Placement { first_fit, best_fit, worst_fit };
+  Placement placement = Placement::best_fit;
+};
+
+struct VmLevelResult {
+  SimResult base;
+  /// Individual VM moves (the app-level sim counts app moves).
+  std::int64_t vm_migrations = 0;
+  /// Placements that failed on fragmentation despite aggregate headroom.
+  std::int64_t fragmentation_failures = 0;
+  /// Tick-summed count of powered servers across the fleet (for energy /
+  /// consolidation comparisons).
+  std::int64_t powered_server_ticks = 0;
+
+  VmLevelResult(std::size_t n_sites, std::size_t n_ticks)
+      : base{n_sites, n_ticks} {}
+};
+
+/// Run `apps` against `graph` at VM granularity under `scheduler` (the
+/// same Scheduler implementations the app-level simulator uses).
+VmLevelResult run_vm_level_simulation(
+    const VbGraph& graph, const std::vector<workload::Application>& apps,
+    Scheduler& scheduler, const VmLevelConfig& config = {});
+
+}  // namespace vbatt::core

@@ -1,0 +1,332 @@
+#include "vbatt/core/mip_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vbatt::core {
+
+MipScheduler::MipScheduler(MipSchedulerConfig config)
+    : config_{std::move(config)} {
+  if (config_.clique_k < 1 || config_.candidate_subgraphs < 1 ||
+      config_.bucket_ticks < 1 || config_.max_buckets < 1) {
+    throw std::invalid_argument{"MipSchedulerConfig: invalid"};
+  }
+  if (config_.capacity_safety <= 0.0 || config_.capacity_safety > 1.0) {
+    throw std::invalid_argument{
+        "MipSchedulerConfig: capacity_safety out of (0, 1]"};
+  }
+}
+
+int MipScheduler::bucket_count(const FleetState& state,
+                               util::Tick end_tick) const {
+  util::Tick horizon_end = static_cast<util::Tick>(state.graph->n_ticks());
+  if (config_.horizon_ticks >= 0) {
+    horizon_end = std::min(horizon_end, cache_now_ + config_.horizon_ticks);
+  }
+  if (end_tick >= 0) horizon_end = std::min(horizon_end, end_tick);
+  const util::Tick span = std::max<util::Tick>(1, horizon_end - cache_now_);
+  const auto buckets = static_cast<int>(
+      (span + config_.bucket_ticks - 1) / config_.bucket_ticks);
+  return std::min(buckets, config_.max_buckets);
+}
+
+void MipScheduler::refresh_capacity(const FleetState& state) {
+  cache_now_ = state.now;
+  const std::size_t n_sites = state.graph->n_sites();
+  const int buckets = bucket_count(state, /*end_tick=*/-1);
+
+  capacity_.assign(n_sites, std::vector<double>(
+                                static_cast<std::size_t>(buckets), 0.0));
+  load_.assign(n_sites, std::vector<double>(
+                             static_cast<std::size_t>(buckets), 0.0));
+  committed_moves_gb_.assign(static_cast<std::size_t>(buckets), 0.0);
+
+  const auto trace_end = static_cast<util::Tick>(state.graph->n_ticks());
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    for (int b = 0; b < buckets; ++b) {
+      const util::Tick begin = cache_now_ + b * config_.bucket_ticks;
+      const util::Tick end =
+          std::min(trace_end, begin + config_.bucket_ticks);
+      // Bucket capacity: 25th percentile of the forecast over the bucket.
+      // A strict window-minimum proved too trigger-happy (forecast noise
+      // manufactures phantom deficits and churns the plan) while the mean
+      // lets the planner ride the capacity edge and get bitten by
+      // intra-bucket dips; the lower quartile balances the two.
+      std::vector<double> cores;
+      cores.reserve(static_cast<std::size_t>(end - begin));
+      for (util::Tick t = begin; t < end; ++t) {
+        cores.push_back(
+            static_cast<double>(state.graph->forecast_cores(s, t, cache_now_)));
+      }
+      double value = 0.0;
+      if (!cores.empty()) {
+        std::sort(cores.begin(), cores.end());
+        value = cores[cores.size() / 4];
+      }
+      capacity_[s][static_cast<std::size_t>(b)] = value;
+    }
+  }
+
+  ranked_ = rank_subgraphs(*state.graph, config_.clique_k, cache_now_,
+                           config_.bucket_ticks *
+                               static_cast<util::Tick>(buckets));
+}
+
+std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
+    const FleetState& state, int stable_cores, double stable_mem_gb,
+    util::Tick end_tick, const std::vector<std::size_t>& sites,
+    std::optional<std::size_t> current_site) {
+  const int total_buckets = static_cast<int>(committed_moves_gb_.size());
+  int b0 = static_cast<int>((state.now - cache_now_) / config_.bucket_ticks);
+  b0 = std::clamp(b0, 0, total_buckets - 1);
+  int b_end = bucket_count(state, end_tick);
+  b_end = std::clamp(b_end, b0 + 1, total_buckets);
+  const int nb = b_end - b0;
+  const auto n_sites = sites.size();
+  if (n_sites == 0) return std::nullopt;
+
+  const double demand = static_cast<double>(stable_cores);
+  solver::Model model;
+
+  // x[k][s]: app resides at sites[s] during bucket b0 + k.
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(nb));
+  for (int k = 0; k < nb; ++k) {
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      const std::size_t b = static_cast<std::size_t>(b0 + k);
+      const double cap =
+          config_.capacity_safety * capacity_[sites[s]][b];
+      const double overflow = load_[sites[s]][b] + demand - cap;
+      const double deficit_frac =
+          demand > 0.0 ? std::clamp(overflow / demand, 0.0, 1.0) : 0.0;
+      const double discount =
+          std::pow(config_.discount_per_bucket, static_cast<double>(k));
+      x[static_cast<std::size_t>(k)].push_back(model.add_binary(
+          "x",
+          stable_mem_gb * deficit_frac * config_.deficit_penalty * discount));
+    }
+  }
+  // y[k][s]: move-in indicators (continuous; the x-differences they bound
+  // are integral at optimality).
+  std::vector<std::vector<int>> y(static_cast<std::size_t>(nb));
+  for (int k = 0; k < nb; ++k) {
+    const bool has_reference = k > 0 || current_site.has_value();
+    if (!has_reference) continue;  // initial placement transfers no state
+    const double discount =
+        std::pow(config_.discount_per_bucket, static_cast<double>(k));
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      y[static_cast<std::size_t>(k)].push_back(
+          model.add_var("y", stable_mem_gb * discount, 0.0, 1.0));
+    }
+  }
+
+  for (int k = 0; k < nb; ++k) {
+    std::vector<std::pair<int, double>> one;
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      one.emplace_back(x[static_cast<std::size_t>(k)][s], 1.0);
+    }
+    model.add_constraint(std::move(one), solver::Rel::eq, 1.0);
+
+    if (y[static_cast<std::size_t>(k)].empty()) continue;
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      // x[k][s] - x[k-1][s] - y[k][s] <= (k==0 ? [s==current] : 0)
+      std::vector<std::pair<int, double>> terms;
+      terms.emplace_back(x[static_cast<std::size_t>(k)][s], 1.0);
+      double rhs = 0.0;
+      if (k > 0) {
+        terms.emplace_back(x[static_cast<std::size_t>(k - 1)][s], -1.0);
+      } else if (sites[s] == *current_site) {
+        rhs = 1.0;
+      }
+      terms.emplace_back(y[static_cast<std::size_t>(k)][s], -1.0);
+      model.add_constraint(std::move(terms), solver::Rel::le, rhs);
+    }
+  }
+
+  ++solve_count_;
+  solver::MipResult primary = solver::solve_mip(model, config_.mip);
+  if (primary.status != solver::LpStatus::optimal) return std::nullopt;
+
+  solver::MipResult chosen = primary;
+  if (config_.optimize_peak) {
+    // Stage 2: cap O1, minimize peak per-bucket move volume.
+    solver::Model stage2 = model;
+    std::vector<std::pair<int, double>> o1_terms;
+    for (std::size_t i = 0; i < stage2.n_vars(); ++i) {
+      const double c = stage2.vars()[i].cost;
+      if (c != 0.0) o1_terms.emplace_back(static_cast<int>(i), c);
+    }
+    stage2.add_constraint(std::move(o1_terms), solver::Rel::le,
+                          primary.objective +
+                              std::abs(primary.objective) *
+                                  config_.peak_eps_rel +
+                              1e-6);
+    for (std::size_t i = 0; i < stage2.n_vars(); ++i) {
+      stage2.vars()[i].cost = 0.0;
+    }
+    const int peak = stage2.add_var("peak", 1.0);
+    for (int k = 0; k < nb; ++k) {
+      if (y[static_cast<std::size_t>(k)].empty()) continue;
+      std::vector<std::pair<int, double>> terms;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        terms.emplace_back(y[static_cast<std::size_t>(k)][s], stable_mem_gb);
+      }
+      terms.emplace_back(peak, -1.0);
+      stage2.add_constraint(
+          std::move(terms), solver::Rel::le,
+          -committed_moves_gb_[static_cast<std::size_t>(b0 + k)]);
+    }
+    ++solve_count_;
+    solver::MipResult second = solver::solve_mip(stage2, config_.mip);
+    if (second.status == solver::LpStatus::optimal) {
+      second.x.resize(model.n_vars());  // drop the peak variable
+      chosen = second;
+      chosen.objective = model.objective_of(second.x);
+    }
+  }
+
+  Trajectory trajectory;
+  trajectory.cost = chosen.objective;
+  trajectory.start = cache_now_ + b0 * config_.bucket_ticks;
+  trajectory.sites.resize(static_cast<std::size_t>(nb));
+  for (int k = 0; k < nb; ++k) {
+    std::size_t site = sites[0];
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      if (chosen.x[static_cast<std::size_t>(
+              x[static_cast<std::size_t>(k)][s])] > 0.5) {
+        site = sites[s];
+        break;
+      }
+    }
+    trajectory.sites[static_cast<std::size_t>(k)] = site;
+  }
+  return trajectory;
+}
+
+std::vector<Move> MipScheduler::commit(std::int64_t app_id,
+                                       const Trajectory& trajectory,
+                                       int stable_cores, double stable_mem_gb,
+                                       std::optional<std::size_t> current_site) {
+  std::vector<Move> moves;
+  const int total_buckets = static_cast<int>(committed_moves_gb_.size());
+  const int b0 = static_cast<int>(
+      (trajectory.start - cache_now_) / config_.bucket_ticks);
+  std::optional<std::size_t> prev = current_site;
+  for (std::size_t k = 0; k < trajectory.sites.size(); ++k) {
+    const std::size_t site = trajectory.sites[k];
+    const int b = b0 + static_cast<int>(k);
+    if (b >= 0 && b < total_buckets) {
+      load_[site][static_cast<std::size_t>(b)] +=
+          static_cast<double>(stable_cores);
+      if (prev.has_value() && *prev != site) {
+        committed_moves_gb_[static_cast<std::size_t>(b)] += stable_mem_gb;
+      }
+    }
+    if (prev.has_value() && *prev != site) {
+      util::Tick at = trajectory.start +
+                      static_cast<util::Tick>(k) * config_.bucket_ticks;
+      if (config_.spread_moves_in_bucket) {
+        // Deterministic stagger inside the bucket (keyed by app id).
+        at += static_cast<util::Tick>(
+            static_cast<std::uint64_t>(app_id) %
+            static_cast<std::uint64_t>(config_.bucket_ticks));
+      }
+      moves.push_back(Move{app_id, site, std::max(cache_now_, at)});
+    }
+    prev = site;
+  }
+  return moves;
+}
+
+Scheduler::Placement MipScheduler::place(const workload::Application& app,
+                                         const FleetState& state) {
+  if (cache_now_ < 0) refresh_capacity(state);
+
+  const util::Tick end_tick =
+      app.lifetime_ticks < 0 ? -1 : state.now + app.lifetime_ticks;
+
+  // Evaluate the top-ranked candidate subgraphs with the MIP; keep the
+  // cheapest trajectory (steps 2+3 of §3.1 combined).
+  std::optional<Trajectory> best;
+  const std::vector<std::size_t>* best_sites = nullptr;
+  int evaluated = 0;
+  for (const RankedSubgraph& candidate : ranked_) {
+    if (evaluated >= config_.candidate_subgraphs) break;
+    if (candidate.mean_cores < app.stable_cores()) continue;  // hopeless
+    ++evaluated;
+    const std::optional<Trajectory> trajectory =
+        solve_app(state, app.stable_cores(), app.stable_memory_gb(),
+                  end_tick, candidate.sites, std::nullopt);
+    if (trajectory && (!best || trajectory->cost < best->cost)) {
+      best = trajectory;
+      best_sites = &candidate.sites;
+    }
+  }
+
+  Placement placement;
+  if (!best) {
+    // Degenerate fallback (no clique fits): greedy headroom site.
+    GreedyScheduler greedy;
+    return greedy.place(app, state);
+  }
+  placement.allowed = *best_sites;
+  placement.site = best->sites.front();
+  placement.scheduled_moves = commit(app.app_id, *best, app.stable_cores(),
+                                     app.stable_memory_gb(), std::nullopt);
+  return placement;
+}
+
+std::vector<Move> MipScheduler::replan(const FleetState& state) {
+  refresh_capacity(state);
+
+  // Re-solve live apps largest-first against fresh ledgers.
+  std::vector<const LiveApp*> live;
+  live.reserve(state.apps.size());
+  for (const auto& [id, app] : state.apps) live.push_back(&app);
+  std::sort(live.begin(), live.end(), [](const LiveApp* a, const LiveApp* b) {
+    if (a->app.stable_cores() != b->app.stable_cores()) {
+      return a->app.stable_cores() > b->app.stable_cores();
+    }
+    return a->app.app_id < b->app.app_id;
+  });
+
+  std::vector<Move> schedule;
+  for (const LiveApp* app : live) {
+    const std::optional<Trajectory> trajectory = solve_app(
+        state, app->app.stable_cores(), app->app.stable_memory_gb(),
+        app->end_tick, app->allowed, app->site);
+    if (!trajectory) continue;
+    std::vector<Move> moves =
+        commit(app->app.app_id, *trajectory, app->app.stable_cores(),
+               app->app.stable_memory_gb(), app->site);
+    schedule.insert(schedule.end(), moves.begin(), moves.end());
+  }
+  return schedule;
+}
+
+MipSchedulerConfig make_mip_config() {
+  MipSchedulerConfig config;
+  config.name = "MIP";
+  config.horizon_ticks = -1;
+  config.optimize_peak = false;
+  return config;
+}
+
+MipSchedulerConfig make_mip24h_config() {
+  MipSchedulerConfig config;
+  config.name = "MIP-24h";
+  config.horizon_ticks = 96;  // one day at 15-minute ticks
+  config.optimize_peak = false;
+  return config;
+}
+
+MipSchedulerConfig make_mip_peak_config() {
+  MipSchedulerConfig config;
+  config.name = "MIP-peak";
+  config.horizon_ticks = -1;
+  config.optimize_peak = true;
+  config.spread_moves_in_bucket = true;
+  return config;
+}
+
+}  // namespace vbatt::core

@@ -1,0 +1,197 @@
+#include "vbatt/core/replication.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+namespace vbatt::core {
+
+namespace {
+
+struct ReplicatedApp {
+  workload::Application app;
+  util::Tick end_tick = 0;
+  std::size_t primary = 0;
+  /// Standby site; nullopt while a rebuild target is being selected.
+  std::optional<std::size_t> standby;
+  /// Remaining GB of a standby rebuild stream (0 = standby in sync).
+  double rebuild_remaining_gb = 0.0;
+  int active_degradable = 0;
+};
+
+/// Forecast-minimum available cores at `site` over the next day.
+int day_ahead_floor(const VbGraph& graph, std::size_t site, util::Tick now) {
+  const util::Tick end = std::min<util::Tick>(
+      static_cast<util::Tick>(graph.n_ticks()), now + 96);
+  int floor_cores = graph.available_cores(site, now);
+  for (util::Tick t = now + 1; t < end; t += 4) {
+    floor_cores = std::min(floor_cores, graph.forecast_cores(site, t, now));
+  }
+  return floor_cores;
+}
+
+}  // namespace
+
+SimResult run_replication_simulation(
+    const VbGraph& graph, const std::vector<workload::Application>& apps,
+    const ReplicationConfig& config, const SitePowerModel& power_model) {
+  if (config.sync_fraction_per_hour < 0.0 ||
+      config.checkpoint_interval_hours <= 0.0 ||
+      config.checkpoint_fraction < 0.0 || config.rebuild_hours <= 0.0) {
+    throw std::invalid_argument{"ReplicationConfig: invalid"};
+  }
+  const std::size_t n_sites = graph.n_sites();
+  const std::size_t n_ticks = graph.n_ticks();
+  SimResult result{n_sites, n_ticks};
+
+  const double hours_per_tick = graph.axis().minutes_per_tick() / 60.0;
+  const auto checkpoint_period = std::max<util::Tick>(
+      1, graph.axis().from_hours(config.checkpoint_interval_hours));
+
+  std::map<std::int64_t, ReplicatedApp> live;
+  std::vector<int> primary_cores(n_sites, 0);
+  std::vector<int> degradable_cores(n_sites, 0);
+  std::size_t next_app = 0;
+
+  /// Pick the best of `candidates` by day-ahead power floor minus
+  /// committed load, excluding `exclude`. An empty candidate list yields
+  /// nullopt (a site with no latency neighbors has no standby).
+  const auto best_site = [&](util::Tick now,
+                             const std::vector<std::size_t>& candidates,
+                             std::optional<std::size_t> exclude)
+      -> std::optional<std::size_t> {
+    std::optional<std::size_t> best;
+    int best_headroom = 0;
+    for (const std::size_t s : candidates) {
+      if (exclude && *exclude == s) continue;
+      const int headroom = day_ahead_floor(graph, s, now) - primary_cores[s];
+      if (!best || headroom > best_headroom) {
+        best = s;
+        best_headroom = headroom;
+      }
+    }
+    return best;
+  };
+  std::vector<std::size_t> all_sites(n_sites);
+  for (std::size_t s = 0; s < n_sites; ++s) all_sites[s] = s;
+
+  for (std::size_t i = 0; i < n_ticks; ++i) {
+    const auto t = static_cast<util::Tick>(i);
+
+    // 1. Departures.
+    for (auto it = live.begin(); it != live.end();) {
+      if (it->second.end_tick >= 0 && it->second.end_tick <= t) {
+        primary_cores[it->second.primary] -= it->second.app.stable_cores();
+        degradable_cores[it->second.primary] -=
+            it->second.active_degradable * it->second.app.shape.cores;
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // 2. Arrivals: primary on the best day-ahead site, standby on the best
+    //    latency-neighbor of the primary.
+    while (next_app < apps.size() && apps[next_app].arrival <= t) {
+      const workload::Application& app = apps[next_app];
+      ReplicatedApp rep;
+      rep.app = app;
+      rep.end_tick = app.lifetime_ticks < 0 ? -1 : t + app.lifetime_ticks;
+      rep.primary = best_site(t, all_sites, std::nullopt).value_or(0);
+      rep.standby = best_site(t, graph.latency().neighbors(rep.primary),
+                              rep.primary);
+      rep.active_degradable = app.n_degradable;
+      primary_cores[rep.primary] += app.stable_cores();
+      degradable_cores[rep.primary] +=
+          rep.active_degradable * app.shape.cores;
+      ++result.apps_placed;
+      live.emplace(app.app_id, std::move(rep));
+      ++next_app;
+    }
+
+    // 3. Capacity enforcement: pause degradable first, then fail over to
+    //    the standby.
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      const int avail = graph.available_cores(s, t);
+      int budget = avail - primary_cores[s];
+      for (auto& [id, rep] : live) {
+        if (rep.primary != s || rep.app.n_degradable == 0) continue;
+        const int want = rep.app.n_degradable;
+        const int can = std::clamp(
+            budget / std::max(1, rep.app.shape.cores), 0, want);
+        if (can != rep.active_degradable) {
+          degradable_cores[s] +=
+              (can - rep.active_degradable) * rep.app.shape.cores;
+          rep.active_degradable = can;
+        }
+        budget -= can * rep.app.shape.cores;
+        result.paused_degradable_vm_ticks += want - can;
+        result.degradable_active_vm_ticks += can;
+      }
+      if (primary_cores[s] <= avail) continue;
+      for (auto& [id, rep] : live) {
+        if (primary_cores[s] <= avail) break;
+        if (rep.primary != s || !rep.standby) continue;
+        const std::size_t target = *rep.standby;
+        const int target_headroom = graph.available_cores(target, t) -
+                                    primary_cores[target] -
+                                    degradable_cores[target];
+        if (target_headroom < rep.app.stable_cores()) continue;
+        // Failover: the standby becomes primary; a fresh standby rebuild
+        // begins from the new primary.
+        primary_cores[s] -= rep.app.stable_cores();
+        degradable_cores[s] -= rep.active_degradable * rep.app.shape.cores;
+        rep.primary = target;
+        primary_cores[target] += rep.app.stable_cores();
+        degradable_cores[target] +=
+            rep.active_degradable * rep.app.shape.cores;
+        ++result.planned_migrations;  // failovers counted here
+        rep.standby = best_site(t, graph.latency().neighbors(rep.primary),
+                                rep.primary);
+        rep.rebuild_remaining_gb = rep.app.stable_memory_gb();
+      }
+      if (primary_cores[s] > avail) {
+        result.displaced_stable_core_ticks += primary_cores[s] - avail;
+      }
+    }
+
+    // 4. Replication traffic.
+    const double rebuild_rate_gb =
+        hours_per_tick / config.rebuild_hours;  // fraction per tick
+    for (auto& [id, rep] : live) {
+      if (!rep.standby) continue;
+      const double mem = rep.app.stable_memory_gb();
+      double gb = 0.0;
+      if (rep.rebuild_remaining_gb > 0.0) {
+        gb = std::min(rep.rebuild_remaining_gb, mem * rebuild_rate_gb);
+        rep.rebuild_remaining_gb -= gb;
+      } else if (config.hot_standby) {
+        gb = mem * config.sync_fraction_per_hour * hours_per_tick;
+      } else if (t % checkpoint_period == 0 && t > rep.app.arrival) {
+        gb = mem * config.checkpoint_fraction;
+      }
+      if (gb > 0.0) {
+        result.ledger.record_out(rep.primary, t, gb);
+        result.ledger.record_in(*rep.standby, t, gb);
+        result.moved_gb[i] += gb;
+      }
+    }
+
+    // 5. Energy (same model as the migration simulator).
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      const int active = primary_cores[s] + degradable_cores[s];
+      if (active <= 0) continue;
+      const int servers = (active + power_model.cores_per_server - 1) /
+                          power_model.cores_per_server;
+      const double mwh = (servers * power_model.server_idle_watts +
+                          active * power_model.watts_per_active_core) *
+                         hours_per_tick / 1e6;
+      result.energy_mwh += mwh;
+      result.energy_mwh_per_tick[i] += mwh;
+    }
+  }
+  return result;
+}
+
+}  // namespace vbatt::core

@@ -1,0 +1,194 @@
+#include "vbatt/core/simulation.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace vbatt::core {
+
+namespace {
+
+/// Move an app between sites in the state ledgers.
+void relocate(FleetState& state, LiveApp& app, std::size_t to) {
+  state.stable_cores[app.site] -= app.app.stable_cores();
+  state.degradable_cores[app.site] -=
+      app.active_degradable * app.app.shape.cores;
+  app.site = to;
+  state.stable_cores[to] += app.app.stable_cores();
+  state.degradable_cores[to] += app.active_degradable * app.app.shape.cores;
+}
+
+}  // namespace
+
+SimResult run_simulation(const VbGraph& graph,
+                         const std::vector<workload::Application>& apps,
+                         Scheduler& scheduler,
+                         const SitePowerModel& power_model) {
+  const std::size_t n_sites = graph.n_sites();
+  const std::size_t n_ticks = graph.n_ticks();
+  SimResult result{n_sites, n_ticks};
+
+  FleetState state;
+  state.graph = &graph;
+  state.stable_cores.assign(n_sites, 0);
+  state.degradable_cores.assign(n_sites, 0);
+
+  // Pending proactive moves, per app (replans replace the whole set).
+  std::map<std::int64_t, std::vector<Move>> pending;
+
+  const util::Tick replan_period = scheduler.replan_period_ticks();
+  std::size_t next_app = 0;
+
+  for (std::size_t i = 0; i < n_ticks; ++i) {
+    const auto t = static_cast<util::Tick>(i);
+    state.now = t;
+
+    // 1. Departures.
+    for (auto it = state.apps.begin(); it != state.apps.end();) {
+      if (it->second.end_tick >= 0 && it->second.end_tick <= t) {
+        LiveApp& app = it->second;
+        state.stable_cores[app.site] -= app.app.stable_cores();
+        state.degradable_cores[app.site] -=
+            app.active_degradable * app.app.shape.cores;
+        pending.erase(it->first);
+        it = state.apps.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // 2. Replanning: the returned schedule supersedes all pending moves.
+    if (replan_period > 0 && t > 0 && t % replan_period == 0) {
+      pending.clear();
+      for (Move& move : scheduler.replan(state)) {
+        pending[move.app_id].push_back(move);
+      }
+    }
+
+    // 3. Arrivals.
+    while (next_app < apps.size() && apps[next_app].arrival <= t) {
+      const workload::Application& app = apps[next_app];
+      const Scheduler::Placement placement = scheduler.place(app, state);
+      LiveApp live;
+      live.app = app;
+      live.end_tick = app.lifetime_ticks < 0 ? -1 : t + app.lifetime_ticks;
+      live.site = placement.site;
+      live.allowed = placement.allowed;
+      live.active_degradable = app.n_degradable;
+      state.stable_cores[live.site] += app.stable_cores();
+      state.degradable_cores[live.site] +=
+          live.active_degradable * app.shape.cores;
+      state.apps.emplace(app.app_id, std::move(live));
+      if (!placement.scheduled_moves.empty()) {
+        pending[app.app_id] = placement.scheduled_moves;
+      }
+      ++result.apps_placed;
+      ++next_app;
+    }
+
+    // 4. Execute due proactive moves.
+    for (auto& [app_id, moves] : pending) {
+      const auto live_it = state.apps.find(app_id);
+      if (live_it == state.apps.end()) continue;
+      LiveApp& app = live_it->second;
+      for (const Move& move : moves) {
+        if (move.at_tick > t) break;  // moves are emitted in time order
+        if (move.at_tick == t && move.to_site != app.site) {
+          const double gb = app.app.stable_memory_gb();
+          result.ledger.record_out(app.site, t, gb);
+          result.ledger.record_in(move.to_site, t, gb);
+          result.moved_gb[i] += gb;
+          relocate(state, app, move.to_site);
+          ++result.planned_migrations;
+        }
+      }
+    }
+
+    // 5. Capacity enforcement, site by site.
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      const int avail = graph.available_cores(s, t);
+
+      // 5a. Degradable VMs absorb the dip first: pause until the site's
+      //     stable + active-degradable demand fits (or all are paused).
+      int stable = state.stable_cores[s];
+      int budget = avail - stable;  // cores left for degradable
+      for (auto& [id, app] : state.apps) {
+        if (app.site != s || app.app.n_degradable == 0) continue;
+        const int want = app.app.n_degradable;
+        const int can =
+            std::clamp(budget / std::max(1, app.app.shape.cores), 0, want);
+        if (can != app.active_degradable) {
+          state.degradable_cores[s] +=
+              (can - app.active_degradable) * app.app.shape.cores;
+          app.active_degradable = can;
+        }
+        budget -= can * app.app.shape.cores;
+        result.paused_degradable_vm_ticks += want - can;
+        result.degradable_active_vm_ticks += can;
+      }
+
+      // 5b. Forced migration of whole apps while stable demand exceeds
+      //     powered capacity.
+      if (stable > avail) {
+        for (auto& [id, app] : state.apps) {
+          if (stable <= avail) break;
+          if (app.site != s) continue;
+          // Best target: allowed site with the most headroom that fits.
+          std::size_t target = s;
+          int best_headroom = 0;
+          for (const std::size_t cand : app.allowed) {
+            if (cand == s) continue;
+            const int headroom = graph.available_cores(cand, t) -
+                                 state.stable_cores[cand] -
+                                 state.degradable_cores[cand];
+            if (headroom >= app.app.stable_cores() &&
+                headroom > best_headroom) {
+              target = cand;
+              best_headroom = headroom;
+            }
+          }
+          if (target == s) continue;  // nowhere to go
+          const double gb = app.app.stable_memory_gb();
+          result.ledger.record_out(s, t, gb);
+          result.ledger.record_in(target, t, gb);
+          result.moved_gb[i] += gb;
+          relocate(state, app, target);
+          ++result.forced_migrations;
+          stable = state.stable_cores[s];
+        }
+        if (stable > avail) {
+          result.displaced_stable_core_ticks += stable - avail;
+          // Attribute the shortfall to resident apps (ascending id) so the
+          // availability report can rank per-app impact.
+          int deficit = stable - avail;
+          for (const auto& [id, app] : state.apps) {
+            if (deficit <= 0) break;
+            if (app.site != s) continue;
+            const int hit = std::min(deficit, app.app.stable_cores());
+            result.displaced_by_app[id] += hit;
+            deficit -= hit;
+          }
+        }
+      }
+    }
+
+    // 6. Compute energy accounting (goal iii): powered servers draw idle
+    //    power, active cores draw incremental power.
+    const double hours_per_tick = graph.axis().minutes_per_tick() / 60.0;
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      const int active = state.stable_cores[s] + state.degradable_cores[s];
+      if (active <= 0) continue;
+      const int servers =
+          (active + power_model.cores_per_server - 1) /
+          power_model.cores_per_server;
+      const double watts = servers * power_model.server_idle_watts +
+                           active * power_model.watts_per_active_core;
+      const double mwh = watts * hours_per_tick / 1e6;
+      result.energy_mwh += mwh;
+      result.energy_mwh_per_tick[i] += mwh;
+    }
+  }
+  return result;
+}
+
+}  // namespace vbatt::core

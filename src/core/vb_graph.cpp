@@ -1,0 +1,90 @@
+#include "vbatt/core/vb_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vbatt::core {
+
+namespace {
+
+net::LatencyGraph build_latency(const energy::Fleet& fleet,
+                                const VbGraphConfig& config) {
+  std::vector<util::GeoPoint> points;
+  points.reserve(fleet.specs.size());
+  for (const energy::SiteSpec& spec : fleet.specs) {
+    points.push_back(spec.location);
+  }
+  return net::LatencyGraph{points, config.rtt, config.rtt_threshold_ms};
+}
+
+}  // namespace
+
+VbGraph::VbGraph(const energy::Fleet& fleet, const VbGraphConfig& config)
+    : axis_{fleet.axis},
+      leads_hours_{config.forecast_leads_hours},
+      latency_{build_latency(fleet, config)} {
+  if (fleet.specs.size() != fleet.traces.size() || fleet.specs.empty()) {
+    throw std::invalid_argument{"VbGraph: malformed fleet"};
+  }
+  if (!std::is_sorted(leads_hours_.begin(), leads_hours_.end())) {
+    throw std::invalid_argument{"VbGraph: forecast leads must ascend"};
+  }
+  n_ticks_ = fleet.traces.front().size();
+
+  const energy::Forecaster forecaster{config.forecaster};
+  sites_.reserve(fleet.specs.size());
+  for (std::size_t i = 0; i < fleet.specs.size(); ++i) {
+    const energy::SiteSpec& spec = fleet.specs[i];
+    const energy::PowerTrace& trace = fleet.traces[i];
+    if (trace.size() != n_ticks_) {
+      throw std::invalid_argument{"VbGraph: trace length mismatch"};
+    }
+    VbSite site;
+    site.id = spec.id;
+    site.name = spec.name;
+    site.source = spec.source;
+    site.location = spec.location;
+    site.capacity_cores = static_cast<int>(
+        std::lround(spec.peak_mw * config.cores_per_mw));
+    site.power_norm = trace.normalized_series();
+    site.forecast_norm.reserve(leads_hours_.size());
+    for (const double lead : leads_hours_) {
+      site.forecast_norm.push_back(config.oracle_forecasts
+                                       ? trace.normalized_series()
+                                       : forecaster.forecast(trace, lead));
+    }
+    sites_.push_back(std::move(site));
+  }
+}
+
+int VbGraph::available_cores(std::size_t s, util::Tick t) const {
+  const VbSite& site = sites_.at(s);
+  if (t < 0 || static_cast<std::size_t>(t) >= n_ticks_) {
+    throw std::out_of_range{"VbGraph::available_cores: bad tick"};
+  }
+  return static_cast<int>(std::floor(
+      site.power_norm[static_cast<std::size_t>(t)] * site.capacity_cores));
+}
+
+int VbGraph::forecast_cores(std::size_t s, util::Tick target,
+                            util::Tick now) const {
+  const VbSite& site = sites_.at(s);
+  if (target < 0 || static_cast<std::size_t>(target) >= n_ticks_) {
+    throw std::out_of_range{"VbGraph::forecast_cores: bad tick"};
+  }
+  if (target <= now) return available_cores(s, target);
+  const double lead_hours = axis_.hours(target - now);
+  std::size_t idx = leads_hours_.size() - 1;
+  for (std::size_t i = 0; i < leads_hours_.size(); ++i) {
+    if (leads_hours_[i] >= lead_hours) {
+      idx = i;
+      break;
+    }
+  }
+  const double norm =
+      site.forecast_norm[idx][static_cast<std::size_t>(target)];
+  return static_cast<int>(std::floor(norm * site.capacity_cores));
+}
+
+}  // namespace vbatt::core

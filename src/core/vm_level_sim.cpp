@@ -1,0 +1,321 @@
+#include "vbatt/core/vm_level_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace vbatt::core {
+
+namespace {
+
+std::unique_ptr<dcsim::AllocationPolicy> make_policy(
+    VmLevelConfig::Placement placement) {
+  switch (placement) {
+    case VmLevelConfig::Placement::first_fit:
+      return std::make_unique<dcsim::FirstFitPolicy>();
+    case VmLevelConfig::Placement::worst_fit:
+      return std::make_unique<dcsim::WorstFitPolicy>();
+    case VmLevelConfig::Placement::best_fit:
+      break;
+  }
+  return std::make_unique<dcsim::BestFitPolicy>();
+}
+
+struct TrackedApp {
+  workload::Application app;
+  util::Tick end_tick = 0;
+  std::size_t home = 0;                 // intended site
+  std::vector<std::size_t> allowed;
+  std::vector<std::int64_t> stable_ids;
+  std::vector<std::int64_t> degradable_ids;  // currently running
+  int paused_degradable = 0;
+};
+
+/// A stable VM evicted by a power dip, waiting for a new home.
+struct DisplacedVm {
+  dcsim::VmInstance vm;
+  std::size_t source = 0;
+};
+
+}  // namespace
+
+VmLevelResult run_vm_level_simulation(
+    const VbGraph& graph, const std::vector<workload::Application>& apps,
+    Scheduler& scheduler, const VmLevelConfig& config) {
+  const std::size_t n_sites = graph.n_sites();
+  const std::size_t n_ticks = graph.n_ticks();
+  VmLevelResult result{n_sites, n_ticks};
+
+  const std::unique_ptr<dcsim::AllocationPolicy> policy =
+      make_policy(config.placement);
+
+  // One dcsim site per VB node, sized from the node's capacity.
+  std::vector<dcsim::Site> sites;
+  sites.reserve(n_sites);
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    dcsim::SiteConfig site_config;
+    site_config.n_servers = std::max(
+        1, graph.site(s).capacity_cores / config.server.cores);
+    site_config.server = config.server;
+    site_config.utilization_cap = 1.0;  // the scheduler owns admission
+    sites.emplace_back(site_config);
+  }
+
+  std::map<std::int64_t, TrackedApp> live;
+  std::map<std::int64_t, std::vector<Move>> pending_moves;
+  std::deque<DisplacedVm> displaced;
+  std::int64_t next_vm_id = 0;
+  std::size_t next_app = 0;
+
+  // The scheduler sees the same FleetState as the app-level simulator;
+  // keep its aggregates in sync with the per-VM truth.
+  FleetState state;
+  state.graph = &graph;
+  state.stable_cores.assign(n_sites, 0);
+  state.degradable_cores.assign(n_sites, 0);
+
+  const auto place_vm = [&](dcsim::VmInstance vm, std::size_t s) -> bool {
+    if (!sites[s].place(vm, *policy)) return false;
+    if (vm.vm_class == workload::VmClass::stable) {
+      state.stable_cores[s] += vm.shape.cores;
+    } else {
+      state.degradable_cores[s] += vm.shape.cores;
+    }
+    return true;
+  };
+  const auto remove_vm = [&](std::int64_t vm_id,
+                             std::size_t s) -> std::optional<dcsim::VmInstance> {
+    const auto removed = sites[s].remove(vm_id);
+    if (removed) {
+      if (removed->vm_class == workload::VmClass::stable) {
+        state.stable_cores[s] -= removed->shape.cores;
+      } else {
+        state.degradable_cores[s] -= removed->shape.cores;
+      }
+    }
+    return removed;
+  };
+
+  const double hours_per_tick = graph.axis().minutes_per_tick() / 60.0;
+  const util::Tick replan_period = scheduler.replan_period_ticks();
+
+  for (std::size_t i = 0; i < n_ticks; ++i) {
+    const auto t = static_cast<util::Tick>(i);
+    state.now = t;
+
+    // 1. App departures.
+    for (auto it = live.begin(); it != live.end();) {
+      TrackedApp& app = it->second;
+      if (app.end_tick >= 0 && app.end_tick <= t) {
+        for (const std::int64_t id : app.stable_ids) {
+          for (std::size_t s = 0; s < n_sites; ++s) {
+            if (remove_vm(id, s)) break;
+          }
+        }
+        for (const std::int64_t id : app.degradable_ids) {
+          for (std::size_t s = 0; s < n_sites; ++s) {
+            if (remove_vm(id, s)) break;
+          }
+        }
+        pending_moves.erase(it->first);
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Drop displaced VMs of departed apps.
+    displaced.erase(
+        std::remove_if(displaced.begin(), displaced.end(),
+                       [&](const DisplacedVm& d) {
+                         return !live.contains(d.vm.app_id);
+                       }),
+        displaced.end());
+
+    // 2. Replanning — mirror the scheduler state into FleetState.apps.
+    if (replan_period > 0 && t > 0 && t % replan_period == 0) {
+      state.apps.clear();
+      for (const auto& [id, app] : live) {
+        LiveApp summary;
+        summary.app = app.app;
+        summary.end_tick = app.end_tick;
+        summary.site = app.home;
+        summary.allowed = app.allowed;
+        summary.active_degradable =
+            static_cast<int>(app.degradable_ids.size());
+        state.apps.emplace(id, std::move(summary));
+      }
+      pending_moves.clear();
+      for (Move& move : scheduler.replan(state)) {
+        pending_moves[move.app_id].push_back(move);
+      }
+    }
+
+    // 3. Arrivals.
+    while (next_app < apps.size() && apps[next_app].arrival <= t) {
+      const workload::Application& app = apps[next_app];
+      const Scheduler::Placement placement = scheduler.place(app, state);
+      TrackedApp tracked;
+      tracked.app = app;
+      tracked.end_tick =
+          app.lifetime_ticks < 0 ? -1 : t + app.lifetime_ticks;
+      tracked.home = placement.site;
+      tracked.allowed = placement.allowed;
+      const util::Tick vm_end = tracked.end_tick;
+      for (int v = 0; v < app.n_stable + app.n_degradable; ++v) {
+        dcsim::VmInstance vm;
+        vm.vm_id = next_vm_id++;
+        vm.app_id = app.app_id;
+        vm.shape = app.shape;
+        vm.vm_class = v < app.n_stable ? workload::VmClass::stable
+                                       : workload::VmClass::degradable;
+        vm.end_tick = vm_end;
+        if (place_vm(vm, placement.site)) {
+          (vm.vm_class == workload::VmClass::stable
+               ? tracked.stable_ids
+               : tracked.degradable_ids)
+              .push_back(vm.vm_id);
+        } else if (vm.vm_class == workload::VmClass::stable) {
+          ++result.fragmentation_failures;
+          displaced.push_back(DisplacedVm{vm, placement.site});
+          tracked.stable_ids.push_back(vm.vm_id);
+        } else {
+          ++tracked.paused_degradable;
+          tracked.degradable_ids.push_back(vm.vm_id);
+        }
+      }
+      if (!placement.scheduled_moves.empty()) {
+        pending_moves[app.app_id] = placement.scheduled_moves;
+      }
+      ++result.base.apps_placed;
+      live.emplace(app.app_id, std::move(tracked));
+      ++next_app;
+    }
+
+    // 4. Execute due proactive moves: relocate every resident VM.
+    for (auto& [app_id, moves] : pending_moves) {
+      const auto live_it = live.find(app_id);
+      if (live_it == live.end()) continue;
+      TrackedApp& app = live_it->second;
+      for (const Move& move : moves) {
+        if (move.at_tick != t || move.to_site == app.home) continue;
+        const std::size_t from = app.home;
+        app.home = move.to_site;
+        bool moved_any = false;
+        for (const std::int64_t id : app.stable_ids) {
+          const auto vm = remove_vm(id, from);
+          if (!vm) continue;  // currently displaced or elsewhere
+          if (place_vm(*vm, move.to_site)) {
+            const double gb = vm->shape.memory_gb;
+            result.base.ledger.record_out(from, t, gb);
+            result.base.ledger.record_in(move.to_site, t, gb);
+            result.base.moved_gb[i] += gb;
+            ++result.vm_migrations;
+            moved_any = true;
+          } else {
+            ++result.fragmentation_failures;
+            displaced.push_back(DisplacedVm{*vm, from});
+          }
+        }
+        for (const std::int64_t id : app.degradable_ids) {
+          const auto vm = remove_vm(id, from);
+          if (!vm) continue;
+          if (!place_vm(*vm, move.to_site)) ++app.paused_degradable;
+          // Degradable respawn: no WAN traffic.
+        }
+        if (moved_any) ++result.base.planned_migrations;
+      }
+    }
+
+    // 5. Power enforcement: each site sheds to its powered-core budget.
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      const int avail = graph.available_cores(s, t);
+      const std::vector<dcsim::VmInstance> evicted = sites[s].shrink_to(avail);
+      for (const dcsim::VmInstance& vm : evicted) {
+        if (vm.vm_class == workload::VmClass::stable) {
+          state.stable_cores[s] -= vm.shape.cores;
+          displaced.push_back(DisplacedVm{vm, s});
+        } else {
+          state.degradable_cores[s] -= vm.shape.cores;
+          const auto it = live.find(vm.app_id);
+          if (it != live.end()) ++it->second.paused_degradable;
+        }
+      }
+    }
+
+    // 6. Re-home displaced stable VMs (migration traffic on success).
+    for (std::size_t d = displaced.size(); d-- > 0;) {
+      DisplacedVm entry = displaced.front();
+      displaced.pop_front();
+      const auto it = live.find(entry.vm.app_id);
+      if (it == live.end()) continue;
+      bool placed = false;
+      for (const std::size_t cand : it->second.allowed) {
+        if (graph.available_cores(cand, t) - sites[cand].allocated_cores() <
+            entry.vm.shape.cores) {
+          continue;
+        }
+        if (place_vm(entry.vm, cand)) {
+          const double gb = entry.vm.shape.memory_gb;
+          if (cand != entry.source) {
+            result.base.ledger.record_out(entry.source, t, gb);
+            result.base.ledger.record_in(cand, t, gb);
+            result.base.moved_gb[i] += gb;
+            ++result.vm_migrations;
+            ++result.base.forced_migrations;
+          }
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        result.base.displaced_stable_core_ticks += entry.vm.shape.cores;
+        displaced.push_back(entry);
+      }
+    }
+
+    // 7. Resume paused degradable VMs at their app's home site.
+    for (auto& [id, app] : live) {
+      while (app.paused_degradable > 0) {
+        const int headroom = graph.available_cores(app.home, t) -
+                             sites[app.home].allocated_cores();
+        if (headroom < app.app.shape.cores) break;
+        dcsim::VmInstance vm;
+        vm.vm_id = next_vm_id++;
+        vm.app_id = id;
+        vm.shape = app.app.shape;
+        vm.vm_class = workload::VmClass::degradable;
+        vm.end_tick = app.end_tick;
+        if (!place_vm(vm, app.home)) break;  // fragmentation
+        app.degradable_ids.push_back(vm.vm_id);
+        --app.paused_degradable;
+      }
+      result.base.paused_degradable_vm_ticks += app.paused_degradable;
+      result.base.degradable_active_vm_ticks +=
+          static_cast<std::int64_t>(app.degradable_ids.size()) -
+          app.paused_degradable;
+    }
+
+    // 8. Energy: only servers actually hosting VMs are powered.
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      int powered = 0;
+      int active_cores = 0;
+      for (const dcsim::ServerState& server : sites[s].servers()) {
+        if (server.vm_count > 0) {
+          ++powered;
+          active_cores += config.server.cores - server.free_cores;
+        }
+      }
+      result.powered_server_ticks += powered;
+      const double mwh = (powered * config.power.server_idle_watts +
+                          active_cores * config.power.watts_per_active_core) *
+                         hours_per_tick / 1e6;
+      result.base.energy_mwh += mwh;
+      result.base.energy_mwh_per_tick[i] += mwh;
+    }
+  }
+  return result;
+}
+
+}  // namespace vbatt::core

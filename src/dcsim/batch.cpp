@@ -1,0 +1,73 @@
+#include "vbatt/dcsim/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vbatt::dcsim {
+
+BatchResult run_batch_jobs(const util::TimeAxis& axis,
+                           const std::vector<int>& active_slots,
+                           const BatchConfig& config) {
+  if (config.checkpoint_interval_hours <= 0.0 ||
+      config.checkpoint_cost_minutes < 0.0 ||
+      config.restore_cost_minutes < 0.0) {
+    throw std::invalid_argument{"BatchConfig: invalid"};
+  }
+  const double hours_per_tick = axis.minutes_per_tick() / 60.0;
+  const double ckpt_cost_hours = config.checkpoint_cost_minutes / 60.0;
+  const double restore_hours = config.restore_cost_minutes / 60.0;
+  const double tau = config.checkpoint_interval_hours;
+
+  BatchResult result;
+  int prev = active_slots.empty() ? 0 : active_slots.front();
+  for (std::size_t i = 0; i < active_slots.size(); ++i) {
+    const int slots = active_slots[i];
+    if (slots < 0) throw std::invalid_argument{"negative slot count"};
+    result.offered_vm_hours += slots * hours_per_tick;
+    // Steady-state checkpoint overhead: cost/(tau+cost) of the run time.
+    result.checkpoint_overhead_hours +=
+        slots * hours_per_tick * ckpt_cost_hours / (tau + ckpt_cost_hours);
+    if (i > 0) {
+      const int preempted = std::max(0, prev - slots);
+      const int resumed = std::max(0, slots - prev);
+      result.preemptions += preempted;
+      // Expected rework per preempted slot: half an interval (uniform
+      // preemption within the interval), never more than the interval.
+      result.lost_work_hours +=
+          preempted * std::min(tau, tau / 2.0 + ckpt_cost_hours / 2.0);
+      result.restore_overhead_hours += resumed * restore_hours;
+    }
+    prev = slots;
+  }
+  result.useful_vm_hours = std::max(
+      0.0, result.offered_vm_hours - result.checkpoint_overhead_hours -
+               result.lost_work_hours - result.restore_overhead_hours);
+  return result;
+}
+
+double young_daly_interval_hours(double checkpoint_cost_hours,
+                                 double mtbf_hours) {
+  if (checkpoint_cost_hours < 0.0 || mtbf_hours <= 0.0) {
+    throw std::invalid_argument{"young_daly: invalid inputs"};
+  }
+  return std::sqrt(2.0 * checkpoint_cost_hours * mtbf_hours);
+}
+
+double observed_mtbf_hours(const util::TimeAxis& axis,
+                           const std::vector<int>& active_slots) {
+  const double hours_per_tick = axis.minutes_per_tick() / 60.0;
+  double slot_hours = 0.0;
+  std::int64_t events = 0;
+  int prev = active_slots.empty() ? 0 : active_slots.front();
+  for (std::size_t i = 0; i < active_slots.size(); ++i) {
+    slot_hours += active_slots[i] * hours_per_tick;
+    if (i > 0) events += std::max(0, prev - active_slots[i]);
+    prev = active_slots[i];
+  }
+  return events > 0 ? slot_hours / static_cast<double>(events)
+                    : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace vbatt::dcsim

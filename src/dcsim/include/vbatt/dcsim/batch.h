@@ -1,0 +1,62 @@
+// Checkpointed batch jobs on degradable capacity.
+//
+// §2.3 pitches batch / ML-training jobs as the natural consumers of a VB's
+// *variable* energy (Harvest/Spot-style), and §4 cites checkpointing
+// systems (CheckFreq, SCR) as the enabling mechanism. This module models
+// the goodput of batch work running on power-driven preemptible capacity:
+// jobs checkpoint every τ; a power dip preempts slots, losing the work
+// since the last checkpoint plus a restore cost on resume. The classic
+// Young–Daly rule gives the optimal τ from the checkpoint cost and the
+// observed mean time between preemptions.
+#pragma once
+
+#include <vector>
+
+#include "vbatt/util/time.h"
+
+namespace vbatt::dcsim {
+
+struct BatchConfig {
+  /// Checkpoint cadence, hours of work between checkpoints.
+  double checkpoint_interval_hours = 1.0;
+  /// Time to write one checkpoint, minutes.
+  double checkpoint_cost_minutes = 2.0;
+  /// Time to restore a preempted slot when capacity returns, minutes.
+  double restore_cost_minutes = 3.0;
+};
+
+struct BatchResult {
+  /// VM-hours of degradable capacity offered by the power trace.
+  double offered_vm_hours = 0.0;
+  /// VM-hours of actual forward progress.
+  double useful_vm_hours = 0.0;
+  double checkpoint_overhead_hours = 0.0;
+  double lost_work_hours = 0.0;
+  double restore_overhead_hours = 0.0;
+  /// Slot preemption events (capacity drops).
+  std::int64_t preemptions = 0;
+
+  /// Useful fraction of the offered capacity.
+  double goodput() const noexcept {
+    return offered_vm_hours > 0.0 ? useful_vm_hours / offered_vm_hours : 0.0;
+  }
+};
+
+/// Run the expected-value batch model over a per-tick count of runnable
+/// degradable VM slots (e.g. from a SimResult or a power trace scaled to
+/// slots). Preemptions are capacity drops; each preempted slot loses on
+/// average half a checkpoint interval of work (capped by the interval).
+BatchResult run_batch_jobs(const util::TimeAxis& axis,
+                           const std::vector<int>& active_slots,
+                           const BatchConfig& config = {});
+
+/// Young–Daly optimal checkpoint interval: sqrt(2 * cost * MTBF).
+double young_daly_interval_hours(double checkpoint_cost_hours,
+                                 double mtbf_hours);
+
+/// Mean time between preemptions per slot implied by a capacity series:
+/// total slot-hours / preemption events. Returns +inf with no events.
+double observed_mtbf_hours(const util::TimeAxis& axis,
+                           const std::vector<int>& active_slots);
+
+}  // namespace vbatt::dcsim

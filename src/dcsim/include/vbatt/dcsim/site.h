@@ -1,0 +1,160 @@
+// A VB site: a cluster of servers under a power cap.
+//
+// Models §3's experimental site: ~700 servers of 40 cores / 512 GB, an
+// admission-control utilization cap (70%), and the paper's power-shrink
+// policy: power down unallocated cores first, then evict VMs from servers
+// in round-robin order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "vbatt/util/time.h"
+#include "vbatt/workload/vm.h"
+
+namespace vbatt::dcsim {
+
+struct ServerSpec {
+  int cores = 40;
+  double memory_gb = 512.0;
+};
+
+struct SiteConfig {
+  int n_servers = 700;
+  ServerSpec server{};
+  /// Admission control rejects VMs that would push allocated cores above
+  /// this fraction of the *currently powered* capacity (the paper's 70%).
+  /// The 30% headroom is exactly what lets minor power dips be absorbed by
+  /// powering down unallocated cores (Fig. 4a: >80% of power changes cause
+  /// no migration).
+  double utilization_cap = 0.70;
+};
+
+/// A VM resident on (or pending for) a site.
+struct VmInstance {
+  std::int64_t vm_id = 0;
+  std::int64_t app_id = -1;
+  workload::VmShape shape{};
+  workload::VmClass vm_class = workload::VmClass::stable;
+  /// Tick at which the VM departs (exclusive); <0 = runs forever.
+  util::Tick end_tick = -1;
+  /// Server currently hosting the VM (meaningful for placed VMs only).
+  int server = -1;
+};
+
+/// Per-server free-resource bookkeeping.
+struct ServerState {
+  int free_cores = 0;
+  double free_memory_gb = 0.0;
+  int vm_count = 0;
+};
+
+class Site;
+
+/// Strategy choosing a host server for a VM. Returns the server index or
+/// std::nullopt when no server fits.
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+  virtual std::optional<int> choose(const Site& site,
+                                    const workload::VmShape& shape) = 0;
+};
+
+class Site {
+ public:
+  explicit Site(SiteConfig config);
+
+  const SiteConfig& config() const noexcept { return config_; }
+  int total_cores() const noexcept {
+    return config_.n_servers * config_.server.cores;
+  }
+  int allocated_cores() const noexcept { return allocated_cores_; }
+  double allocated_memory_gb() const noexcept { return allocated_memory_gb_; }
+  std::size_t vm_count() const noexcept { return vms_.size(); }
+  double utilization() const noexcept {
+    return static_cast<double>(allocated_cores_) / total_cores();
+  }
+
+  const std::vector<ServerState>& servers() const noexcept { return servers_; }
+
+  /// Cores that must stay powered: exactly the allocated ones (unallocated
+  /// cores are powered down for free — the paper's first-line response).
+  int required_cores() const noexcept { return allocated_cores_; }
+
+  /// Whether a VM of `shape` passes admission control (utilization cap and
+  /// the current power budget of `available_cores`).
+  bool admits(const workload::VmShape& shape, int available_cores) const;
+
+  /// Place a VM via `policy`. Returns false if no server fits (admission
+  /// must be checked by the caller; placement can still fail on
+  /// fragmentation).
+  bool place(const VmInstance& vm, AllocationPolicy& policy);
+
+  /// Remove a VM (departure or migration); no-op returns nullopt if absent.
+  std::optional<VmInstance> remove(std::int64_t vm_id);
+
+  /// Shrink to the power budget: evict VMs from servers in round-robin
+  /// order until allocated cores <= available_cores. Evicted VMs are
+  /// returned (the caller decides whether they migrate or die). Degradable
+  /// VMs on a server are evicted before stable ones — they absorb the hit,
+  /// per §3.1's "sources of benefits".
+  std::vector<VmInstance> shrink_to(int available_cores);
+
+  /// All VMs whose end_tick == t, removed from the site.
+  std::vector<VmInstance> collect_departures(util::Tick t);
+
+  /// Look up a resident VM.
+  const VmInstance* find(std::int64_t vm_id) const;
+
+ private:
+  void detach(const VmInstance& vm);
+
+  SiteConfig config_;
+  std::vector<ServerState> servers_;
+  std::unordered_map<std::int64_t, VmInstance> vms_;
+  int allocated_cores_ = 0;
+  double allocated_memory_gb_ = 0.0;
+  /// Round-robin eviction cursor over servers (persists across shrinks, as
+  /// in the paper's round-robin order).
+  int eviction_cursor_ = 0;
+};
+
+/// First server with room.
+class FirstFitPolicy final : public AllocationPolicy {
+ public:
+  std::optional<int> choose(const Site& site,
+                            const workload::VmShape& shape) override;
+};
+
+/// Server with the least free cores that still fits: consolidates load so
+/// unallocated cores concentrate on empty servers (which then power down
+/// first). This mimics Protean-style packing and is what produces the
+/// paper's ">80% of power changes cause no migration".
+class BestFitPolicy final : public AllocationPolicy {
+ public:
+  std::optional<int> choose(const Site& site,
+                            const workload::VmShape& shape) override;
+};
+
+/// Server with the most free cores: anti-consolidation baseline for
+/// ablations.
+class WorstFitPolicy final : public AllocationPolicy {
+ public:
+  std::optional<int> choose(const Site& site,
+                            const workload::VmShape& shape) override;
+};
+
+/// Protean-style policy (Hadary et al., OSDI '20 — the paper's VM
+/// allocation reference): consolidate like best-fit, but break core ties
+/// by least free memory so both dimensions pack tightly and large-memory
+/// VMs keep landing spots.
+class ProteanLikePolicy final : public AllocationPolicy {
+ public:
+  std::optional<int> choose(const Site& site,
+                            const workload::VmShape& shape) override;
+};
+
+}  // namespace vbatt::dcsim

@@ -1,0 +1,202 @@
+#include "vbatt/dcsim/site.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vbatt::dcsim {
+
+Site::Site(SiteConfig config) : config_{config} {
+  if (config.n_servers <= 0 || config.server.cores <= 0 ||
+      config.server.memory_gb <= 0.0) {
+    throw std::invalid_argument{"SiteConfig: non-positive capacity"};
+  }
+  if (config.utilization_cap <= 0.0 || config.utilization_cap > 1.0) {
+    throw std::invalid_argument{"SiteConfig: utilization_cap out of (0, 1]"};
+  }
+  servers_.assign(static_cast<std::size_t>(config.n_servers),
+                  ServerState{config.server.cores, config.server.memory_gb, 0});
+}
+
+bool Site::admits(const workload::VmShape& shape,
+                  int available_cores) const {
+  const int after = allocated_cores_ + shape.cores;
+  const double cap = config_.utilization_cap *
+                     static_cast<double>(std::min(available_cores,
+                                                  total_cores()));
+  return static_cast<double>(after) <= cap;
+}
+
+bool Site::place(const VmInstance& vm, AllocationPolicy& policy) {
+  if (vms_.contains(vm.vm_id)) {
+    throw std::invalid_argument{"Site::place: duplicate vm_id"};
+  }
+  const std::optional<int> server = policy.choose(*this, vm.shape);
+  if (!server) return false;
+  ServerState& s = servers_[static_cast<std::size_t>(*server)];
+  s.free_cores -= vm.shape.cores;
+  s.free_memory_gb -= vm.shape.memory_gb;
+  ++s.vm_count;
+  allocated_cores_ += vm.shape.cores;
+  allocated_memory_gb_ += vm.shape.memory_gb;
+  VmInstance placed = vm;
+  placed.server = *server;
+  vms_.emplace(vm.vm_id, placed);
+  return true;
+}
+
+void Site::detach(const VmInstance& vm) {
+  ServerState& s = servers_[static_cast<std::size_t>(vm.server)];
+  s.free_cores += vm.shape.cores;
+  s.free_memory_gb += vm.shape.memory_gb;
+  --s.vm_count;
+  allocated_cores_ -= vm.shape.cores;
+  allocated_memory_gb_ -= vm.shape.memory_gb;
+}
+
+std::optional<VmInstance> Site::remove(std::int64_t vm_id) {
+  const auto it = vms_.find(vm_id);
+  if (it == vms_.end()) return std::nullopt;
+  const VmInstance vm = it->second;
+  detach(vm);
+  vms_.erase(it);
+  return vm;
+}
+
+std::vector<VmInstance> Site::shrink_to(int available_cores) {
+  std::vector<VmInstance> evicted;
+  if (allocated_cores_ <= available_cores) return evicted;
+
+  // Index VMs by server for deterministic round-robin eviction. Within a
+  // server, degradable VMs go first, then by vm_id for determinism.
+  std::vector<std::vector<const VmInstance*>> by_server(servers_.size());
+  for (const auto& [id, vm] : vms_) {
+    by_server[static_cast<std::size_t>(vm.server)].push_back(&vm);
+  }
+  for (auto& list : by_server) {
+    std::sort(list.begin(), list.end(),
+              [](const VmInstance* a, const VmInstance* b) {
+                if (a->vm_class != b->vm_class) {
+                  return a->vm_class == workload::VmClass::degradable;
+                }
+                return a->vm_id < b->vm_id;
+              });
+  }
+
+  const int n = static_cast<int>(servers_.size());
+  std::vector<std::int64_t> victim_ids;
+  for (int step = 0; step < n && allocated_cores_ > available_cores;
+       ++step) {
+    const auto server =
+        static_cast<std::size_t>((eviction_cursor_ + step) % n);
+    for (const VmInstance* vm : by_server[server]) {
+      if (allocated_cores_ <= available_cores) break;
+      victim_ids.push_back(vm->vm_id);
+      // Detach immediately so allocated_cores_ tracks progress.
+      evicted.push_back(*vm);
+      detach(*vm);
+    }
+    by_server[server].clear();
+  }
+  eviction_cursor_ = (eviction_cursor_ + 1) % n;
+  for (const std::int64_t id : victim_ids) vms_.erase(id);
+  return evicted;
+}
+
+std::vector<VmInstance> Site::collect_departures(util::Tick t) {
+  std::vector<VmInstance> out;
+  for (auto it = vms_.begin(); it != vms_.end();) {
+    if (it->second.end_tick >= 0 && it->second.end_tick <= t) {
+      out.push_back(it->second);
+      detach(it->second);
+      it = vms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Deterministic order regardless of hash iteration.
+  std::sort(out.begin(), out.end(),
+            [](const VmInstance& a, const VmInstance& b) {
+              return a.vm_id < b.vm_id;
+            });
+  return out;
+}
+
+const VmInstance* Site::find(std::int64_t vm_id) const {
+  const auto it = vms_.find(vm_id);
+  return it == vms_.end() ? nullptr : &it->second;
+}
+
+std::optional<int> FirstFitPolicy::choose(const Site& site,
+                                          const workload::VmShape& shape) {
+  const auto& servers = site.servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (servers[i].free_cores >= shape.cores &&
+        servers[i].free_memory_gb >= shape.memory_gb) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> BestFitPolicy::choose(const Site& site,
+                                         const workload::VmShape& shape) {
+  const auto& servers = site.servers();
+  std::optional<int> best;
+  int best_free = 0;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const ServerState& s = servers[i];
+    if (s.free_cores < shape.cores || s.free_memory_gb < shape.memory_gb) {
+      continue;
+    }
+    // Prefer the fullest server that fits; never start an empty server if
+    // a partially-used one fits (consolidation).
+    if (!best || s.free_cores < best_free) {
+      best = static_cast<int>(i);
+      best_free = s.free_cores;
+    }
+  }
+  return best;
+}
+
+std::optional<int> ProteanLikePolicy::choose(const Site& site,
+                                             const workload::VmShape& shape) {
+  const auto& servers = site.servers();
+  std::optional<int> best;
+  int best_free_cores = 0;
+  double best_free_mem = 0.0;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const ServerState& s = servers[i];
+    if (s.free_cores < shape.cores || s.free_memory_gb < shape.memory_gb) {
+      continue;
+    }
+    const bool better =
+        !best || s.free_cores < best_free_cores ||
+        (s.free_cores == best_free_cores && s.free_memory_gb < best_free_mem);
+    if (better) {
+      best = static_cast<int>(i);
+      best_free_cores = s.free_cores;
+      best_free_mem = s.free_memory_gb;
+    }
+  }
+  return best;
+}
+
+std::optional<int> WorstFitPolicy::choose(const Site& site,
+                                          const workload::VmShape& shape) {
+  const auto& servers = site.servers();
+  std::optional<int> best;
+  int best_free = -1;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const ServerState& s = servers[i];
+    if (s.free_cores < shape.cores || s.free_memory_gb < shape.memory_gb) {
+      continue;
+    }
+    if (s.free_cores > best_free) {
+      best = static_cast<int>(i);
+      best_free = s.free_cores;
+    }
+  }
+  return best;
+}
+
+}  // namespace vbatt::dcsim

@@ -1,0 +1,139 @@
+#include "vbatt/dcsim/site_sim.h"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace vbatt::dcsim {
+
+namespace {
+
+/// A VM waiting for power (rejected at arrival or evicted): relaunching it
+/// counts as in-migration.
+struct PendingVm {
+  VmInstance vm;
+  util::Tick lifetime_ticks = 0;  // remaining run time once (re)launched
+  util::Tick queued_at = 0;
+};
+
+}  // namespace
+
+SiteSimResult simulate_site(const energy::PowerTrace& power,
+                            const std::vector<workload::VmRequest>& vms,
+                            const SiteSimConfig& config,
+                            AllocationPolicy& policy) {
+  const std::size_t n_ticks = power.size();
+  if (n_ticks == 0) throw std::invalid_argument{"simulate_site: empty trace"};
+
+  Site site{config.site};
+  const int total_cores = site.total_cores();
+
+  SiteSimResult result;
+  result.out_gb.assign(n_ticks, 0.0);
+  result.in_gb.assign(n_ticks, 0.0);
+  result.available_cores.assign(n_ticks, 0);
+  result.allocated_cores.assign(n_ticks, 0);
+
+  std::deque<PendingVm> pending;
+  std::size_t next_vm = 0;
+  int prev_available = total_cores;
+  const util::Tick retry_ticks =
+      power.axis().from_hours(config.pending_retry_window_hours);
+
+  for (std::size_t i = 0; i < n_ticks; ++i) {
+    const auto t = static_cast<util::Tick>(i);
+    // The farm at full output powers the full cluster (paper's scaling).
+    const int available = static_cast<int>(
+        std::floor(power.normalized(t) * total_cores));
+    result.available_cores[i] = available;
+    if (i > 0 && available != prev_available) ++result.power_change_ticks;
+
+    // 1. Departures free resources.
+    (void)site.collect_departures(t);
+
+    // 2. Power shrink: idle cores absorb the dip for free; evict past that.
+    if (site.allocated_cores() > available) {
+      const std::vector<VmInstance> evicted = site.shrink_to(available);
+      if (!evicted.empty() && i > 0 && available != prev_available) {
+        ++result.migration_ticks;
+      }
+      for (const VmInstance& vm : evicted) {
+        result.out_gb[i] += vm.shape.memory_gb;
+        ++result.vms_evicted;
+        if (config.relaunch_evicted && (vm.end_tick < 0 || vm.end_tick > t)) {
+          const util::Tick remaining =
+              vm.end_tick < 0 ? -1 : vm.end_tick - t;
+          pending.push_back(PendingVm{vm, remaining, t});
+        }
+      }
+    }
+
+    // 3. Arrivals.
+    while (next_vm < vms.size() && vms[next_vm].arrival <= t) {
+      const workload::VmRequest& req = vms[next_vm];
+      VmInstance vm;
+      vm.vm_id = req.vm_id;
+      vm.app_id = req.app_id;
+      vm.shape = req.shape;
+      vm.vm_class = req.vm_class;
+      vm.end_tick = req.lifetime_ticks < 0 ? -1 : t + req.lifetime_ticks;
+      if (site.admits(vm.shape, available) && site.place(vm, policy)) {
+        // Admitted fresh arrivals are not migration traffic.
+      } else {
+        ++result.vms_rejected;
+        pending.push_back(PendingVm{
+            vm, req.lifetime_ticks < 0 ? -1 : req.lifetime_ticks, t});
+      }
+      ++next_vm;
+    }
+
+    // 4. Power growth: relaunch pending VMs ("migrated into the site").
+    std::size_t scan = pending.size();
+    while (scan-- > 0 && !pending.empty()) {
+      PendingVm entry = pending.front();
+      pending.pop_front();
+      // A request does not wait longer than its own lifetime or the retry
+      // window; it would have been served elsewhere.
+      const util::Tick waited = t - entry.queued_at;
+      if ((entry.lifetime_ticks >= 0 && waited > entry.lifetime_ticks) ||
+          waited > retry_ticks) {
+        continue;
+      }
+      if (!site.admits(entry.vm.shape, available)) {
+        pending.push_back(entry);
+        continue;
+      }
+      VmInstance vm = entry.vm;
+      vm.end_tick =
+          entry.lifetime_ticks < 0 ? -1 : t + entry.lifetime_ticks;
+      if (site.place(vm, policy)) {
+        result.in_gb[i] += vm.shape.memory_gb;
+        ++result.vms_relaunched;
+      } else {
+        pending.push_back(entry);
+      }
+    }
+
+    result.allocated_cores[i] = site.allocated_cores();
+    prev_available = available;
+
+    // Energy: powered servers (those hosting VMs) draw idle + active-core
+    // power for this tick.
+    int powered = 0;
+    int active_cores = 0;
+    for (const ServerState& server : site.servers()) {
+      if (server.vm_count > 0) {
+        ++powered;
+        active_cores += config.site.server.cores - server.free_cores;
+      }
+    }
+    result.powered_server_ticks += powered;
+    const double hours_per_tick = power.axis().minutes_per_tick() / 60.0;
+    result.energy_mwh += (powered * config.server_idle_watts +
+                          active_cores * config.watts_per_active_core) *
+                         hours_per_tick / 1e6;
+  }
+  return result;
+}
+
+}  // namespace vbatt::dcsim

@@ -1,0 +1,107 @@
+#include "vbatt/energy/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "vbatt/stats/running_stats.h"
+
+namespace vbatt::energy {
+
+EnergySplit decompose(const PowerTrace& trace, util::Tick begin,
+                      util::Tick end) {
+  if (begin < 0 || end > static_cast<util::Tick>(trace.size()) ||
+      begin >= end) {
+    throw std::out_of_range{"decompose: bad window"};
+  }
+  double min_norm = std::numeric_limits<double>::infinity();
+  double sum_norm = 0.0;
+  for (util::Tick t = begin; t < end; ++t) {
+    const double v = trace.normalized(t);
+    min_norm = std::min(min_norm, v);
+    sum_norm += v;
+  }
+  const double hours_per_tick = trace.axis().minutes_per_tick() / 60.0;
+  const double window_hours =
+      static_cast<double>(end - begin) * hours_per_tick;
+  EnergySplit split;
+  split.floor_mw = min_norm * trace.peak_mw();
+  split.stable_mwh = split.floor_mw * window_hours;
+  split.variable_mwh =
+      sum_norm * trace.peak_mw() * hours_per_tick - split.stable_mwh;
+  return split;
+}
+
+EnergySplit decompose(const PowerTrace& trace) {
+  return decompose(trace, 0, static_cast<util::Tick>(trace.size()));
+}
+
+double trace_cov(const PowerTrace& trace, util::Tick begin, util::Tick end) {
+  if (begin < 0 || end > static_cast<util::Tick>(trace.size()) ||
+      begin >= end) {
+    throw std::out_of_range{"trace_cov: bad window"};
+  }
+  stats::RunningStats rs;
+  for (util::Tick t = begin; t < end; ++t) rs.add(trace.normalized(t));
+  return rs.cov();
+}
+
+double trace_cov(const PowerTrace& trace) {
+  return trace_cov(trace, 0, static_cast<util::Tick>(trace.size()));
+}
+
+PurchaseResult purchase_fill(const PowerTrace& trace, double budget_mwh) {
+  if (budget_mwh < 0.0) {
+    throw std::invalid_argument{"purchase_fill: negative budget"};
+  }
+  const std::vector<double> mw = trace.mw_series();
+  const double hours_per_tick = trace.axis().minutes_per_tick() / 60.0;
+
+  const auto cost_to_reach = [&](double level) {
+    double cost = 0.0;
+    for (const double p : mw) cost += std::max(0.0, level - p) * hours_per_tick;
+    return cost;
+  };
+
+  const double old_floor = *std::min_element(mw.begin(), mw.end());
+  // Binary search for the waterfill level. Upper bound: raising everything
+  // to max(p) costs the most that could ever be useful.
+  double lo = old_floor;
+  double hi = *std::max_element(mw.begin(), mw.end());
+  if (cost_to_reach(hi) <= budget_mwh) {
+    lo = hi;  // budget floods the whole trace flat
+  } else {
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (cost_to_reach(mid) <= budget_mwh) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+
+  PurchaseResult result;
+  result.level_mw = lo;
+  result.fill_mw.resize(mw.size());
+  for (std::size_t i = 0; i < mw.size(); ++i) {
+    result.fill_mw[i] = std::max(0.0, lo - mw[i]);
+  }
+  result.purchased_mwh = cost_to_reach(lo);
+
+  const double window_hours =
+      static_cast<double>(mw.size()) * hours_per_tick;
+  result.added_stable_mwh = (lo - old_floor) * window_hours;
+  result.stabilized_mwh = result.added_stable_mwh - result.purchased_mwh;
+  return result;
+}
+
+double pair_cov_improvement(const PowerTrace& a, const PowerTrace& b) {
+  const double single = std::max(trace_cov(a), trace_cov(b));
+  if (single <= 0.0) return 0.0;
+  const PowerTrace both = combine({&a, &b});
+  return 1.0 - trace_cov(both) / single;
+}
+
+}  // namespace vbatt::energy

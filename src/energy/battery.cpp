@@ -1,0 +1,113 @@
+#include "vbatt/energy/battery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vbatt::energy {
+
+double BatteryResult::floor_mw() const {
+  if (delivered_mw.empty()) return 0.0;
+  return *std::min_element(delivered_mw.begin(), delivered_mw.end());
+}
+
+BatteryResult firm_trace(const PowerTrace& trace, const BatteryConfig& config,
+                         double target_mw) {
+  if (config.capacity_mwh < 0.0 || config.max_charge_mw < 0.0 ||
+      config.max_discharge_mw < 0.0) {
+    throw std::invalid_argument{"BatteryConfig: negative limits"};
+  }
+  if (config.round_trip_efficiency <= 0.0 ||
+      config.round_trip_efficiency > 1.0) {
+    throw std::invalid_argument{"BatteryConfig: efficiency out of (0, 1]"};
+  }
+  if (config.initial_soc < 0.0 || config.initial_soc > 1.0) {
+    throw std::invalid_argument{"BatteryConfig: initial_soc out of [0, 1]"};
+  }
+  if (target_mw < 0.0) {
+    throw std::invalid_argument{"firm_trace: negative target"};
+  }
+
+  const double hours_per_tick = trace.axis().minutes_per_tick() / 60.0;
+  const double side_eff = std::sqrt(config.round_trip_efficiency);
+
+  BatteryResult result;
+  const std::size_t n = trace.size();
+  result.delivered_mw.resize(n);
+  result.soc_mwh.resize(n);
+
+  double soc = config.initial_soc * config.capacity_mwh;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double produced = trace.mw(static_cast<util::Tick>(i));
+    double delivered = produced;
+    if (produced > target_mw) {
+      // Surplus: charge within power limit and remaining headroom.
+      const double surplus = produced - target_mw;
+      const double charge_mw = std::min(
+          {surplus, config.max_charge_mw,
+           (config.capacity_mwh - soc) / (side_eff * hours_per_tick)});
+      soc += charge_mw * side_eff * hours_per_tick;
+      result.charged_mwh += charge_mw * hours_per_tick;
+      result.loss_mwh += charge_mw * (1.0 - side_eff) * hours_per_tick;
+      delivered = produced - charge_mw;
+    } else if (produced < target_mw) {
+      // Deficit: discharge within power limit and available energy.
+      const double deficit = target_mw - produced;
+      const double discharge_mw = std::min(
+          {deficit, config.max_discharge_mw,
+           soc * side_eff / hours_per_tick});
+      soc -= discharge_mw / side_eff * hours_per_tick;
+      result.discharged_mwh += discharge_mw * hours_per_tick;
+      result.loss_mwh +=
+          discharge_mw * (1.0 / side_eff - 1.0) * hours_per_tick;
+      delivered = produced + discharge_mw;
+    }
+    soc = std::clamp(soc, 0.0, config.capacity_mwh);
+    result.soc_mwh[i] = soc;
+    result.delivered_mw[i] = delivered;
+  }
+  return result;
+}
+
+double required_battery_mwh(const PowerTrace& trace, double floor_target_mw,
+                            double round_trip_efficiency) {
+  if (floor_target_mw <= 0.0) return 0.0;
+  // Feasibility: a sustainable battery cannot deliver a floor above the
+  // mean production — energy can only be shifted, not created (and losses
+  // only make it worse). Without this check a huge battery's initial
+  // charge could fake feasibility over a finite window.
+  const double hours = static_cast<double>(trace.size()) *
+                       trace.axis().minutes_per_tick() / 60.0;
+  const double mean_mw = trace.total_energy_mwh() / hours;
+  if (floor_target_mw >= mean_mw) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double huge = trace.peak_mw() * 24.0 * 365.0;
+
+  const auto achieves = [&](double capacity) {
+    BatteryConfig config;
+    config.capacity_mwh = capacity;
+    config.max_charge_mw = capacity / 4.0;
+    config.max_discharge_mw = capacity / 4.0;
+    config.round_trip_efficiency = round_trip_efficiency;
+    config.initial_soc = 0.5;
+    return firm_trace(trace, config, floor_target_mw).floor_mw() >=
+           floor_target_mw - 1e-6;
+  };
+
+  if (!achieves(huge)) return std::numeric_limits<double>::infinity();
+  double lo = 0.0;
+  double hi = huge;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (achieves(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace vbatt::energy

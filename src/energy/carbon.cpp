@@ -1,0 +1,39 @@
+#include "vbatt/energy/carbon.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vbatt::energy {
+
+double grid_intensity_gco2(const CarbonConfig& config,
+                           const util::TimeAxis& axis, util::Tick t) {
+  const double hour = axis.hour_of_day(t);
+  return config.grid_base_gco2_per_kwh +
+         config.grid_swing_gco2_per_kwh *
+             std::cos(2.0 * std::numbers::pi *
+                      (hour - config.grid_peak_hour) / 24.0);
+}
+
+CarbonReport compare_carbon(const CarbonConfig& config,
+                            const util::TimeAxis& axis,
+                            const std::vector<double>& consumption_mwh) {
+  if (config.grid_base_gco2_per_kwh < config.grid_swing_gco2_per_kwh) {
+    throw std::invalid_argument{
+        "CarbonConfig: swing exceeds base (negative intensity)"};
+  }
+  if (config.renewable_gco2_per_kwh < 0.0) {
+    throw std::invalid_argument{"CarbonConfig: negative renewable intensity"};
+  }
+  CarbonReport report;
+  for (std::size_t i = 0; i < consumption_mwh.size(); ++i) {
+    const double kwh = consumption_mwh[i] * 1000.0;
+    report.grid_tco2 +=
+        kwh *
+        grid_intensity_gco2(config, axis, static_cast<util::Tick>(i)) / 1e6;
+    report.vb_tco2 += kwh * config.renewable_gco2_per_kwh / 1e6;
+  }
+  return report;
+}
+
+}  // namespace vbatt::energy

@@ -1,0 +1,26 @@
+#include "vbatt/energy/cost.h"
+
+#include <stdexcept>
+
+namespace vbatt::energy {
+
+CostSummary evaluate_economics(const CostModelConfig& config,
+                               const PowerTrace& trace) {
+  if (config.power_share_of_opex < 0.0 || config.power_share_of_opex > 1.0 ||
+      config.transmission_share_of_power < 0.0 ||
+      config.transmission_share_of_power > 1.0 ||
+      config.curtailment_fraction < 0.0 ||
+      config.curtailment_fraction > 1.0) {
+    throw std::invalid_argument{"CostModelConfig: fractions out of [0, 1]"};
+  }
+  CostSummary summary;
+  summary.opex_saving_fraction =
+      config.power_share_of_opex * config.transmission_share_of_power;
+  summary.recoverable_curtailed_mwh =
+      trace.total_energy_mwh() * config.curtailment_fraction;
+  summary.recoverable_value_usd =
+      summary.recoverable_curtailed_mwh * config.wholesale_usd_per_mwh;
+  return summary;
+}
+
+}  // namespace vbatt::energy

@@ -1,0 +1,128 @@
+#include "vbatt/energy/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "vbatt/stats/series.h"
+#include "vbatt/util/rng.h"
+
+namespace vbatt::energy {
+
+Forecaster::Forecaster(ForecastConfig config) : config_{config} {
+  if (config_.window_per_lead <= 0.0) {
+    throw std::invalid_argument{"ForecastConfig: window_per_lead <= 0"};
+  }
+}
+
+std::vector<double> Forecaster::climatology(const PowerTrace& actual) {
+  const auto per_day =
+      static_cast<std::size_t>(actual.axis().ticks_per_day());
+  std::vector<double> sum(per_day, 0.0);
+  std::vector<std::size_t> count(per_day, 0);
+  const auto& series = actual.normalized_series();
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    sum[i % per_day] += series[i];
+    ++count[i % per_day];
+  }
+  for (std::size_t i = 0; i < per_day; ++i) {
+    sum[i] = count[i] ? sum[i] / static_cast<double>(count[i]) : 0.0;
+  }
+  return sum;
+}
+
+std::vector<double> Forecaster::forecast(const PowerTrace& actual,
+                                         double lead_hours) const {
+  if (lead_hours < 0.0) {
+    throw std::invalid_argument{"forecast: negative lead"};
+  }
+  const auto& series = actual.normalized_series();
+  const std::size_t n = series.size();
+  if (n == 0) return {};
+  const util::TimeAxis& axis = actual.axis();
+  const bool solar = actual.source() == Source::solar;
+
+  const std::vector<double> clim = climatology(actual);
+  const auto per_day = static_cast<std::size_t>(axis.ticks_per_day());
+  constexpr double clim_floor = 0.02;
+
+  // 1. Work in the shape-preserving ratio domain r = actual / climatology.
+  //    Smoothing r over a lead-dependent window blurs weather regimes
+  //    without destroying the diurnal shape (a week-ahead solar forecast
+  //    still knows day from night). Centered smoothing is the "oracle
+  //    smoothing" surrogate: a weather model legitimately sees the future,
+  //    only blurrier the further out.
+  std::vector<double> ratio(n, 0.0);
+  std::vector<double> valid(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = clim[i % per_day];
+    if (c > clim_floor) {
+      ratio[i] = series[i] / c;
+      valid[i] = 1.0;
+    }
+  }
+  const auto window_ticks = static_cast<std::size_t>(std::max<util::Tick>(
+      1, axis.from_hours(config_.window_per_lead * lead_hours)));
+  // Masked moving average: nights contribute neither value nor weight, so
+  // a multi-day solar smoothing window sees only daytime regimes.
+  const std::vector<double> num = stats::moving_average(
+      [&] {
+        std::vector<double> masked(n);
+        for (std::size_t i = 0; i < n; ++i) masked[i] = ratio[i] * valid[i];
+        return masked;
+      }(),
+      window_ticks);
+  const std::vector<double> den = stats::moving_average(valid, window_ticks);
+  std::vector<double> smoothed(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (den[i] > 1e-9) smoothed[i] = num[i] / den[i];
+  }
+
+  // 2. Blend the smoothed ratio toward 1 (= pure climatology) with a weight
+  //    that grows with lead.
+  const double half_life = solar ? config_.beta_half_life_solar_hours
+                                 : config_.beta_half_life_wind_hours;
+  const double beta_max =
+      solar ? config_.beta_max_solar : config_.beta_max_wind;
+  const double beta =
+      lead_hours <= 0.0
+          ? 0.0
+          : beta_max * lead_hours / (lead_hours + half_life);
+
+  // 3. AR(1) multiplicative noise whose scale grows with lead. Seeded by
+  //    (seed, source, lead quantized to minutes) for determinism.
+  const double sigma =
+      (solar ? config_.sigma0_solar : config_.sigma0_wind) +
+      (solar ? config_.sigma1_solar : config_.sigma1_wind) *
+          std::sqrt(std::max(0.0, lead_hours) / 24.0);
+  util::Rng rng{util::seed_for(
+      config_.seed, solar ? "fc-solar" : "fc-wind",
+      static_cast<std::uint64_t>(lead_hours * 60.0))};
+  const double dt = axis.minutes_per_tick() / 60.0;
+  const double decay = std::exp(-dt / config_.noise_decay_hours);
+  const double step_sigma = sigma * std::sqrt(1.0 - decay * decay);
+
+  std::vector<double> out(n);
+  double noise = sigma * rng.normal();
+  for (std::size_t i = 0; i < n; ++i) {
+    noise = noise * decay + step_sigma * rng.normal();
+    const double c = clim[i % per_day];
+    if (c <= clim_floor) {
+      // A forecaster always knows the deterministic near-zero regime
+      // (solar night); emit the climatological residue unchanged.
+      out[i] = std::clamp(c, 0.0, 1.0);
+      continue;
+    }
+    const double r_hat = (1.0 - beta) * smoothed[i] + beta * 1.0;
+    out[i] = std::clamp(c * r_hat * (1.0 + noise), 0.0, 1.0);
+  }
+  return out;
+}
+
+double Forecaster::measured_mape(const PowerTrace& actual, double lead_hours,
+                                 double floor) const {
+  return stats::mape(actual.normalized_series(), forecast(actual, lead_hours),
+                     floor);
+}
+
+}  // namespace vbatt::energy

@@ -1,0 +1,72 @@
+#include "vbatt/energy/grid.h"
+
+#include <stdexcept>
+
+namespace vbatt::energy {
+
+namespace {
+
+void validate(const GridConfig& config) {
+  if (config.transmission_loss < 0.0 || config.transmission_loss > 1.0 ||
+      config.curtailment_fraction < 0.0 ||
+      config.curtailment_fraction > 1.0 ||
+      config.value_loss_fraction < 0.0 || config.value_loss_fraction > 1.0) {
+    throw std::invalid_argument{"GridConfig: fractions out of [0, 1]"};
+  }
+}
+
+}  // namespace
+
+DeliveryOutcome deliver_via_grid(const PowerTrace& trace,
+                                 const GridConfig& config) {
+  validate(config);
+  const double produced = trace.total_energy_mwh();
+  const double after_curtailment =
+      produced * (1.0 - config.curtailment_fraction);
+  const double delivered =
+      after_curtailment * (1.0 - config.transmission_loss);
+  DeliveryOutcome outcome;
+  outcome.delivered_mwh = delivered;
+  outcome.lost_mwh = produced - delivered;
+  outcome.value_fraction = (delivered / produced) *
+                           (1.0 - config.value_loss_fraction);
+  return outcome;
+}
+
+DeliveryOutcome deliver_via_battery(const PowerTrace& trace,
+                                    const GridConfig& grid,
+                                    const BatteryConfig& battery,
+                                    double target_mw) {
+  validate(grid);
+  const BatteryResult firmed = firm_trace(trace, battery, target_mw);
+  const double produced = trace.total_energy_mwh();
+  const double hours_per_tick = trace.axis().minutes_per_tick() / 60.0;
+  double exported = 0.0;
+  for (const double mw : firmed.delivered_mw) exported += mw * hours_per_tick;
+  // Firmed output is dispatchable: no curtailment, but line losses remain.
+  const double delivered = exported * (1.0 - grid.transmission_loss);
+  DeliveryOutcome outcome;
+  outcome.delivered_mwh = delivered;
+  outcome.lost_mwh = produced - delivered;
+  outcome.value_fraction =
+      (delivered / produced) * (1.0 - grid.value_loss_fraction);
+  return outcome;
+}
+
+DeliveryOutcome deliver_via_virtual_battery(const PowerTrace& trace,
+                                            double compute_utilization) {
+  if (compute_utilization <= 0.0 || compute_utilization > 1.0) {
+    throw std::invalid_argument{
+        "deliver_via_virtual_battery: utilization out of (0, 1]"};
+  }
+  const double produced = trace.total_energy_mwh();
+  const double consumed = produced * compute_utilization;
+  DeliveryOutcome outcome;
+  outcome.delivered_mwh = consumed;
+  outcome.lost_mwh = produced - consumed;
+  // On-site consumption keeps the full energy value (no T&D haircut).
+  outcome.value_fraction = consumed / produced;
+  return outcome;
+}
+
+}  // namespace vbatt::energy

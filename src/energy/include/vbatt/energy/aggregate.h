@@ -1,0 +1,74 @@
+// Multi-site aggregation analysis (§2.3).
+//
+// The paper's core feasibility argument: combining complementary sites
+// reduces the coefficient of variation and raises the *stable* share of
+// energy (window-minimum power × window length), which is what can back
+// cloud-grade "stable" VMs; the remainder is "variable" energy for
+// degradable VMs. A small grid purchase can waterfill the worst valleys
+// and stabilize a disproportionate amount of variable energy (Fig. 3a).
+#pragma once
+
+#include <vector>
+
+#include "vbatt/energy/trace.h"
+
+namespace vbatt::energy {
+
+/// Stable/variable split of a trace over one analysis window.
+struct EnergySplit {
+  double stable_mwh = 0.0;
+  double variable_mwh = 0.0;
+  /// Guaranteed (minimum) power level over the window, MW.
+  double floor_mw = 0.0;
+
+  double total_mwh() const noexcept { return stable_mwh + variable_mwh; }
+  /// Fraction of energy that is stable; 0 for an empty window.
+  double stable_fraction() const noexcept {
+    const double total = total_mwh();
+    return total > 0.0 ? stable_mwh / total : 0.0;
+  }
+  double variable_fraction() const noexcept {
+    return total_mwh() > 0.0 ? 1.0 - stable_fraction() : 0.0;
+  }
+};
+
+/// Decompose a trace into stable and variable energy over the window
+/// [begin, end) of ticks: stable = min power in window × window hours.
+EnergySplit decompose(const PowerTrace& trace, util::Tick begin,
+                      util::Tick end);
+
+/// Decompose the whole trace.
+EnergySplit decompose(const PowerTrace& trace);
+
+/// Coefficient of variation of a trace's power over [begin, end).
+double trace_cov(const PowerTrace& trace, util::Tick begin, util::Tick end);
+double trace_cov(const PowerTrace& trace);
+
+/// Result of a grid-purchase waterfill (Fig. 3a's shaded "Purchased" band).
+struct PurchaseResult {
+  /// The flat power level the purchase raises the combined trace to, MW.
+  double level_mw = 0.0;
+  /// Energy actually purchased, MWh (≈ the requested budget).
+  double purchased_mwh = 0.0;
+  /// Variable energy converted to stable by the purchase, MWh — energy the
+  /// farm was already producing that only becomes *guaranteed* thanks to
+  /// the purchased fill.
+  double stabilized_mwh = 0.0;
+  /// Total new stable energy = purchased + stabilized.
+  double added_stable_mwh = 0.0;
+  /// Per-tick purchased power, MW (the plot band).
+  std::vector<double> fill_mw;
+};
+
+/// Spend up to `budget_mwh` of firm (grid/battery/backup) energy to raise
+/// the minimum power level of `trace` as high as possible — the optimal
+/// policy for maximizing stable energy, computed by waterfilling: find the
+/// level L such that sum_t max(0, L - p(t)) * dt == budget.
+PurchaseResult purchase_fill(const PowerTrace& trace, double budget_mwh);
+
+/// cov improvement of combining two traces, relative to running the worse
+/// site alone: 1 - cov(a+b) / max(cov(a), cov(b)). Positive is better; 0.5
+/// is the paper's ">50% improvement" threshold (§2.3).
+double pair_cov_improvement(const PowerTrace& a, const PowerTrace& b);
+
+}  // namespace vbatt::energy

@@ -1,0 +1,60 @@
+// Physical battery simulation — the alternative the Virtual Battery
+// replaces.
+//
+// The paper's framing (§1, Fig. 1) is that chemical storage is the
+// incumbent answer to renewable variability but is tiny at grid scale
+// (US battery capacity ≈ 0.4% of solar+wind capacity). This module makes
+// that comparison quantitative: simulate a battery firming a renewable
+// trace, and size the battery a site would need to match what multi-VB
+// aggregation achieves for free.
+#pragma once
+
+#include <vector>
+
+#include "vbatt/energy/trace.h"
+
+namespace vbatt::energy {
+
+struct BatteryConfig {
+  /// Usable energy capacity, MWh.
+  double capacity_mwh = 400.0;
+  /// Charge / discharge power limits, MW. Defaults give a "C/4" battery.
+  double max_charge_mw = 100.0;
+  double max_discharge_mw = 100.0;
+  /// Round-trip efficiency; losses are split evenly between charge and
+  /// discharge (sqrt on each side). Li-ion grid storage is ~86%.
+  double round_trip_efficiency = 0.86;
+  /// Initial state of charge as a fraction of capacity.
+  double initial_soc = 0.5;
+};
+
+struct BatteryResult {
+  /// Power delivered to the load after the battery, MW per tick.
+  std::vector<double> delivered_mw;
+  /// State of charge per tick, MWh (after the tick's flow).
+  std::vector<double> soc_mwh;
+  /// Total energy that passed through the battery (charge side), MWh.
+  double charged_mwh = 0.0;
+  double discharged_mwh = 0.0;
+  /// Conversion losses, MWh.
+  double loss_mwh = 0.0;
+
+  /// Guaranteed delivery floor over the run, MW.
+  double floor_mw() const;
+};
+
+/// Greedy firming dispatch toward a flat `target_mw` delivery: surplus
+/// above target charges (within limits), deficit discharges. This is the
+/// optimal causal policy for maximizing the delivery floor at a given
+/// target.
+BatteryResult firm_trace(const PowerTrace& trace, const BatteryConfig& config,
+                         double target_mw);
+
+/// Smallest battery capacity (MWh) that lifts the trace's guaranteed floor
+/// to `floor_target_mw`, with power limits scaling as capacity/4 (C/4) and
+/// the given efficiency. Returns +inf if even an enormous battery cannot
+/// (e.g. not enough total energy). Bisection on capacity.
+double required_battery_mwh(const PowerTrace& trace, double floor_target_mw,
+                            double round_trip_efficiency = 0.86);
+
+}  // namespace vbatt::energy

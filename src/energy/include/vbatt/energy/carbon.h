@@ -1,0 +1,47 @@
+// Carbon accounting — the paper's motivation made measurable.
+//
+// §1 opens with cloud computing's carbon footprint surpassing aviation and
+// the providers' neutrality pledges. This module quantifies what a VB
+// deployment avoids: running the same compute load on grid power (whose
+// carbon intensity varies diurnally as fossil peakers fill the evening
+// gap) versus on co-located renewables (lifecycle emissions only).
+#pragma once
+
+#include <vector>
+
+#include "vbatt/util/time.h"
+
+namespace vbatt::energy {
+
+struct CarbonConfig {
+  /// Grid carbon intensity: base + swing * cos peaking in the evening
+  /// (fossil units covering the post-solar demand ramp). gCO2 / kWh.
+  double grid_base_gco2_per_kwh = 320.0;
+  double grid_swing_gco2_per_kwh = 90.0;
+  double grid_peak_hour = 19.0;
+  /// Lifecycle emissions of on-site wind/solar generation. gCO2 / kWh.
+  double renewable_gco2_per_kwh = 15.0;
+};
+
+/// Grid carbon intensity at a tick, gCO2/kWh.
+double grid_intensity_gco2(const CarbonConfig& config,
+                           const util::TimeAxis& axis, util::Tick t);
+
+struct CarbonReport {
+  /// Emissions if the same per-tick consumption ran on grid power, tCO2.
+  double grid_tco2 = 0.0;
+  /// Emissions with VB (renewable lifecycle), tCO2.
+  double vb_tco2 = 0.0;
+  double avoided_tco2() const noexcept { return grid_tco2 - vb_tco2; }
+  double avoided_fraction() const noexcept {
+    return grid_tco2 > 0.0 ? avoided_tco2() / grid_tco2 : 0.0;
+  }
+};
+
+/// Score a compute-energy series (MWh consumed per tick, e.g.
+/// SimResult::energy_mwh_per_tick) against the two power sources.
+CarbonReport compare_carbon(const CarbonConfig& config,
+                            const util::TimeAxis& axis,
+                            const std::vector<double>& consumption_mwh);
+
+}  // namespace vbatt::energy

@@ -1,0 +1,35 @@
+// Economic model behind §2.1's motivation numbers.
+#pragma once
+
+#include "vbatt/energy/trace.h"
+
+namespace vbatt::energy {
+
+struct CostModelConfig {
+  /// Share of datacenter operating cost that is power (paper cites 20%).
+  double power_share_of_opex = 0.20;
+  /// Share of power expense that is transmission/distribution (cites 50%).
+  double transmission_share_of_power = 0.50;
+  /// Fraction of renewable generation curtailed by grid operators today
+  /// (paper cites up to 6% and rising).
+  double curtailment_fraction = 0.06;
+  /// Wholesale value of energy, $/MWh, for curtailment-recovery estimates.
+  double wholesale_usd_per_mwh = 40.0;
+};
+
+/// Derived economics of co-locating compute with generation.
+struct CostSummary {
+  /// Fraction of total DC opex saved by eliminating transmission
+  /// (= power share × transmission share; the paper's ≈10%).
+  double opex_saving_fraction = 0.0;
+  /// Energy that would have been curtailed but a VB can absorb, MWh.
+  double recoverable_curtailed_mwh = 0.0;
+  /// Wholesale value of that energy, USD.
+  double recoverable_value_usd = 0.0;
+};
+
+/// Evaluate the VB economics for a farm with the given production trace.
+CostSummary evaluate_economics(const CostModelConfig& config,
+                               const PowerTrace& trace);
+
+}  // namespace vbatt::energy

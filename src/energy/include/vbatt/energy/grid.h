@@ -1,0 +1,54 @@
+// Grid-export model — the other incumbent the Virtual Battery replaces.
+//
+// Fig. 1's "current deployment": renewable farms feed the grid through
+// transmission lines (losing energy and money along the way) and are
+// periodically curtailed when supply outruns demand. This module scores
+// the three ways a farm's energy can be used — exported over the grid,
+// shifted through a battery, or consumed on-site by a VB datacenter — on
+// delivered energy and effective value.
+#pragma once
+
+#include "vbatt/energy/battery.h"
+#include "vbatt/energy/trace.h"
+
+namespace vbatt::energy {
+
+struct GridConfig {
+  /// Physical transmission & distribution loss (global average ~8-12%;
+  /// the paper's [59] argues losses are "a lot" — default 10%).
+  double transmission_loss = 0.10;
+  /// Share of generation curtailed by the grid operator (paper: ~6%).
+  double curtailment_fraction = 0.06;
+  /// Share of the energy's economic value eaten by transmission &
+  /// distribution charges (paper's [27]: ~half the cost).
+  double value_loss_fraction = 0.50;
+};
+
+/// Outcome of one delivery strategy over a trace.
+struct DeliveryOutcome {
+  /// Energy usefully delivered/consumed, MWh.
+  double delivered_mwh = 0.0;
+  /// Energy lost (transmission, curtailment, conversion), MWh.
+  double lost_mwh = 0.0;
+  /// Effective economic value as a fraction of the raw energy value.
+  double value_fraction = 0.0;
+};
+
+/// Export everything over the grid: curtailment first, then line losses,
+/// then the transmission cost haircut.
+DeliveryOutcome deliver_via_grid(const PowerTrace& trace,
+                                 const GridConfig& config);
+
+/// Firm through a battery, then export: conversion losses on shifted
+/// energy plus the same grid losses downstream.
+DeliveryOutcome deliver_via_battery(const PowerTrace& trace,
+                                    const GridConfig& grid,
+                                    const BatteryConfig& battery,
+                                    double target_mw);
+
+/// Consume on-site in a VB datacenter: no transmission, no curtailment;
+/// compute absorbs what it can (utilization-capped), the rest is spilled.
+DeliveryOutcome deliver_via_virtual_battery(const PowerTrace& trace,
+                                            double compute_utilization = 0.95);
+
+}  // namespace vbatt::energy

@@ -1,0 +1,33 @@
+// Curated scenarios reproducing the paper's named site combinations.
+#pragma once
+
+#include <cstdint>
+
+#include "vbatt/energy/site.h"
+#include "vbatt/energy/trace.h"
+#include "vbatt/util/time.h"
+
+namespace vbatt::energy {
+
+/// The three-site scenario of Fig. 3: a Norwegian solar farm, a UK wind
+/// farm and a Portuguese wind farm, each 400 MW. The UK site's wind dips
+/// around midday (night-peaking), complementing solar; the PT site loads
+/// on the same Atlantic front system as the UK site but with opposite
+/// sign, so when PT wind is high UK wind is low and vice versa — exactly
+/// the complementarity the paper's Fig. 3a calls out.
+struct Fig3Scenario {
+  SiteSpec no_solar;
+  SiteSpec uk_wind;
+  SiteSpec pt_wind;
+
+  PowerTrace trace_no;
+  PowerTrace trace_uk;
+  PowerTrace trace_pt;
+};
+
+/// Build the Fig. 3 scenario over `n_ticks` on `axis`.
+Fig3Scenario make_fig3_scenario(const util::TimeAxis& axis,
+                                std::size_t n_ticks,
+                                std::uint64_t seed = 2015);
+
+}  // namespace vbatt::energy

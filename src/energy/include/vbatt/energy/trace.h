@@ -1,0 +1,71 @@
+// Power traces: normalized renewable production on the shared tick grid.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vbatt/util/time.h"
+
+namespace vbatt::energy {
+
+/// Kind of renewable source backing a trace or a site.
+enum class Source { solar, wind };
+
+std::string to_string(Source s);
+
+/// A renewable production time series.
+///
+/// `normalized[t]` is production at tick `t` as a fraction of the farm's
+/// peak capacity (the form both EMHIRES and ELIA publish); `peak_mw` scales
+/// it to megawatts. Invariant: every sample lies in [0, 1].
+class PowerTrace {
+ public:
+  PowerTrace(util::TimeAxis axis, double peak_mw,
+             std::vector<double> normalized, Source source);
+
+  const util::TimeAxis& axis() const noexcept { return axis_; }
+  double peak_mw() const noexcept { return peak_mw_; }
+  Source source() const noexcept { return source_; }
+  std::size_t size() const noexcept { return normalized_.size(); }
+
+  /// Normalized production in [0, 1] at tick `t` (bounds-checked).
+  double normalized(util::Tick t) const {
+    return normalized_.at(static_cast<std::size_t>(t));
+  }
+  /// Production in MW at tick `t`.
+  double mw(util::Tick t) const { return normalized(t) * peak_mw_; }
+
+  const std::vector<double>& normalized_series() const noexcept {
+    return normalized_;
+  }
+  /// The whole series in MW.
+  std::vector<double> mw_series() const;
+
+  /// Energy over [begin, end) ticks in MWh.
+  double energy_mwh(util::Tick begin, util::Tick end) const;
+  /// Energy of the whole trace in MWh.
+  double total_energy_mwh() const {
+    return energy_mwh(0, static_cast<util::Tick>(size()));
+  }
+
+  /// Copy of ticks [begin, end).
+  PowerTrace slice(util::Tick begin, util::Tick end) const;
+
+  /// Trace with a different peak capacity (normalized values unchanged).
+  PowerTrace rescaled(double new_peak_mw) const;
+
+ private:
+  util::TimeAxis axis_;
+  double peak_mw_;
+  std::vector<double> normalized_;
+  Source source_;
+};
+
+/// Element-wise MW sum of traces (axes and lengths must match). The result's
+/// peak is the sum of peaks; `source` is taken from the first trace and is
+/// only informational for combined traces.
+PowerTrace combine(const std::vector<const PowerTrace*>& traces);
+
+}  // namespace vbatt::energy

@@ -1,0 +1,24 @@
+// Trace serialization — plug in real data.
+//
+// Everything in this repository runs on synthetic traces, but the
+// simulators only care about a normalized power column: users with an
+// actual ELIA/EMHIRES export (or any 15-minute production CSV) can load
+// it here and rerun every experiment on real data.
+#pragma once
+
+#include <string>
+
+#include "vbatt/energy/trace.h"
+
+namespace vbatt::energy {
+
+/// Write `tick,normalized` rows (with a header) to `path`.
+void save_trace_csv(const PowerTrace& trace, const std::string& path);
+
+/// Load a trace from a CSV with a header row and the normalized power in
+/// `column` (0-based). Values are validated to [0, 1]. Throws
+/// std::runtime_error on malformed input.
+PowerTrace load_trace_csv(const std::string& path, const util::TimeAxis& axis,
+                          double peak_mw, Source source, int column = 1);
+
+}  // namespace vbatt::energy

@@ -1,0 +1,64 @@
+// Latent weather processes shared by the solar and wind production models.
+//
+// The paper's traces (ELIA / EMHIRES) are driven by real weather; we replace
+// them with three classic stochastic building blocks:
+//   * a per-day sky-condition Markov chain (sunny / variable / overcast) —
+//     produces the "overcast day at 3.5% peak next to a sunny day at 77%"
+//     contrast of Fig. 2a;
+//   * an Ornstein–Uhlenbeck process — mean-reverting fast noise (cloud
+//     passage, wind gusts);
+//   * a "front" process (sum of slow sinusoids with random phases plus a
+//     slow OU term) — multi-hour weather systems. Fronts can be *shared*
+//     across sites with per-site loadings, which is how the curated Fig. 3
+//     scenario obtains complementary (anti-correlated) wind sites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vbatt/util/rng.h"
+#include "vbatt/util/time.h"
+
+namespace vbatt::energy {
+
+/// Per-day sky condition, in order of decreasing clearness.
+enum class SkyState { sunny, variable, overcast };
+
+/// Day-to-day sky persistence model.
+struct SkyChainConfig {
+  /// Row-stochastic transition matrix indexed [from][to], order
+  /// sunny/variable/overcast. Defaults keep a ~45/33/22 steady state with
+  /// multi-day persistence (weather regimes last days, which is also what
+  /// makes them forecastable a week out — Fig. 5).
+  double transition[3][3] = {{0.68, 0.20, 0.12},
+                             {0.30, 0.45, 0.25},
+                             {0.25, 0.30, 0.45}};
+  std::uint64_t seed = 1;
+};
+
+/// Draw a sky state per day for `days` days.
+std::vector<SkyState> generate_sky_states(const SkyChainConfig& config,
+                                          int days);
+
+/// Ornstein–Uhlenbeck sample path of length `n` on the given axis:
+/// dx = -theta * x * dt + sigma * dW, x(0) = 0, dt in hours.
+std::vector<double> generate_ou(util::Rng& rng, const util::TimeAxis& axis,
+                                std::size_t n, double theta_per_hour,
+                                double sigma_per_sqrt_hour);
+
+/// Slow weather-system ("front") process in roughly [-1, 1].
+struct FrontConfig {
+  /// Periods of the sinusoidal components, in hours.
+  std::vector<double> period_hours{30.0, 52.0, 90.0};
+  /// Extra slow OU roughness on top of the sinusoids.
+  double ou_theta_per_hour = 0.05;
+  double ou_sigma = 0.15;
+  std::uint64_t seed = 2;
+};
+
+/// Generate the front path. Two calls with the same config produce the same
+/// path, so multiple sites can load on one shared front deterministically.
+std::vector<double> generate_front(const FrontConfig& config,
+                                   const util::TimeAxis& axis, std::size_t n);
+
+}  // namespace vbatt::energy

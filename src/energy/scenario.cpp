@@ -1,0 +1,77 @@
+#include "vbatt/energy/scenario.h"
+
+#include "vbatt/util/rng.h"
+
+namespace vbatt::energy {
+
+Fig3Scenario make_fig3_scenario(const util::TimeAxis& axis,
+                                std::size_t n_ticks, std::uint64_t seed) {
+  const std::uint64_t front_seed = util::seed_for(seed, "fig3-front");
+
+  SiteSpec no_solar;
+  no_solar.id = 0;
+  no_solar.name = "NO solar";
+  no_solar.source = Source::solar;
+  no_solar.peak_mw = 400.0;
+  no_solar.location = {900.0, 1600.0};
+  no_solar.solar.peak_mw = 400.0;
+  no_solar.solar.start_day_of_year = 123;  // early May, as in Fig. 3a
+  no_solar.solar.seed = util::seed_for(seed, "fig3-no");
+  // High latitude: long May days but a weak sun — Norwegian May capacity
+  // factors stay well below a southern farm's (Fig. 3a shows NO solar as
+  // small bumps under the dominating wind bands).
+  no_solar.solar.day_length_mean_hours = 13.0;
+  no_solar.solar.day_length_swing_hours = 5.0;
+  no_solar.solar.amplitude_base = 0.40;
+  no_solar.solar.amplitude_swing = 0.24;
+
+  SiteSpec uk_wind;
+  uk_wind.id = 1;
+  uk_wind.name = "UK wind";
+  uk_wind.source = Source::wind;
+  uk_wind.peak_mw = 400.0;
+  uk_wind.location = {0.0, 900.0};
+  uk_wind.wind.peak_mw = 400.0;
+  uk_wind.wind.start_day_of_year = 123;
+  uk_wind.wind.seed = util::seed_for(seed, "fig3-uk");
+  uk_wind.wind.front.seed = front_seed;
+  uk_wind.wind.front_loading_speed = 1.5;
+  // Night-peaking: dips around midday, complementing solar.
+  uk_wind.wind.diurnal_amplitude_speed = 0.6;
+  uk_wind.wind.diurnal_peak_hour = 1.0;
+  uk_wind.wind.base_speed = 9.1;
+  uk_wind.wind.gust_sigma = 0.40;
+  uk_wind.wind.storm_mean_gap_days = 0.0;  // keep the curated window storm-free
+
+  SiteSpec pt_wind;
+  pt_wind.id = 2;
+  pt_wind.name = "PT wind";
+  pt_wind.source = Source::wind;
+  pt_wind.peak_mw = 400.0;
+  pt_wind.location = {150.0, 0.0};
+  pt_wind.wind.peak_mw = 400.0;
+  pt_wind.wind.start_day_of_year = 123;
+  pt_wind.wind.seed = util::seed_for(seed, "fig3-pt");
+  // Same Atlantic front system, opposite loading: anti-correlated with UK.
+  pt_wind.wind.front.seed = front_seed;
+  // Loading scaled so the two sites' *power* responses to the front cancel
+  // (the PT power curve is steeper at its lower base speed).
+  pt_wind.wind.front_loading_speed = -2.5;
+  pt_wind.wind.base_speed = 6.9;
+  pt_wind.wind.diurnal_amplitude_speed = 1.2;
+  pt_wind.wind.diurnal_peak_hour = 1.0;
+  pt_wind.wind.gust_sigma = 0.40;
+  pt_wind.wind.storm_mean_gap_days = 0.0;
+
+  Fig3Scenario scenario{
+      .no_solar = no_solar,
+      .uk_wind = uk_wind,
+      .pt_wind = pt_wind,
+      .trace_no = no_solar.generate(axis, n_ticks),
+      .trace_uk = uk_wind.generate(axis, n_ticks),
+      .trace_pt = pt_wind.generate(axis, n_ticks),
+  };
+  return scenario;
+}
+
+}  // namespace vbatt::energy

@@ -1,0 +1,80 @@
+#include "vbatt/energy/trace.h"
+
+#include <algorithm>
+
+namespace vbatt::energy {
+
+std::string to_string(Source s) {
+  return s == Source::solar ? "solar" : "wind";
+}
+
+PowerTrace::PowerTrace(util::TimeAxis axis, double peak_mw,
+                       std::vector<double> normalized, Source source)
+    : axis_{axis},
+      peak_mw_{peak_mw},
+      normalized_{std::move(normalized)},
+      source_{source} {
+  if (peak_mw <= 0.0) throw std::invalid_argument{"PowerTrace: peak_mw <= 0"};
+  for (const double v : normalized_) {
+    if (v < 0.0 || v > 1.0) {
+      throw std::invalid_argument{"PowerTrace: sample outside [0, 1]"};
+    }
+  }
+}
+
+std::vector<double> PowerTrace::mw_series() const {
+  std::vector<double> out(normalized_.size());
+  for (std::size_t i = 0; i < normalized_.size(); ++i) {
+    out[i] = normalized_[i] * peak_mw_;
+  }
+  return out;
+}
+
+double PowerTrace::energy_mwh(util::Tick begin, util::Tick end) const {
+  if (begin < 0 || end > static_cast<util::Tick>(size()) || begin > end) {
+    throw std::out_of_range{"PowerTrace::energy_mwh: bad range"};
+  }
+  const double hours_per_tick = axis_.minutes_per_tick() / 60.0;
+  double sum = 0.0;
+  for (util::Tick t = begin; t < end; ++t) {
+    sum += normalized_[static_cast<std::size_t>(t)];
+  }
+  return sum * peak_mw_ * hours_per_tick;
+}
+
+PowerTrace PowerTrace::slice(util::Tick begin, util::Tick end) const {
+  if (begin < 0 || end > static_cast<util::Tick>(size()) || begin > end) {
+    throw std::out_of_range{"PowerTrace::slice: bad range"};
+  }
+  return PowerTrace{
+      axis_, peak_mw_,
+      std::vector<double>(normalized_.begin() + begin,
+                          normalized_.begin() + end),
+      source_};
+}
+
+PowerTrace PowerTrace::rescaled(double new_peak_mw) const {
+  return PowerTrace{axis_, new_peak_mw, normalized_, source_};
+}
+
+PowerTrace combine(const std::vector<const PowerTrace*>& traces) {
+  if (traces.empty()) throw std::invalid_argument{"combine: no traces"};
+  const PowerTrace& first = *traces.front();
+  double peak = 0.0;
+  for (const PowerTrace* t : traces) {
+    if (t->axis() != first.axis() || t->size() != first.size()) {
+      throw std::invalid_argument{"combine: mismatched traces"};
+    }
+    peak += t->peak_mw();
+  }
+  std::vector<double> norm(first.size(), 0.0);
+  for (const PowerTrace* t : traces) {
+    for (std::size_t i = 0; i < norm.size(); ++i) {
+      norm[i] += t->normalized_series()[i] * t->peak_mw();
+    }
+  }
+  for (double& v : norm) v = std::clamp(v / peak, 0.0, 1.0);
+  return PowerTrace{first.axis(), peak, std::move(norm), first.source()};
+}
+
+}  // namespace vbatt::energy

@@ -1,0 +1,63 @@
+#include "vbatt/energy/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "vbatt/util/csv.h"
+
+namespace vbatt::energy {
+
+void save_trace_csv(const PowerTrace& trace, const std::string& path) {
+  util::CsvWriter csv{path, {"tick", "normalized"}};
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    csv.row({static_cast<double>(i),
+             trace.normalized(static_cast<util::Tick>(i))});
+  }
+}
+
+PowerTrace load_trace_csv(const std::string& path, const util::TimeAxis& axis,
+                          double peak_mw, Source source, int column) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"load_trace_csv: cannot open " + path};
+  if (column < 0) throw std::invalid_argument{"load_trace_csv: bad column"};
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error{"load_trace_csv: empty file " + path};
+  }
+  std::vector<double> values;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream row{line};
+    std::string cell;
+    for (int c = 0; c <= column; ++c) {
+      if (!std::getline(row, cell, ',')) {
+        throw std::runtime_error{"load_trace_csv: missing column at line " +
+                                 std::to_string(line_no)};
+      }
+    }
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(cell, &consumed);
+    } catch (const std::exception&) {
+      throw std::runtime_error{"load_trace_csv: non-numeric value at line " +
+                               std::to_string(line_no)};
+    }
+    if (consumed == 0 || value < 0.0 || value > 1.0) {
+      throw std::runtime_error{"load_trace_csv: value out of [0, 1] at line " +
+                               std::to_string(line_no)};
+    }
+    values.push_back(value);
+  }
+  if (values.empty()) {
+    throw std::runtime_error{"load_trace_csv: no samples in " + path};
+  }
+  return PowerTrace{axis, peak_mw, std::move(values), source};
+}
+
+}  // namespace vbatt::energy

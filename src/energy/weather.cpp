@@ -1,0 +1,79 @@
+#include "vbatt/energy/weather.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vbatt::energy {
+
+std::vector<SkyState> generate_sky_states(const SkyChainConfig& config,
+                                          int days) {
+  util::Rng rng{config.seed};
+  std::vector<SkyState> out;
+  out.reserve(static_cast<std::size_t>(days));
+  int state = 0;  // start sunny; burn-in below decorrelates the start
+  for (int warm = 0; warm < 8; ++warm) {
+    const double u = rng.uniform();
+    state = u < config.transition[state][0]                                ? 0
+            : u < config.transition[state][0] + config.transition[state][1] ? 1
+                                                                            : 2;
+  }
+  for (int d = 0; d < days; ++d) {
+    const double u = rng.uniform();
+    state = u < config.transition[state][0]                                ? 0
+            : u < config.transition[state][0] + config.transition[state][1] ? 1
+                                                                            : 2;
+    out.push_back(static_cast<SkyState>(state));
+  }
+  return out;
+}
+
+std::vector<double> generate_ou(util::Rng& rng, const util::TimeAxis& axis,
+                                std::size_t n, double theta_per_hour,
+                                double sigma_per_sqrt_hour) {
+  const double dt = axis.minutes_per_tick() / 60.0;
+  const double decay = std::exp(-theta_per_hour * dt);
+  // Exact discretization of the OU transition density.
+  const double step_sigma =
+      theta_per_hour > 0.0
+          ? sigma_per_sqrt_hour *
+                std::sqrt((1.0 - decay * decay) / (2.0 * theta_per_hour))
+          : sigma_per_sqrt_hour * std::sqrt(dt);
+  std::vector<double> out(n);
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * decay + step_sigma * rng.normal();
+    out[i] = x;
+  }
+  return out;
+}
+
+std::vector<double> generate_front(const FrontConfig& config,
+                                   const util::TimeAxis& axis,
+                                   std::size_t n) {
+  util::Rng rng{config.seed};
+  const std::size_t k = config.period_hours.size();
+  std::vector<double> phase(k);
+  std::vector<double> amp(k);
+  double amp_total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    phase[i] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    amp[i] = rng.uniform(0.6, 1.0);
+    amp_total += amp[i];
+  }
+  std::vector<double> ou = generate_ou(rng, axis, n, config.ou_theta_per_hour,
+                                       config.ou_sigma);
+  std::vector<double> out(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double hours = axis.hours(static_cast<util::Tick>(t));
+    double v = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      v += amp[i] * std::sin(2.0 * std::numbers::pi * hours /
+                                 config.period_hours[i] +
+                             phase[i]);
+    }
+    out[t] = v / (amp_total > 0.0 ? amp_total : 1.0) + ou[t];
+  }
+  return out;
+}
+
+}  // namespace vbatt::energy

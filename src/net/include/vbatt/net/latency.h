@@ -1,0 +1,57 @@
+// Inter-site latency model and the VB latency graph (§3.1, Figure 6).
+//
+// The scheduler models the fleet as a graph: nodes are VB sites, and two
+// nodes share an edge when their RTT is under a threshold (50 ms in the
+// paper), so an application split across a clique never sees a high-latency
+// pair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vbatt/util/geo.h"
+
+namespace vbatt::net {
+
+/// Distance → RTT. Defaults: ~2 ms of fixed overhead plus ~0.021 ms/km
+/// (speed of light in fiber, doubled for the round trip, with typical path
+/// inflation).
+struct RttModel {
+  double base_ms = 2.0;
+  double ms_per_km = 0.021;
+
+  double rtt_ms(const util::GeoPoint& a, const util::GeoPoint& b) const noexcept {
+    return base_ms + ms_per_km * util::distance_km(a, b);
+  }
+};
+
+/// Undirected latency graph over a set of site locations.
+class LatencyGraph {
+ public:
+  /// Build from site locations: edge iff rtt <= threshold_ms.
+  LatencyGraph(const std::vector<util::GeoPoint>& locations,
+               const RttModel& model, double threshold_ms);
+
+  std::size_t size() const noexcept { return n_; }
+  double threshold_ms() const noexcept { return threshold_ms_; }
+
+  double rtt_ms(std::size_t a, std::size_t b) const {
+    return rtt_.at(a * n_ + b);
+  }
+  bool connected(std::size_t a, std::size_t b) const {
+    return a != b && rtt_.at(a * n_ + b) <= threshold_ms_;
+  }
+
+  /// Neighbors of `v` (all u with an edge to v).
+  std::vector<std::size_t> neighbors(std::size_t v) const;
+
+  /// Number of edges.
+  std::size_t edge_count() const noexcept;
+
+ private:
+  std::size_t n_;
+  double threshold_ms_;
+  std::vector<double> rtt_;  // n x n, row-major
+};
+
+}  // namespace vbatt::net

@@ -1,0 +1,54 @@
+// Migration traffic ledger.
+//
+// Both simulators (single-site Fig. 4 and multi-site Table 1) report their
+// results as per-site, per-tick inbound/outbound migration volume in GB;
+// this type is the single accounting sink they share.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vbatt/util/time.h"
+
+namespace vbatt::net {
+
+/// Per-(site, tick) in/out transfer accounting, GB.
+class MigrationLedger {
+ public:
+  MigrationLedger(std::size_t n_sites, std::size_t n_ticks);
+
+  std::size_t n_sites() const noexcept { return n_sites_; }
+  std::size_t n_ticks() const noexcept { return n_ticks_; }
+
+  /// Record `gb` leaving `site` at tick `t` (bounds-checked).
+  void record_out(std::size_t site, util::Tick t, double gb);
+  /// Record `gb` arriving at `site` at tick `t`.
+  void record_in(std::size_t site, util::Tick t, double gb);
+
+  double out_gb(std::size_t site, util::Tick t) const;
+  double in_gb(std::size_t site, util::Tick t) const;
+
+  /// Whole out/in series for one site.
+  std::vector<double> out_series(std::size_t site) const;
+  std::vector<double> in_series(std::size_t site) const;
+
+  /// Per-tick totals across all sites (in + out counted once per transfer:
+  /// out at source only, to avoid double counting fleet-level volume).
+  std::vector<double> total_out_per_tick() const;
+  std::vector<double> total_in_per_tick() const;
+  /// Per-tick total migration volume = out totals (each byte moved once).
+  std::vector<double> total_moved_per_tick() const { return total_out_per_tick(); }
+
+  /// Sum of all outbound GB (== total bytes migrated).
+  double total_moved_gb() const;
+
+ private:
+  std::size_t index(std::size_t site, util::Tick t) const;
+
+  std::size_t n_sites_;
+  std::size_t n_ticks_;
+  std::vector<double> out_;
+  std::vector<double> in_;
+};
+
+}  // namespace vbatt::net

@@ -1,0 +1,45 @@
+// Pre-copy live-migration time model (Akoush et al., MASCOTS'10 — the
+// paper's reference [2] and its stated future work, footnote 2).
+//
+// A live migration repeatedly copies dirtied memory: round 0 moves the
+// whole footprint; each later round moves what was dirtied during the
+// previous round, a geometric series with ratio dirty_rate / bandwidth.
+// When the remainder falls under the stop-and-copy threshold (or rounds
+// run out), the VM pauses and the rest moves during downtime.
+#pragma once
+
+namespace vbatt::net {
+
+struct MigrationTimeConfig {
+  /// Network bandwidth available to one migration, Gb/s.
+  double bandwidth_gbps = 10.0;
+  /// Rate at which the workload dirties memory, Gb/s. Must be below
+  /// bandwidth for pre-copy to converge.
+  double dirty_rate_gbps = 1.0;
+  /// Stop-and-copy once the remaining data is below this, GB.
+  double stop_copy_threshold_gb = 0.25;
+  /// Safety cap on pre-copy rounds (QEMU-style).
+  int max_rounds = 30;
+};
+
+struct MigrationEstimate {
+  /// Wall-clock duration of the whole migration, seconds.
+  double total_seconds = 0.0;
+  /// VM pause (stop-and-copy) duration, seconds.
+  double downtime_seconds = 0.0;
+  /// Total bytes moved including re-copies, GB (>= the VM's memory).
+  double transferred_gb = 0.0;
+  /// Pre-copy rounds performed before stop-and-copy.
+  int rounds = 0;
+};
+
+/// Estimate migrating a VM with `memory_gb` of RAM.
+MigrationEstimate estimate_migration(double memory_gb,
+                                     const MigrationTimeConfig& config = {});
+
+/// Amplification factor: transferred bytes / memory bytes. The multi-site
+/// simulators charge raw memory; multiply by this to account for pre-copy
+/// re-transmission.
+double transfer_amplification(const MigrationTimeConfig& config = {});
+
+}  // namespace vbatt::net

@@ -1,0 +1,41 @@
+// WAN capacity accounting (§3 and §5 of the paper).
+//
+// The paper's WAN math: ~100 sites share an aggregate 50 Tb/s WAN (B4-like),
+// i.e. ≈500 Gb/s fair share per site; a 10 TB migration spike completed in
+// 5 minutes needs ≈267 Gb/s, "roughly 40% of the share". §5 assumes a
+// 200 Gb/s per-site WAN link and finds migration active only 2-4% of time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vbatt::net {
+
+struct WanConfig {
+  /// Aggregate WAN capacity shared by the fleet, terabits per second.
+  double aggregate_tbps = 50.0;
+  /// Number of sites sharing the aggregate.
+  std::size_t n_sites = 100;
+  /// Provisioned per-site WAN link, gigabits per second (§5's assumption).
+  double per_site_gbps = 200.0;
+  /// Window within which a migration burst must complete, minutes.
+  double migration_window_minutes = 5.0;
+};
+
+/// Fair per-site share of the aggregate WAN, Gb/s.
+double per_site_share_gbps(const WanConfig& config);
+
+/// Throughput needed to move `gigabytes` within the migration window, Gb/s.
+double required_gbps(const WanConfig& config, double gigabytes);
+
+/// `required / share`: the paper's "40% of the share of WAN capacity".
+double share_fraction(const WanConfig& config, double gigabytes);
+
+/// Fraction of ticks in `transfer_gb` during which the per-site link is
+/// busy, assuming each tick's transfer is sent at `per_site_gbps` until
+/// drained (§5's "migration occurs only 2-4% of the time").
+double busy_fraction(const WanConfig& config,
+                     const std::vector<double>& transfer_gb,
+                     double minutes_per_tick);
+
+}  // namespace vbatt::net

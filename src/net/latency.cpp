@@ -1,0 +1,42 @@
+#include "vbatt/net/latency.h"
+
+#include <stdexcept>
+
+namespace vbatt::net {
+
+LatencyGraph::LatencyGraph(const std::vector<util::GeoPoint>& locations,
+                           const RttModel& model, double threshold_ms)
+    : n_{locations.size()}, threshold_ms_{threshold_ms} {
+  if (threshold_ms <= 0.0) {
+    throw std::invalid_argument{"LatencyGraph: threshold_ms <= 0"};
+  }
+  rtt_.resize(n_ * n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const double rtt = model.rtt_ms(locations[i], locations[j]);
+      rtt_[i * n_ + j] = rtt;
+      rtt_[j * n_ + i] = rtt;
+    }
+  }
+}
+
+std::vector<std::size_t> LatencyGraph::neighbors(std::size_t v) const {
+  if (v >= n_) throw std::out_of_range{"LatencyGraph::neighbors"};
+  std::vector<std::size_t> out;
+  for (std::size_t u = 0; u < n_; ++u) {
+    if (connected(v, u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::size_t LatencyGraph::edge_count() const noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (connected(i, j)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace vbatt::net

@@ -1,0 +1,52 @@
+#include "vbatt/net/migration_time.h"
+
+#include <stdexcept>
+
+namespace vbatt::net {
+
+MigrationEstimate estimate_migration(double memory_gb,
+                                     const MigrationTimeConfig& config) {
+  if (memory_gb < 0.0) {
+    throw std::invalid_argument{"estimate_migration: negative memory"};
+  }
+  if (config.bandwidth_gbps <= 0.0 || config.dirty_rate_gbps < 0.0 ||
+      config.stop_copy_threshold_gb < 0.0 || config.max_rounds < 0) {
+    throw std::invalid_argument{"MigrationTimeConfig: invalid"};
+  }
+
+  // All rates in GB/s.
+  const double bandwidth = config.bandwidth_gbps / 8.0;
+  const double dirty = config.dirty_rate_gbps / 8.0;
+
+  MigrationEstimate estimate;
+  double remaining = memory_gb;
+  // Pre-copy rounds while the remainder shrinks toward the threshold. If
+  // the dirty rate matches/exceeds bandwidth the remainder never shrinks;
+  // the max_rounds cap forces stop-and-copy.
+  while (remaining > config.stop_copy_threshold_gb &&
+         estimate.rounds < config.max_rounds) {
+    const double round_seconds = remaining / bandwidth;
+    estimate.transferred_gb += remaining;
+    estimate.total_seconds += round_seconds;
+    const double next = dirty * round_seconds;
+    ++estimate.rounds;
+    if (next >= remaining) break;  // diverging: give up and stop-and-copy
+    remaining = next;
+  }
+  // Stop-and-copy: the VM pauses while the remainder moves.
+  estimate.downtime_seconds = remaining / bandwidth;
+  estimate.total_seconds += estimate.downtime_seconds;
+  estimate.transferred_gb += remaining;
+  return estimate;
+}
+
+double transfer_amplification(const MigrationTimeConfig& config) {
+  // Geometric series with ratio r = dirty/bandwidth truncated at the
+  // stop-and-copy threshold; amplification is workload-size independent in
+  // the converging regime, so evaluate on a reference footprint.
+  constexpr double kReferenceGb = 16.0;
+  return estimate_migration(kReferenceGb, config).transferred_gb /
+         kReferenceGb;
+}
+
+}  // namespace vbatt::net

@@ -1,0 +1,45 @@
+#include "vbatt/net/wan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vbatt::net {
+
+double per_site_share_gbps(const WanConfig& config) {
+  if (config.n_sites == 0) {
+    throw std::invalid_argument{"WanConfig: n_sites == 0"};
+  }
+  return config.aggregate_tbps * 1000.0 /
+         static_cast<double>(config.n_sites);
+}
+
+double required_gbps(const WanConfig& config, double gigabytes) {
+  if (config.migration_window_minutes <= 0.0) {
+    throw std::invalid_argument{"WanConfig: migration window <= 0"};
+  }
+  const double gigabits = gigabytes * 8.0;
+  return gigabits / (config.migration_window_minutes * 60.0);
+}
+
+double share_fraction(const WanConfig& config, double gigabytes) {
+  return required_gbps(config, gigabytes) / per_site_share_gbps(config);
+}
+
+double busy_fraction(const WanConfig& config,
+                     const std::vector<double>& transfer_gb,
+                     double minutes_per_tick) {
+  if (transfer_gb.empty()) return 0.0;
+  if (config.per_site_gbps <= 0.0 || minutes_per_tick <= 0.0) {
+    throw std::invalid_argument{"busy_fraction: bad parameters"};
+  }
+  const double tick_seconds = minutes_per_tick * 60.0;
+  double busy_seconds = 0.0;
+  for (const double gb : transfer_gb) {
+    const double seconds = gb * 8.0 / config.per_site_gbps;
+    busy_seconds += std::min(seconds, tick_seconds);
+  }
+  return busy_seconds /
+         (tick_seconds * static_cast<double>(transfer_gb.size()));
+}
+
+}  // namespace vbatt::net

@@ -1,0 +1,165 @@
+#include "vbatt/solver/branch_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace vbatt::solver {
+
+namespace {
+
+struct Node {
+  double bound = 0.0;  // LP objective of the parent relaxation
+  std::vector<double> lb;
+  std::vector<double> ub;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.bound > b.bound;  // min-heap on bound: best-first
+  }
+};
+
+/// Index of the most fractional integer variable, or -1 if all integral.
+int most_fractional(const Model& model, const std::vector<double>& x,
+                    double tol) {
+  int best = -1;
+  double best_dist = tol;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!model.vars()[i].integer) continue;
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipResult solve_mip(const Model& model, const MipOptions& options) {
+  MipResult result;
+
+  std::vector<double> lb0;
+  std::vector<double> ub0;
+  for (const Variable& v : model.vars()) {
+    lb0.push_back(v.lb);
+    ub0.push_back(v.ub);
+  }
+
+  const LpResult root = solve_lp_bounded(model, lb0, ub0);
+  ++result.nodes_explored;
+  if (root.status != LpStatus::optimal) {
+    result.status = root.status;
+    return result;
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{root.objective, lb0, ub0});
+
+  bool have_incumbent = false;
+  double incumbent = 0.0;
+  std::vector<double> incumbent_x;
+  bool exhausted_cleanly = true;
+
+  while (!open.empty()) {
+    if (result.nodes_explored >= options.max_nodes) {
+      exhausted_cleanly = false;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (have_incumbent && node.bound >= incumbent - options.gap_abs) {
+      continue;  // cannot improve
+    }
+    const LpResult lp = solve_lp_bounded(model, node.lb, node.ub);
+    ++result.nodes_explored;
+    if (lp.status == LpStatus::unbounded) {
+      result.status = LpStatus::unbounded;
+      return result;
+    }
+    if (lp.status != LpStatus::optimal) continue;  // pruned (infeasible)
+    if (have_incumbent && lp.objective >= incumbent - options.gap_abs) {
+      continue;
+    }
+    const int branch = most_fractional(model, lp.x, options.int_tol);
+    if (branch < 0) {
+      // Integral: new incumbent.
+      have_incumbent = true;
+      incumbent = lp.objective;
+      incumbent_x = lp.x;
+      continue;
+    }
+    const auto bi = static_cast<std::size_t>(branch);
+    const double value = lp.x[bi];
+
+    Node down = node;
+    down.bound = lp.objective;
+    down.ub[bi] = std::floor(value);
+    if (down.ub[bi] >= down.lb[bi]) open.push(std::move(down));
+
+    Node up = std::move(node);
+    up.bound = lp.objective;
+    up.lb[bi] = std::ceil(value);
+    if (up.lb[bi] <= up.ub[bi]) open.push(std::move(up));
+  }
+
+  if (!have_incumbent) {
+    result.status =
+        exhausted_cleanly ? LpStatus::infeasible : LpStatus::iteration_limit;
+    return result;
+  }
+  result.status = LpStatus::optimal;
+  result.objective = incumbent;
+  result.x = std::move(incumbent_x);
+  // Snap near-integral values exactly.
+  for (std::size_t i = 0; i < result.x.size(); ++i) {
+    if (model.vars()[i].integer) {
+      result.x[i] = std::round(result.x[i]);
+    }
+  }
+  result.proven_optimal = exhausted_cleanly;
+  return result;
+}
+
+MipResult solve_lexicographic(Model model, const std::vector<double>& secondary,
+                              double eps_rel, double eps_abs,
+                              const MipOptions& options) {
+  if (secondary.size() != model.n_vars()) {
+    throw std::invalid_argument{"solve_lexicographic: cost size mismatch"};
+  }
+  const MipResult first = solve_mip(model, options);
+  if (first.status != LpStatus::optimal) return first;
+
+  // Bound the primary objective, then swap in the secondary costs.
+  std::vector<std::pair<int, double>> terms;
+  for (std::size_t i = 0; i < model.n_vars(); ++i) {
+    const double c = model.vars()[i].cost;
+    if (c != 0.0) terms.emplace_back(static_cast<int>(i), c);
+  }
+  const double cap = first.objective +
+                     std::abs(first.objective) * eps_rel + eps_abs;
+  model.add_constraint(std::move(terms), Rel::le, cap);
+  for (std::size_t i = 0; i < model.n_vars(); ++i) {
+    model.vars()[i].cost = secondary[i];
+  }
+  MipResult second = solve_mip(model, options);
+  if (second.status != LpStatus::optimal) {
+    // Numerical edge: fall back to the stage-1 solution evaluated under
+    // the secondary costs rather than failing the caller.
+    second = first;
+    double obj = 0.0;
+    for (std::size_t i = 0; i < secondary.size(); ++i) {
+      obj += secondary[i] * first.x[i];
+    }
+    second.objective = obj;
+    second.proven_optimal = false;
+    second.status = LpStatus::optimal;
+  }
+  return second;
+}
+
+}  // namespace vbatt::solver

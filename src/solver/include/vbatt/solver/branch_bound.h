@@ -1,0 +1,46 @@
+// Branch & bound MIP solver over the bundled simplex.
+//
+// Best-first search on the LP bound, branching on the most fractional
+// integer variable via bound tightening (which the simplex exploits by
+// eliminating fixed variables). The scheduling MIPs have assignment
+// structure with near-integral relaxations, so trees stay small.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vbatt/solver/model.h"
+#include "vbatt/solver/simplex.h"
+
+namespace vbatt::solver {
+
+struct MipOptions {
+  /// Node budget; on exhaustion the incumbent (if any) is returned with
+  /// proven_optimal = false.
+  int max_nodes = 20000;
+  /// Integrality tolerance.
+  double int_tol = 1e-6;
+  /// Stop when bound and incumbent are within this absolute gap.
+  double gap_abs = 1e-6;
+};
+
+struct MipResult {
+  LpStatus status = LpStatus::infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  int nodes_explored = 0;
+  bool proven_optimal = false;
+};
+
+/// Solve `model` honoring integrality flags.
+MipResult solve_mip(const Model& model, const MipOptions& options = {});
+
+/// Lexicographic bi-objective solve: minimize the model's costs first; then
+/// minimize `secondary` costs subject to primary ≤ opt * (1 + eps_rel) +
+/// eps_abs. Returns the second-stage result (its `objective` is the
+/// secondary objective value).
+MipResult solve_lexicographic(Model model, const std::vector<double>& secondary,
+                              double eps_rel = 0.01, double eps_abs = 1e-6,
+                              const MipOptions& options = {});
+
+}  // namespace vbatt::solver

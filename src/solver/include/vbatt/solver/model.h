@@ -1,0 +1,87 @@
+// Linear / mixed-integer model builder.
+//
+// Stands in for the commercial MIP solver the paper presumably used: a
+// minimal modeling layer (variables with bounds and costs, linear
+// constraints) consumed by the bundled simplex + branch & bound engine.
+// Minimization only — negate costs to maximize.
+#pragma once
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vbatt::solver {
+
+enum class Rel { le, ge, eq };
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Variable {
+  std::string name;
+  double cost = 0.0;
+  double lb = 0.0;
+  double ub = kInf;
+  bool integer = false;
+};
+
+struct Constraint {
+  /// (variable index, coefficient) pairs; indices must be valid.
+  std::vector<std::pair<int, double>> terms;
+  Rel rel = Rel::le;
+  double rhs = 0.0;
+};
+
+/// A minimization model: min cᵀx  s.t.  Ax {≤,≥,=} b,  lb ≤ x ≤ ub,
+/// x_i integer for flagged variables.
+class Model {
+ public:
+  /// Returns the new variable's index.
+  int add_var(std::string name, double cost, double lb = 0.0,
+              double ub = kInf, bool integer = false) {
+    if (!(lb <= ub)) throw std::invalid_argument{"add_var: lb > ub"};
+    vars_.push_back(Variable{std::move(name), cost, lb, ub, integer});
+    return static_cast<int>(vars_.size()) - 1;
+  }
+
+  /// Convenience: binary decision variable.
+  int add_binary(std::string name, double cost) {
+    return add_var(std::move(name), cost, 0.0, 1.0, true);
+  }
+
+  void add_constraint(std::vector<std::pair<int, double>> terms, Rel rel,
+                      double rhs) {
+    for (const auto& [idx, coeff] : terms) {
+      (void)coeff;
+      if (idx < 0 || idx >= static_cast<int>(vars_.size())) {
+        throw std::invalid_argument{"add_constraint: bad variable index"};
+      }
+    }
+    constraints_.push_back(Constraint{std::move(terms), rel, rhs});
+  }
+
+  std::size_t n_vars() const noexcept { return vars_.size(); }
+  std::size_t n_constraints() const noexcept { return constraints_.size(); }
+  const std::vector<Variable>& vars() const noexcept { return vars_; }
+  std::vector<Variable>& vars() noexcept { return vars_; }
+  const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// Objective value of a point under the current costs.
+  double objective_of(const std::vector<double>& x) const {
+    if (x.size() != vars_.size()) {
+      throw std::invalid_argument{"objective_of: size mismatch"};
+    }
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) sum += vars_[i].cost * x[i];
+    return sum;
+  }
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace vbatt::solver

@@ -1,0 +1,33 @@
+// Dense two-phase primal simplex.
+//
+// Scope: the scheduling LPs in this repository (≤ a few thousand
+// rows/columns, dense-ish assignment structure). Variables may have general
+// finite bounds; lower bounds are shifted out, finite upper bounds become
+// explicit rows. Degeneracy is handled by switching from Dantzig pricing to
+// Bland's rule after an iteration budget.
+#pragma once
+
+#include <vector>
+
+#include "vbatt/solver/model.h"
+
+namespace vbatt::solver {
+
+enum class LpStatus { optimal, infeasible, unbounded, iteration_limit };
+
+struct LpResult {
+  LpStatus status = LpStatus::infeasible;
+  double objective = 0.0;
+  /// Values for the model's structural variables (original space).
+  std::vector<double> x;
+};
+
+/// Solve the LP relaxation of `model` (integrality flags ignored).
+LpResult solve_lp(const Model& model);
+
+/// Solve with per-variable bound overrides (used by branch & bound). Both
+/// vectors must have model.n_vars() entries.
+LpResult solve_lp_bounded(const Model& model, const std::vector<double>& lb,
+                          const std::vector<double>& ub);
+
+}  // namespace vbatt::solver

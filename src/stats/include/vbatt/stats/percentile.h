@@ -1,0 +1,63 @@
+// Stored-sample percentile / CDF estimation.
+//
+// The paper reports results almost exclusively as percentiles (99th/75th
+// power ratios, 99th/50th migration ratios) and CDFs (Figs 2b, 4b, 7); this
+// type is the single implementation all of those share.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace vbatt::stats {
+
+/// Collects samples and answers percentile / CDF queries.
+///
+/// Samples are sorted lazily on first query after a mutation; repeated
+/// queries are O(1)/O(log n).
+class Sampler {
+ public:
+  Sampler() = default;
+  explicit Sampler(std::vector<double> samples)
+      : samples_(std::move(samples)), sorted_{samples_.size() <= 1} {}
+
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// p-th percentile, p in [0, 100], linear interpolation between order
+  /// statistics (the "linear" / type-7 convention). Returns 0 when empty.
+  double percentile(double p);
+
+  double median() { return percentile(50.0); }
+
+  /// Fraction of samples that equal zero exactly (paper's "zero values").
+  double zero_fraction() const noexcept;
+
+  /// Fraction of samples <= x (empirical CDF evaluated at x).
+  double cdf_at(double x);
+
+  /// Evaluate the empirical CDF at `points` x-positions spread between the
+  /// min and max sample (log-spaced if `log_x` and min > 0). Returns (x, F).
+  std::vector<std::pair<double, double>> cdf_points(std::size_t points,
+                                                    bool log_x = false);
+
+  /// A copy of the samples with zeros removed (Fig. 4b plots only the
+  /// non-zero overheads).
+  Sampler nonzero() const;
+
+  const std::vector<double>& raw() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted();
+
+  std::vector<double> samples_;
+  bool sorted_{true};
+};
+
+}  // namespace vbatt::stats

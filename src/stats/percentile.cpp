@@ -1,0 +1,82 @@
+#include "vbatt/stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbatt::stats {
+
+void Sampler::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Sampler::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Sampler::percentile(double p) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+double Sampler::zero_fraction() const noexcept {
+  if (samples_.empty()) return 0.0;
+  const auto zeros = static_cast<double>(
+      std::count(samples_.begin(), samples_.end(), 0.0));
+  return zeros / static_cast<double>(samples_.size());
+}
+
+double Sampler::cdf_at(double x) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Sampler::cdf_points(std::size_t points,
+                                                           bool log_x) {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points < 2) return out;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(points);
+  if (log_x && lo > 0.0 && hi > lo) {
+    const double llo = std::log(lo);
+    const double lhi = std::log(hi);
+    for (std::size_t i = 0; i < points; ++i) {
+      const double x = std::exp(
+          llo + (lhi - llo) * static_cast<double>(i) /
+                    static_cast<double>(points - 1));
+      out.emplace_back(x, cdf_at(x));
+    }
+  } else {
+    for (std::size_t i = 0; i < points; ++i) {
+      const double x = lo + (hi - lo) * static_cast<double>(i) /
+                                static_cast<double>(points - 1);
+      out.emplace_back(x, cdf_at(x));
+    }
+  }
+  return out;
+}
+
+Sampler Sampler::nonzero() const {
+  std::vector<double> kept;
+  kept.reserve(samples_.size());
+  for (const double x : samples_) {
+    if (x != 0.0) kept.push_back(x);
+  }
+  return Sampler{std::move(kept)};
+}
+
+}  // namespace vbatt::stats

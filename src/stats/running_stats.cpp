@@ -1,0 +1,37 @@
+#include "vbatt/stats/running_stats.h"
+
+#include <cmath>
+
+namespace vbatt::stats {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::cov() const noexcept {
+  if (count_ == 0) return 0.0;
+  const double m = mean();
+  const double s = stddev();
+  if (m == 0.0) {
+    return s == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return s / m;
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+}  // namespace vbatt::stats

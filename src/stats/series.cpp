@@ -1,0 +1,118 @@
+#include "vbatt/stats/series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "vbatt/stats/running_stats.h"
+
+namespace vbatt::stats {
+
+std::vector<double> add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument{"series::add: size mismatch"};
+  }
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> scale(const std::vector<double>& a, double factor) {
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * factor;
+  return out;
+}
+
+std::vector<double> moving_average(const std::vector<double>& a,
+                                   std::size_t w) {
+  if (w == 0) throw std::invalid_argument{"moving_average: zero window"};
+  const std::size_t n = a.size();
+  std::vector<double> out(n);
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(w) / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto lo = std::max<std::ptrdiff_t>(
+        0, static_cast<std::ptrdiff_t>(i) - half);
+    const auto hi = std::min<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(n) - 1,
+        static_cast<std::ptrdiff_t>(i) + half);
+    double sum = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) sum += a[static_cast<std::size_t>(j)];
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> ewma(const std::vector<double>& a, double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument{"ewma: alpha must be in (0, 1]"};
+  }
+  std::vector<double> out(a.size());
+  double state = a.empty() ? 0.0 : a.front();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    state += alpha * (a[i] - state);
+    out[i] = state;
+  }
+  return out;
+}
+
+std::vector<double> diff(const std::vector<double>& a) {
+  if (a.size() < 2) return {};
+  std::vector<double> out(a.size() - 1);
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) out[i] = a[i + 1] - a[i];
+  return out;
+}
+
+double cov(const std::vector<double>& a) noexcept {
+  RunningStats rs;
+  for (const double x : a) rs.add(x);
+  return rs.cov();
+}
+
+double mape(const std::vector<double>& actual,
+            const std::vector<double>& forecast, double floor) {
+  if (actual.size() != forecast.size()) {
+    throw std::invalid_argument{"mape: size mismatch"};
+  }
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < floor) continue;
+    sum += std::abs((forecast[i] - actual[i]) / actual[i]);
+    ++count;
+  }
+  return count ? 100.0 * sum / static_cast<double>(count) : 0.0;
+}
+
+std::vector<double> window_min(const std::vector<double>& a, std::size_t w) {
+  if (w == 0) throw std::invalid_argument{"window_min: zero window"};
+  std::vector<double> out;
+  out.reserve(a.size() / w + 1);
+  for (std::size_t start = 0; start < a.size(); start += w) {
+    const std::size_t end = std::min(start + w, a.size());
+    out.push_back(*std::min_element(a.begin() + static_cast<std::ptrdiff_t>(start),
+                                    a.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+  return out;
+}
+
+double correlation(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument{"correlation: size mismatch"};
+  }
+  if (a.empty()) return 0.0;
+  RunningStats sa;
+  RunningStats sb;
+  for (const double x : a) sa.add(x);
+  for (const double x : b) sb.add(x);
+  double cross = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cross += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  }
+  const double denom =
+      sa.stddev() * sb.stddev() * static_cast<double>(a.size());
+  return denom == 0.0 ? 0.0 : cross / denom;
+}
+
+}  // namespace vbatt::stats

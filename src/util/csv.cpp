@@ -1,0 +1,47 @@
+#include "vbatt/util/csv.h"
+
+#include <stdexcept>
+
+namespace vbatt::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_{path}, out_{path}, columns_{columns.size()} {
+  if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + path};
+  out_.exceptions(std::ofstream::badbit);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::vector<double>{values});
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_) {
+    throw std::invalid_argument{"CsvWriter: row width mismatch"};
+  }
+  write_values(values, /*had_label=*/false);
+}
+
+void CsvWriter::labeled_row(std::string_view label,
+                            const std::vector<double>& values) {
+  if (values.size() + 1 != columns_) {
+    throw std::invalid_argument{"CsvWriter: labeled row width mismatch"};
+  }
+  out_ << label;
+  write_values(values, /*had_label=*/true);
+}
+
+void CsvWriter::write_values(const std::vector<double>& values,
+                             bool had_label) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0 || had_label) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace vbatt::util

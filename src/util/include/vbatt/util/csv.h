@@ -1,0 +1,38 @@
+// Minimal CSV emission for benchmark outputs.
+//
+// Every bench binary can dump the series behind a paper figure as CSV so a
+// reader can re-plot it; this writer keeps that dependency-free.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vbatt::util {
+
+/// Streams rows to a CSV file. Throws std::runtime_error if the file cannot
+/// be opened; write errors surface via the stream's exception mask.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Write one row; the value count must equal the column count.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<double>& values);
+
+  /// Row with a leading string label column followed by numeric columns.
+  void labeled_row(std::string_view label, const std::vector<double>& values);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_values(const std::vector<double>& values, bool had_label);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace vbatt::util

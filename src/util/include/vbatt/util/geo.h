@@ -1,0 +1,23 @@
+// Planar site coordinates.
+//
+// Renewable farms in one multi-VB region are a few hundred km apart; a flat
+// local tangent plane in kilometers is accurate enough for the latency
+// model and keeps the math trivial.
+#pragma once
+
+#include <cmath>
+
+namespace vbatt::util {
+
+struct GeoPoint {
+  double x_km = 0.0;
+  double y_km = 0.0;
+};
+
+inline double distance_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double dx = a.x_km - b.x_km;
+  const double dy = a.y_km - b.y_km;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace vbatt::util

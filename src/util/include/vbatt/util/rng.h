@@ -1,0 +1,101 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the reproduction derives its stream from a
+// single root seed through *named* children (`seed_for`). Two consequences:
+// results are bit-reproducible across runs, and adding a new consumer of
+// randomness never perturbs existing streams (unlike sharing one engine).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vbatt::util {
+
+/// splitmix64 step; used both as a stream seeder and a string hasher mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive a child seed from (root, name, index). FNV-1a over the name mixed
+/// through splitmix64 — stable across platforms and compiler versions.
+constexpr std::uint64_t seed_for(std::uint64_t root, std::string_view name,
+                                 std::uint64_t index = 0) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  std::uint64_t s = root ^ h;
+  (void)splitmix64(s);
+  s ^= index * 0x9e3779b97f4a7c15ULL;
+  (void)splitmix64(s);
+  return s;
+}
+
+/// xoshiro256** engine with convenience distributions.
+///
+/// Not std::mt19937 because we want identical streams on every platform and
+/// distribution implementations that are pinned by this codebase, not by the
+/// standard library vendor.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept { return next() % n; }
+
+  /// Standard normal via Box–Muller (fresh pair each call, no cached state,
+  /// so interleaving with other draws stays reproducible).
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given mean (= 1/rate).
+  double exponential(double mean) noexcept;
+
+  /// Log-normal: exp(Normal(mu_log, sigma_log)).
+  double lognormal(double mu_log, double sigma_log) noexcept;
+
+  /// Poisson-distributed count (inversion for small mean, PTRS otherwise).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace vbatt::util

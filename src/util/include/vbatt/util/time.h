@@ -1,0 +1,75 @@
+// Discrete simulation time model.
+//
+// The whole system runs on a fixed-width tick grid (15 minutes by default,
+// matching the granularity of the ELIA power dataset the paper analyzes).
+// A `Tick` is an index on that grid; `TimeAxis` converts between ticks and
+// wall-clock-like quantities (hours, days).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace vbatt::util {
+
+/// Index of one simulation step on a fixed-width time grid.
+using Tick = std::int64_t;
+
+/// A uniform time grid: `minutes_per_tick` wide steps starting at tick 0.
+///
+/// The axis is a value type; everything that consumes a power trace or a
+/// workload trace carries (a copy of) the axis that produced it so that
+/// mixed-resolution bugs are caught at the API boundary.
+class TimeAxis {
+ public:
+  /// Default grid: 15-minute ticks (the ELIA dataset resolution).
+  constexpr TimeAxis() noexcept = default;
+
+  constexpr explicit TimeAxis(int minutes_per_tick)
+      : minutes_per_tick_{minutes_per_tick} {
+    if (minutes_per_tick <= 0 || 1440 % minutes_per_tick != 0) {
+      throw std::invalid_argument{"minutes_per_tick must divide a day"};
+    }
+  }
+
+  constexpr int minutes_per_tick() const noexcept { return minutes_per_tick_; }
+
+  constexpr Tick ticks_per_hour() const noexcept {
+    return 60 / minutes_per_tick_;
+  }
+  constexpr Tick ticks_per_day() const noexcept {
+    return 1440 / minutes_per_tick_;
+  }
+
+  /// Hours since tick 0, as a real number.
+  constexpr double hours(Tick t) const noexcept {
+    return static_cast<double>(t) * minutes_per_tick_ / 60.0;
+  }
+  /// Days since tick 0, as a real number.
+  constexpr double days(Tick t) const noexcept { return hours(t) / 24.0; }
+
+  /// Hour-of-day in [0, 24) for tick `t`.
+  constexpr double hour_of_day(Tick t) const noexcept {
+    const Tick per_day = ticks_per_day();
+    const Tick in_day = ((t % per_day) + per_day) % per_day;
+    return hours(in_day);
+  }
+  /// Day index (0-based) containing tick `t` (floor for negative ticks too).
+  constexpr std::int64_t day_index(Tick t) const noexcept {
+    const Tick per_day = ticks_per_day();
+    return (t >= 0) ? t / per_day : -(((-t) + per_day - 1) / per_day);
+  }
+
+  constexpr Tick from_hours(double h) const noexcept {
+    return static_cast<Tick>(h * 60.0 / minutes_per_tick_);
+  }
+  constexpr Tick from_days(double d) const noexcept {
+    return from_hours(d * 24.0);
+  }
+
+  friend constexpr bool operator==(const TimeAxis&, const TimeAxis&) = default;
+
+ private:
+  int minutes_per_tick_{15};
+};
+
+}  // namespace vbatt::util

@@ -1,0 +1,45 @@
+#include "vbatt/util/rng.h"
+
+#include <cmath>
+
+namespace vbatt::util {
+
+double Rng::normal() noexcept {
+  // Box–Muller; discard the second variate to keep the draw count per call
+  // fixed (reproducibility when calls interleave with other distributions).
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::lognormal(double mu_log, double sigma_log) noexcept {
+  return std::exp(normal(mu_log, sigma_log));
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // arrival-rate magnitudes used in the workload generator.
+  const double x = normal(mean, std::sqrt(mean));
+  return x < 0.5 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+}  // namespace vbatt::util

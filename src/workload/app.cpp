@@ -1,0 +1,72 @@
+#include "vbatt/workload/app.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "vbatt/util/rng.h"
+
+namespace vbatt::workload {
+
+std::vector<Application> generate_apps(const AppGeneratorConfig& config,
+                                       const util::TimeAxis& axis,
+                                       std::size_t n_ticks) {
+  if (config.apps_per_hour <= 0.0 || config.min_vms < 1 ||
+      config.max_vms < config.min_vms || config.shapes.empty()) {
+    throw std::invalid_argument{"AppGeneratorConfig: invalid"};
+  }
+  if (config.degradable_fraction < 0.0 || config.degradable_fraction > 1.0) {
+    throw std::invalid_argument{
+        "AppGeneratorConfig: degradable_fraction out of [0, 1]"};
+  }
+  double total_weight = 0.0;
+  for (const ShapeOption& option : config.shapes) total_weight += option.weight;
+
+  util::Rng rng{util::seed_for(config.seed, "app-trace")};
+  std::vector<Application> out;
+  const double hours_per_tick = axis.minutes_per_tick() / 60.0;
+  std::int64_t next_id = 0;
+
+  for (std::size_t i = 0; i < n_ticks; ++i) {
+    const double rate = config.apps_per_hour * hours_per_tick;
+    const std::uint64_t arrivals = rng.poisson(rate);
+    for (std::uint64_t k = 0; k < arrivals; ++k) {
+      Application app;
+      app.app_id = next_id++;
+      app.arrival = static_cast<util::Tick>(i);
+
+      double pick = rng.uniform(0.0, total_weight);
+      app.shape = config.shapes.back().shape;
+      for (const ShapeOption& option : config.shapes) {
+        pick -= option.weight;
+        if (pick <= 0.0) {
+          app.shape = option.shape;
+          break;
+        }
+      }
+
+      const int n_vms =
+          config.min_vms +
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(
+              config.max_vms - config.min_vms + 1)));
+      // Binomial split keeps the expected degradable fraction while letting
+      // individual apps vary (some all-stable, some mostly degradable).
+      int degradable = 0;
+      for (int v = 0; v < n_vms; ++v) {
+        if (rng.chance(config.degradable_fraction)) ++degradable;
+      }
+      app.n_degradable = degradable;
+      app.n_stable = n_vms - degradable;
+
+      const double hours =
+          rng.lognormal(std::log(config.median_lifetime_hours),
+                        config.sigma_log);
+      app.lifetime_ticks = std::max<util::Tick>(
+          axis.ticks_per_hour(), axis.from_hours(hours));
+      out.push_back(app);
+    }
+  }
+  return out;
+}
+
+}  // namespace vbatt::workload

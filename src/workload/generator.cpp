@@ -1,0 +1,98 @@
+#include "vbatt/workload/generator.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vbatt::workload {
+
+VmTraceGenerator::VmTraceGenerator(GeneratorConfig config)
+    : config_{std::move(config)}, total_weight_{0.0} {
+  if (config_.arrivals_per_hour <= 0.0) {
+    throw std::invalid_argument{"GeneratorConfig: arrivals_per_hour <= 0"};
+  }
+  if (config_.shapes.empty()) {
+    throw std::invalid_argument{"GeneratorConfig: empty shape menu"};
+  }
+  if (config_.short_fraction < 0.0 || config_.short_fraction > 1.0 ||
+      config_.stable_fraction < 0.0 || config_.stable_fraction > 1.0) {
+    throw std::invalid_argument{"GeneratorConfig: fraction out of [0, 1]"};
+  }
+  for (const ShapeOption& option : config_.shapes) {
+    if (option.weight < 0.0 || option.shape.cores <= 0 ||
+        option.shape.memory_gb <= 0.0) {
+      throw std::invalid_argument{"GeneratorConfig: bad shape option"};
+    }
+    total_weight_ += option.weight;
+  }
+  if (total_weight_ <= 0.0) {
+    throw std::invalid_argument{"GeneratorConfig: zero total shape weight"};
+  }
+}
+
+std::vector<VmRequest> VmTraceGenerator::generate(const util::TimeAxis& axis,
+                                                  std::size_t n_ticks) const {
+  util::Rng rng{util::seed_for(config_.seed, "vm-trace")};
+  std::vector<VmRequest> out;
+  const double hours_per_tick = axis.minutes_per_tick() / 60.0;
+  std::int64_t next_id = 0;
+
+  for (std::size_t i = 0; i < n_ticks; ++i) {
+    const auto t = static_cast<util::Tick>(i);
+    const double hour = axis.hour_of_day(t);
+    const double rate =
+        config_.arrivals_per_hour * hours_per_tick *
+        (1.0 + config_.diurnal_amplitude *
+                   std::cos(2.0 * std::numbers::pi *
+                            (hour - config_.diurnal_peak_hour) / 24.0));
+    const std::uint64_t arrivals = rng.poisson(std::max(0.0, rate));
+    for (std::uint64_t k = 0; k < arrivals; ++k) {
+      VmRequest vm;
+      vm.vm_id = next_id++;
+      vm.arrival = t;
+
+      double pick = rng.uniform(0.0, total_weight_);
+      vm.shape = config_.shapes.back().shape;
+      for (const ShapeOption& option : config_.shapes) {
+        pick -= option.weight;
+        if (pick <= 0.0) {
+          vm.shape = option.shape;
+          break;
+        }
+      }
+
+      const bool short_lived = rng.chance(config_.short_fraction);
+      const double median =
+          short_lived ? config_.short_median_hours : config_.long_median_hours;
+      const double sigma =
+          short_lived ? config_.short_sigma_log : config_.long_sigma_log;
+      const double hours = rng.lognormal(std::log(median), sigma);
+      vm.lifetime_ticks =
+          std::max<util::Tick>(1, axis.from_hours(hours));
+
+      vm.vm_class = rng.chance(config_.stable_fraction) ? VmClass::stable
+                                                        : VmClass::degradable;
+      out.push_back(vm);
+    }
+  }
+  return out;
+}
+
+double expected_steady_cores(const GeneratorConfig& config) {
+  double weight = 0.0;
+  double mean_cores = 0.0;
+  for (const ShapeOption& option : config.shapes) {
+    weight += option.weight;
+    mean_cores += option.weight * option.shape.cores;
+  }
+  mean_cores /= weight;
+  // Lognormal mean = median * exp(sigma^2 / 2).
+  const double mean_hours =
+      config.short_fraction * config.short_median_hours *
+          std::exp(0.5 * config.short_sigma_log * config.short_sigma_log) +
+      (1.0 - config.short_fraction) * config.long_median_hours *
+          std::exp(0.5 * config.long_sigma_log * config.long_sigma_log);
+  return config.arrivals_per_hour * mean_hours * mean_cores;
+}
+
+}  // namespace vbatt::workload

@@ -1,0 +1,59 @@
+// Application model for the multi-VB co-scheduler (§3.1).
+//
+// The scheduler's unit of placement is an application: a bundle of VMs with
+// a stable/degradable split. Stable VMs must survive power dips (by
+// migrating within the app's assigned subgraph); degradable VMs pause.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vbatt/util/time.h"
+#include "vbatt/workload/generator.h"
+#include "vbatt/workload/vm.h"
+
+namespace vbatt::workload {
+
+struct Application {
+  std::int64_t app_id = 0;
+  util::Tick arrival = 0;
+  /// Ticks the application runs; <0 means "until the end of the horizon".
+  util::Tick lifetime_ticks = -1;
+  /// All VMs in one app share a shape (uniform tiers are the common cloud
+  /// pattern and keep migration accounting simple).
+  VmShape shape{};
+  int n_stable = 1;
+  int n_degradable = 0;
+
+  int total_vms() const noexcept { return n_stable + n_degradable; }
+  int total_cores() const noexcept { return total_vms() * shape.cores; }
+  int stable_cores() const noexcept { return n_stable * shape.cores; }
+  double total_memory_gb() const noexcept {
+    return total_vms() * shape.memory_gb;
+  }
+  double stable_memory_gb() const noexcept {
+    return n_stable * shape.memory_gb;
+  }
+};
+
+struct AppGeneratorConfig {
+  double apps_per_hour = 1.5;
+  int min_vms = 2;
+  int max_vms = 24;
+  /// Expected fraction of an app's VMs that are degradable.
+  double degradable_fraction = 0.40;
+  /// App lifetimes: lognormal, median in hours. Apps are long-lived
+  /// relative to VMs — they are services, not tasks.
+  double median_lifetime_hours = 72.0;
+  double sigma_log = 0.8;
+  std::vector<ShapeOption> shapes{
+      {{2, 8.0}, 0.40}, {{4, 16.0}, 0.35}, {{8, 32.0}, 0.25}};
+  std::uint64_t seed = 99;
+};
+
+/// Deterministic application arrival trace.
+std::vector<Application> generate_apps(const AppGeneratorConfig& config,
+                                       const util::TimeAxis& axis,
+                                       std::size_t n_ticks);
+
+}  // namespace vbatt::workload

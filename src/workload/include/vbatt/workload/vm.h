@@ -1,0 +1,33 @@
+// VM request model (the Azure-trace substitute's vocabulary).
+#pragma once
+
+#include <cstdint>
+
+#include "vbatt/util/time.h"
+
+namespace vbatt::workload {
+
+/// The paper's two application classes (§2.3): stable VMs need cloud-grade
+/// availability (they migrate rather than die when power drops); degradable
+/// VMs tolerate preemption (Harvest/Spot-like) and simply pause.
+enum class VmClass { stable, degradable };
+
+/// Resource shape of a VM.
+struct VmShape {
+  int cores = 2;
+  double memory_gb = 8.0;
+};
+
+/// One VM request from the arrival trace.
+struct VmRequest {
+  std::int64_t vm_id = 0;
+  /// Application this VM belongs to; -1 for standalone VMs (Fig. 4 sim).
+  std::int64_t app_id = -1;
+  util::Tick arrival = 0;
+  /// Ticks the VM runs once started; <0 means "runs until the end".
+  util::Tick lifetime_ticks = -1;
+  VmShape shape{};
+  VmClass vm_class = VmClass::stable;
+};
+
+}  // namespace vbatt::workload

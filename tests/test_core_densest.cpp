@@ -1,0 +1,144 @@
+#include "vbatt/core/densest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vbatt/energy/site.h"
+
+namespace vbatt::core {
+namespace {
+
+net::LatencyGraph graph_of(const std::vector<util::GeoPoint>& pts,
+                           double threshold_ms = 50.0) {
+  return net::LatencyGraph{pts, net::RttModel{}, threshold_ms};
+}
+
+TEST(Densest, EmptyGraph) {
+  EXPECT_TRUE(densest_subgraph(graph_of({})).empty());
+}
+
+TEST(Densest, SingleVertex) {
+  const auto out = densest_subgraph(graph_of({{0, 0}}));
+  EXPECT_EQ(out, (std::vector<std::size_t>{0}));
+}
+
+TEST(Densest, FindsTheCliqueInACliquePlusPendants) {
+  // Tight 4-clique at the origin; two far-away pendant vertices attached
+  // to nothing. Peeling must recover the clique.
+  std::vector<util::GeoPoint> pts{
+      {0, 0}, {50, 0}, {0, 50}, {50, 50},     // clique (density 1.5)
+      {90000, 0}, {0, 90000}};                 // isolated
+  const auto out = densest_subgraph(graph_of(pts));
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Densest, DensityAtLeastHalfOfMaxAverageDegree) {
+  // 2-approximation sanity on a random-ish geometric graph: the returned
+  // set's density must be >= half the whole graph's (a weak corollary).
+  std::vector<util::GeoPoint> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back({static_cast<double>(i % 4) * 700.0,
+                   static_cast<double>(i / 4) * 700.0});
+  }
+  const auto g = graph_of(pts);
+  const auto dense = densest_subgraph(g);
+  ASSERT_FALSE(dense.empty());
+  const auto density_of = [&](const std::vector<std::size_t>& set) {
+    int edges = 0;
+    for (std::size_t a = 0; a < set.size(); ++a) {
+      for (std::size_t b = a + 1; b < set.size(); ++b) {
+        if (g.connected(set[a], set[b])) ++edges;
+      }
+    }
+    return static_cast<double>(edges) / static_cast<double>(set.size());
+  };
+  std::vector<std::size_t> whole(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) whole[i] = i;
+  EXPECT_GE(density_of(dense) + 1e-9, density_of(whole));
+}
+
+class PeelFixture : public ::testing::Test {
+ protected:
+  static const VbGraph& graph() {
+    static const VbGraph g = [] {
+      energy::FleetConfig config;
+      config.n_solar = 4;
+      config.n_wind = 8;
+      config.region_km = 1200.0;
+      return VbGraph{
+          energy::generate_fleet(config, util::TimeAxis{15}, 96 * 3),
+          VbGraphConfig{}};
+    }();
+    return g;
+  }
+};
+
+TEST_F(PeelFixture, GroupsAreDisjointConnectedAndSized) {
+  const auto groups = peel_candidate_groups(graph(), 3, 3, 0, 96 * 2);
+  ASSERT_GE(groups.size(), 2u);
+  std::vector<std::size_t> seen;
+  for (const RankedSubgraph& group : groups) {
+    EXPECT_EQ(group.sites.size(), 3u);
+    for (const std::size_t s : group.sites) {
+      EXPECT_EQ(std::count(seen.begin(), seen.end(), s), 0);
+      seen.push_back(s);
+    }
+    for (std::size_t a = 0; a < group.sites.size(); ++a) {
+      for (std::size_t b = a + 1; b < group.sites.size(); ++b) {
+        EXPECT_TRUE(
+            graph().latency().connected(group.sites[a], group.sites[b]));
+      }
+    }
+  }
+}
+
+TEST_F(PeelFixture, GroupsSortedByCov) {
+  const auto groups = peel_candidate_groups(graph(), 3, 4, 0, 96 * 2);
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_LE(groups[i - 1].cov, groups[i].cov);
+  }
+}
+
+TEST_F(PeelFixture, FirstGroupIsComplementary) {
+  // Greedy complementarity selection should mix sources: the best group's
+  // cov must beat the fleet's worst single-site cov by a wide margin.
+  const auto groups = peel_candidate_groups(graph(), 3, 1, 0, 96 * 2);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_LT(groups[0].cov, 0.5);
+}
+
+TEST_F(PeelFixture, Validates) {
+  EXPECT_THROW(peel_candidate_groups(graph(), 0, 1, 0, 96),
+               std::invalid_argument);
+  EXPECT_THROW(peel_candidate_groups(graph(), 3, 1, -1, 96),
+               std::out_of_range);
+}
+
+TEST_F(PeelFixture, AgreesWithExactRankingOnSmallFleet) {
+  // On a fleet where exact enumeration is feasible, the peeled best group
+  // should be within 25% of the cov of the exact best k-clique.
+  const auto exact = rank_subgraphs(graph(), 3, 0, 96 * 2);
+  const auto peeled = peel_candidate_groups(graph(), 3, 1, 0, 96 * 2);
+  ASSERT_FALSE(exact.empty());
+  ASSERT_FALSE(peeled.empty());
+  EXPECT_LE(peeled[0].cov, exact[0].cov * 1.25 + 0.02);
+}
+
+TEST(OracleForecasts, GraphReturnsActuals) {
+  energy::FleetConfig config;
+  config.n_solar = 1;
+  config.n_wind = 1;
+  VbGraphConfig graph_config;
+  graph_config.oracle_forecasts = true;
+  const VbGraph graph{
+      energy::generate_fleet(config, util::TimeAxis{15}, 96 * 2),
+      graph_config};
+  for (util::Tick t = 100; t < 150; ++t) {
+    EXPECT_EQ(graph.forecast_cores(0, t, 0), graph.available_cores(0, t));
+    EXPECT_EQ(graph.forecast_cores(1, t, 0), graph.available_cores(1, t));
+  }
+}
+
+}  // namespace
+}  // namespace vbatt::core

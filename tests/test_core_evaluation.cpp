@@ -1,0 +1,111 @@
+// Integration test: the Table-1 policy comparison on a reduced setup.
+// Pins the paper's qualitative matrix without the full bench runtime.
+#include "vbatt/core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "vbatt/energy/site.h"
+#include "vbatt/workload/app.h"
+
+namespace vbatt::core {
+namespace {
+
+TEST(Summarize, ComputesRowFromSeries) {
+  SimResult result{1, 5};
+  result.moved_gb = {0.0, 10.0, 0.0, 30.0, 0.0};
+  result.planned_migrations = 2;
+  const PolicyRow row = summarize("X", result);
+  EXPECT_EQ(row.policy, "X");
+  EXPECT_DOUBLE_EQ(row.total_gb, 40.0);
+  EXPECT_DOUBLE_EQ(row.peak_gb, 30.0);
+  EXPECT_DOUBLE_EQ(row.zero_fraction, 0.6);
+  EXPECT_GT(row.std_gb, 0.0);
+  EXPECT_EQ(row.planned_migrations, 2);
+}
+
+class ComparisonTest : public ::testing::Test {
+ protected:
+  static const Comparison& comparison() {
+    static const Comparison cmp = [] {
+      // Mirrors the Table-1 bench configuration (see bench/table1) at a
+      // shorter 5-day span: the qualitative matrix needs a fleet that is
+      // NOT over-subscribed (demand ≈ 30% of typically-powered capacity),
+      // otherwise every policy just thrashes.
+      util::TimeAxis axis{15};
+      const std::size_t span = 96 * 5;
+      energy::FleetConfig fleet_config;
+      fleet_config.n_solar = 4;
+      fleet_config.n_wind = 6;
+      fleet_config.region_km = 2500.0;
+      const energy::Fleet fleet =
+          energy::generate_fleet(fleet_config, axis, span);
+      VbGraphConfig graph_config;
+      graph_config.cores_per_mw = 20.0;
+      const VbGraph graph{fleet, graph_config};
+
+      workload::AppGeneratorConfig apps_config;
+      apps_config.apps_per_hour = 2.2;
+      const auto apps = workload::generate_apps(apps_config, axis, span);
+      return compare_policies(graph, apps);
+    }();
+    return cmp;
+  }
+
+  static const PolicyRow& row(const std::string& name) {
+    for (const PolicyRow& r : comparison().rows) {
+      if (r.policy == name) return r;
+    }
+    throw std::runtime_error{"row not found: " + name};
+  }
+};
+
+TEST_F(ComparisonTest, AllFourPoliciesRan) {
+  ASSERT_EQ(comparison().rows.size(), 4u);
+  EXPECT_EQ(comparison().rows[0].policy, "Greedy");
+  EXPECT_EQ(comparison().rows[1].policy, "MIP-24h");
+  EXPECT_EQ(comparison().rows[2].policy, "MIP");
+  EXPECT_EQ(comparison().rows[3].policy, "MIP-peak");
+  for (const auto& series : comparison().moved_gb) {
+    EXPECT_EQ(series.size(), 96u * 5u);
+  }
+}
+
+TEST_F(ComparisonTest, EveryPolicyMovedSomething) {
+  for (const PolicyRow& r : comparison().rows) {
+    EXPECT_GT(r.total_gb, 0.0) << r.policy;
+  }
+}
+
+// The paper's headline (Table 1): MIP beats Greedy on total overhead.
+TEST_F(ComparisonTest, MipReducesTotalVersusGreedy) {
+  EXPECT_LT(row("MIP").total_gb, row("Greedy").total_gb);
+}
+
+// Fig. 7 / Table 1: MIP-peak has the least bursty traffic: lowest standard
+// deviation and lowest peak of the four.
+TEST_F(ComparisonTest, MipPeakIsLeastBursty) {
+  const PolicyRow& peak = row("MIP-peak");
+  for (const std::string name : {"Greedy", "MIP-24h", "MIP"}) {
+    EXPECT_LE(peak.std_gb, row(name).std_gb) << name;
+    EXPECT_LE(peak.peak_gb, row(name).peak_gb) << name;
+  }
+}
+
+// Fig. 7: MIP-peak migrates more often (fewer zero ticks) than Greedy,
+// while plain MIP concentrates its migrations (most zero ticks).
+TEST_F(ComparisonTest, ZeroFractionOrdering) {
+  EXPECT_LT(row("MIP-peak").zero_fraction, row("Greedy").zero_fraction);
+  EXPECT_GE(row("MIP").zero_fraction, row("MIP-peak").zero_fraction);
+}
+
+TEST_F(ComparisonTest, GreedyNeverPlansMigrations) {
+  EXPECT_EQ(row("Greedy").planned_migrations, 0);
+  EXPECT_GT(row("MIP").planned_migrations, 0);
+}
+
+TEST_F(ComparisonTest, MipVariantsCutForcedMigrations) {
+  EXPECT_LT(row("MIP").forced_migrations, row("Greedy").forced_migrations);
+}
+
+}  // namespace
+}  // namespace vbatt::core

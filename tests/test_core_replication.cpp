@@ -1,0 +1,157 @@
+#include "vbatt/core/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "vbatt/core/mip_scheduler.h"
+#include "vbatt/energy/site.h"
+
+namespace vbatt::core {
+namespace {
+
+util::TimeAxis axis15() { return util::TimeAxis{15}; }
+
+VbGraph small_graph(std::size_t ticks = 96 * 3) {
+  energy::FleetConfig config;
+  config.n_solar = 2;
+  config.n_wind = 3;
+  config.region_km = 800.0;
+  VbGraphConfig graph_config;
+  graph_config.cores_per_mw = 10.0;
+  return VbGraph{energy::generate_fleet(config, axis15(), ticks),
+                 graph_config};
+}
+
+std::vector<workload::Application> some_apps(int count,
+                                             util::Tick lifetime = 96 * 2) {
+  std::vector<workload::Application> apps;
+  for (int i = 0; i < count; ++i) {
+    workload::Application app;
+    app.app_id = i;
+    app.arrival = i * 2;
+    app.lifetime_ticks = lifetime;
+    app.shape = {4, 16.0};
+    app.n_stable = 6;
+    app.n_degradable = 3;
+    apps.push_back(app);
+  }
+  return apps;
+}
+
+TEST(Replication, ValidatesConfig) {
+  const VbGraph graph = small_graph(96);
+  ReplicationConfig bad;
+  bad.rebuild_hours = 0.0;
+  EXPECT_THROW(run_replication_simulation(graph, {}, bad),
+               std::invalid_argument);
+}
+
+TEST(Replication, HotStandbyProducesContinuousTraffic) {
+  const VbGraph graph = small_graph();
+  const SimResult result =
+      run_replication_simulation(graph, some_apps(10));
+  EXPECT_EQ(result.apps_placed, 10);
+  // Continuous sync: while apps are alive (they depart at tick 192),
+  // nearly every tick carries traffic.
+  std::size_t busy = 0;
+  constexpr std::size_t kBegin = 96;
+  constexpr std::size_t kEnd = 190;
+  for (std::size_t i = kBegin; i < kEnd; ++i) {
+    if (result.moved_gb[i] > 0.0) ++busy;
+  }
+  EXPECT_GT(static_cast<double>(busy) / (kEnd - kBegin), 0.9);
+}
+
+TEST(Replication, HotTrafficIsLowVarianceComparedToMigration) {
+  const VbGraph graph = small_graph(96 * 4);
+  const auto apps = some_apps(15, 96 * 3);
+
+  const SimResult replicated = run_replication_simulation(graph, apps);
+  MipScheduler mip{make_mip_config()};
+  const SimResult migrated = run_simulation(graph, apps, mip);
+
+  // §3's dichotomy: replication = continuous, migration = bursty. Compare
+  // the fraction of quiet ticks; replication should have far fewer.
+  const auto zero_fraction = [](const std::vector<double>& xs) {
+    std::size_t zeros = 0;
+    for (const double x : xs) {
+      if (x == 0.0) ++zeros;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(xs.size());
+  };
+  EXPECT_LT(zero_fraction(replicated.moved_gb), 0.30);
+  EXPECT_GT(zero_fraction(migrated.moved_gb), 0.60);
+}
+
+TEST(Replication, ColdCheckpointsAreBurstier) {
+  const VbGraph graph = small_graph(96 * 4);
+  const auto apps = some_apps(10, 96 * 3);
+  ReplicationConfig cold;
+  cold.hot_standby = false;
+  cold.checkpoint_interval_hours = 6.0;
+  const SimResult result = run_replication_simulation(graph, apps, cold);
+  // Checkpoints land on the shared cadence: many zero ticks in between.
+  std::size_t zeros = 0;
+  for (const double x : result.moved_gb) {
+    if (x == 0.0) ++zeros;
+  }
+  EXPECT_GT(static_cast<double>(zeros) / result.moved_gb.size(), 0.5);
+  double total = std::accumulate(result.moved_gb.begin(),
+                                 result.moved_gb.end(), 0.0);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Replication, FailoversHappenWhenPrimaryLosesPower) {
+  // A big solar farm next to a small wind farm: capacity pressure pushes
+  // primaries onto solar, and nightfall forces failovers to the wind site.
+  energy::Fleet fleet;
+  fleet.axis = axis15();
+  energy::SiteSpec solar_spec;
+  solar_spec.id = 0;
+  solar_spec.name = "big-solar";
+  solar_spec.source = energy::Source::solar;
+  solar_spec.peak_mw = 400.0;
+  solar_spec.location = {0.0, 0.0};
+  solar_spec.solar.peak_mw = 400.0;
+  energy::SiteSpec wind_spec;
+  wind_spec.id = 1;
+  wind_spec.name = "small-wind";
+  wind_spec.source = energy::Source::wind;
+  wind_spec.peak_mw = 40.0;
+  wind_spec.location = {200.0, 0.0};
+  wind_spec.wind.peak_mw = 40.0;
+  wind_spec.wind.base_speed = 9.0;  // steady little farm
+  fleet.specs = {solar_spec, wind_spec};
+  fleet.traces.push_back(solar_spec.generate(axis15(), 96 * 3));
+  fleet.traces.push_back(wind_spec.generate(axis15(), 96 * 3));
+
+  VbGraphConfig graph_config;
+  graph_config.cores_per_mw = 10.0;
+  const VbGraph graph{fleet, graph_config};
+  const SimResult result =
+      run_replication_simulation(graph, some_apps(10, 96 * 2));
+  EXPECT_GT(result.planned_migrations, 0);  // failovers
+  EXPECT_EQ(result.forced_migrations, 0);   // replication never migrates
+}
+
+TEST(Replication, LedgerConservation) {
+  const VbGraph graph = small_graph();
+  const SimResult result = run_replication_simulation(graph, some_apps(8));
+  double out_total = 0.0;
+  double in_total = 0.0;
+  for (std::size_t s = 0; s < graph.n_sites(); ++s) {
+    for (const double v : result.ledger.out_series(s)) out_total += v;
+    for (const double v : result.ledger.in_series(s)) in_total += v;
+  }
+  EXPECT_NEAR(out_total, in_total, 1e-6);
+}
+
+TEST(Replication, EnergyAccounted) {
+  const VbGraph graph = small_graph();
+  const SimResult result = run_replication_simulation(graph, some_apps(8));
+  EXPECT_GT(result.energy_mwh, 0.0);
+}
+
+}  // namespace
+}  // namespace vbatt::core

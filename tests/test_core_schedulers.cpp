@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "vbatt/core/mip_scheduler.h"
+#include "vbatt/core/scheduler.h"
+#include "vbatt/energy/site.h"
+
+namespace vbatt::core {
+namespace {
+
+util::TimeAxis axis15() { return util::TimeAxis{15}; }
+
+struct Fixture {
+  energy::Fleet fleet;
+  VbGraph graph;
+
+  explicit Fixture(std::size_t ticks = 96 * 3, double region_km = 600.0)
+      : fleet{make_fleet(ticks, region_km)}, graph{fleet, graph_config()} {}
+
+  static energy::Fleet make_fleet(std::size_t ticks, double region_km) {
+    energy::FleetConfig config;
+    config.n_solar = 2;
+    config.n_wind = 3;
+    config.region_km = region_km;
+    return energy::generate_fleet(config, axis15(), ticks);
+  }
+  static VbGraphConfig graph_config() {
+    VbGraphConfig config;
+    config.cores_per_mw = 10.0;
+    return config;
+  }
+
+  FleetState state(util::Tick now = 0) const {
+    FleetState s;
+    s.graph = &graph;
+    s.now = now;
+    s.stable_cores.assign(graph.n_sites(), 0);
+    s.degradable_cores.assign(graph.n_sites(), 0);
+    return s;
+  }
+
+  static workload::Application app(std::int64_t id, int stable = 4,
+                                   int degradable = 2) {
+    workload::Application a;
+    a.app_id = id;
+    a.shape = {4, 16.0};
+    a.n_stable = stable;
+    a.n_degradable = degradable;
+    a.lifetime_ticks = 96;
+    return a;
+  }
+};
+
+TEST(Greedy, PicksHighestPowerSite) {
+  const Fixture fx;
+  FleetState state = fx.state(40);  // mid-morning: wind vs solar differ
+  GreedyScheduler greedy;
+  const auto placement = greedy.place(Fixture::app(1), state);
+  // Chosen site has maximal available power.
+  for (std::size_t s = 0; s < fx.graph.n_sites(); ++s) {
+    EXPECT_GE(state.available(placement.site), state.available(s));
+  }
+  // Allowed set contains the chosen site.
+  EXPECT_NE(std::find(placement.allowed.begin(), placement.allowed.end(),
+                      placement.site),
+            placement.allowed.end());
+  EXPECT_TRUE(placement.scheduled_moves.empty());
+}
+
+TEST(Greedy, NeverReplans) {
+  GreedyScheduler greedy;
+  EXPECT_EQ(greedy.replan_period_ticks(), 0);
+}
+
+TEST(MipScheduler, ValidatesConfig) {
+  MipSchedulerConfig bad;
+  bad.clique_k = 0;
+  EXPECT_THROW(MipScheduler{bad}, std::invalid_argument);
+  MipSchedulerConfig safety;
+  safety.capacity_safety = 0.0;
+  EXPECT_THROW(MipScheduler{safety}, std::invalid_argument);
+}
+
+TEST(MipScheduler, PlacesWithinACliqueAndSchedulesNoInitialMove) {
+  const Fixture fx;
+  FleetState state = fx.state(0);
+  MipSchedulerConfig config = make_mip_config();
+  config.clique_k = 2;
+  MipScheduler scheduler{config};
+  const auto placement = scheduler.place(Fixture::app(1), state);
+  EXPECT_EQ(placement.allowed.size(), 2u);
+  EXPECT_NE(std::find(placement.allowed.begin(), placement.allowed.end(),
+                      placement.site),
+            placement.allowed.end());
+  EXPECT_GT(scheduler.solve_count(), 0);
+  // Pairwise latency within the subgraph is under the threshold.
+  for (std::size_t a = 0; a < placement.allowed.size(); ++a) {
+    for (std::size_t b = a + 1; b < placement.allowed.size(); ++b) {
+      EXPECT_TRUE(fx.graph.latency().connected(placement.allowed[a],
+                                               placement.allowed[b]));
+    }
+  }
+}
+
+TEST(MipScheduler, AvoidsSiteAboutToDie) {
+  // Two-site fleet: a solar site near dusk and a wind site. A lookahead
+  // scheduler must not park a long-lived app on the dying solar site.
+  energy::FleetConfig fleet_config;
+  fleet_config.n_solar = 1;
+  fleet_config.n_wind = 1;
+  fleet_config.region_km = 200.0;
+  const energy::Fleet fleet =
+      energy::generate_fleet(fleet_config, axis15(), 96 * 3);
+  const VbGraph graph{fleet, Fixture::graph_config()};
+
+  FleetState state;
+  state.graph = &graph;
+  state.now = 66;  // ~16:30, solar fading
+  state.stable_cores.assign(2, 0);
+  state.degradable_cores.assign(2, 0);
+
+  MipSchedulerConfig config = make_mip_config();
+  config.clique_k = 2;
+  MipScheduler scheduler{config};
+  workload::Application app = Fixture::app(1);
+  app.lifetime_ticks = 96;  // runs through the night
+  const auto placement = scheduler.place(app, state);
+  EXPECT_EQ(fleet.specs[placement.site].source, energy::Source::wind);
+}
+
+TEST(MipScheduler, ReplanReturnsConsistentMoves) {
+  const Fixture fx{96 * 3, 600.0};
+  FleetState state = fx.state(0);
+  MipScheduler scheduler{make_mip_config()};
+
+  // Place two apps, then advance and replan.
+  for (int i = 0; i < 2; ++i) {
+    const workload::Application app = Fixture::app(i);
+    const auto placement = scheduler.place(app, state);
+    LiveApp live;
+    live.app = app;
+    live.end_tick = 96 * 3;
+    live.site = placement.site;
+    live.allowed = placement.allowed;
+    live.active_degradable = app.n_degradable;
+    state.stable_cores[live.site] += app.stable_cores();
+    state.apps.emplace(app.app_id, live);
+  }
+  state.now = 24;
+  const std::vector<Move> moves = scheduler.replan(state);
+  for (const Move& move : moves) {
+    EXPECT_GE(move.at_tick, state.now);
+    ASSERT_TRUE(state.apps.contains(move.app_id));
+    const auto& allowed = state.apps.at(move.app_id).allowed;
+    EXPECT_NE(std::find(allowed.begin(), allowed.end(), move.to_site),
+              allowed.end());
+  }
+}
+
+TEST(MipScheduler, PeakVariantSpreadsMoveTicks) {
+  MipSchedulerConfig config = make_mip_peak_config();
+  EXPECT_TRUE(config.optimize_peak);
+  EXPECT_TRUE(config.spread_moves_in_bucket);
+  EXPECT_EQ(make_mip_config().optimize_peak, false);
+  EXPECT_EQ(make_mip24h_config().horizon_ticks, 96);
+}
+
+TEST(MipScheduler, FallsBackToGreedyWhenNoCliqueFits) {
+  // Fleet so spread out there are no k=3 cliques at all.
+  energy::FleetConfig fleet_config;
+  fleet_config.n_solar = 2;
+  fleet_config.n_wind = 1;
+  fleet_config.region_km = 30000.0;
+  const energy::Fleet fleet =
+      energy::generate_fleet(fleet_config, axis15(), 96);
+  const VbGraph graph{fleet, Fixture::graph_config()};
+  FleetState state;
+  state.graph = &graph;
+  state.now = 0;
+  state.stable_cores.assign(3, 0);
+  state.degradable_cores.assign(3, 0);
+
+  MipSchedulerConfig config = make_mip_config();
+  config.clique_k = 3;
+  MipScheduler scheduler{config};
+  const auto placement = scheduler.place(Fixture::app(1), state);
+  EXPECT_LT(placement.site, graph.n_sites());
+  EXPECT_FALSE(placement.allowed.empty());
+}
+
+}  // namespace
+}  // namespace vbatt::core

@@ -1,0 +1,110 @@
+#include "vbatt/dcsim/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbatt/energy/solar.h"
+
+namespace vbatt::dcsim {
+namespace {
+
+util::TimeAxis axis15() { return util::TimeAxis{15}; }
+
+TEST(Batch, Validates) {
+  BatchConfig bad;
+  bad.checkpoint_interval_hours = 0.0;
+  EXPECT_THROW(run_batch_jobs(axis15(), {1}, bad), std::invalid_argument);
+  EXPECT_THROW(run_batch_jobs(axis15(), {-1}, {}), std::invalid_argument);
+  EXPECT_THROW(young_daly_interval_hours(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(young_daly_interval_hours(0.1, 0.0), std::invalid_argument);
+}
+
+TEST(Batch, SteadyCapacityLosesOnlyCheckpointOverhead) {
+  const std::vector<int> slots(96, 10);  // 10 slots, 24 h, no preemptions
+  const BatchResult r = run_batch_jobs(axis15(), slots, {});
+  EXPECT_EQ(r.preemptions, 0);
+  EXPECT_DOUBLE_EQ(r.lost_work_hours, 0.0);
+  EXPECT_NEAR(r.offered_vm_hours, 240.0, 1e-9);
+  // tau = 1 h, cost = 2 min: overhead fraction = (1/30)/(1 + 1/30).
+  const double frac = (2.0 / 60.0) / (1.0 + 2.0 / 60.0);
+  EXPECT_NEAR(r.checkpoint_overhead_hours, 240.0 * frac, 1e-9);
+  EXPECT_NEAR(r.goodput(), 1.0 - frac, 1e-9);
+}
+
+TEST(Batch, PreemptionsLoseHalfAnIntervalOnAverage) {
+  // 10 slots for 4 ticks, then 0: one mass preemption of 10 slots.
+  std::vector<int> slots(8, 0);
+  for (int i = 0; i < 4; ++i) slots[static_cast<std::size_t>(i)] = 10;
+  BatchConfig config;
+  config.checkpoint_interval_hours = 0.5;
+  config.checkpoint_cost_minutes = 0.0;
+  config.restore_cost_minutes = 0.0;
+  const BatchResult r = run_batch_jobs(axis15(), slots, config);
+  EXPECT_EQ(r.preemptions, 10);
+  EXPECT_NEAR(r.lost_work_hours, 10 * 0.25, 1e-9);
+}
+
+TEST(Batch, GoodputDegradesWithChurn) {
+  std::vector<int> steady(96, 10);
+  std::vector<int> churny(96);
+  for (std::size_t i = 0; i < churny.size(); ++i) {
+    churny[i] = (i / 4) % 2 == 0 ? 10 : 2;  // hourly swings
+  }
+  const BatchResult a = run_batch_jobs(axis15(), steady, {});
+  const BatchResult b = run_batch_jobs(axis15(), churny, {});
+  EXPECT_GT(a.goodput(), b.goodput());
+}
+
+TEST(Batch, ObservedMtbf) {
+  // 10 slots for 24h with one 10-slot preemption: 240 slot-hours / 10.
+  std::vector<int> slots(96, 10);
+  for (std::size_t i = 48; i < 52; ++i) slots[i] = 0;
+  const double mtbf = observed_mtbf_hours(axis15(), slots);
+  EXPECT_GT(mtbf, 20.0);
+  EXPECT_LT(mtbf, 24.0);
+  EXPECT_TRUE(std::isinf(observed_mtbf_hours(axis15(), {5, 5, 5})));
+}
+
+TEST(Batch, YoungDalyFormula) {
+  EXPECT_NEAR(young_daly_interval_hours(0.05, 10.0), 1.0, 1e-9);
+  EXPECT_NEAR(young_daly_interval_hours(0.02, 25.0), 1.0, 1e-9);
+}
+
+// The headline property: on solar-driven degradable capacity, the
+// Young–Daly interval is within a few percent of the empirically best
+// checkpoint interval from a sweep.
+TEST(Batch, YoungDalyNearEmpiricalOptimum) {
+  energy::SolarConfig solar_config;
+  solar_config.seed = 99;
+  const auto trace =
+      energy::SolarModel{solar_config}.generate(axis15(), 96 * 60);
+  std::vector<int> slots(trace.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i] = static_cast<int>(
+        trace.normalized(static_cast<util::Tick>(i)) * 100.0);
+  }
+  BatchConfig config;
+  config.checkpoint_cost_minutes = 3.0;
+
+  const double mtbf = observed_mtbf_hours(axis15(), slots);
+  const double tau_star = young_daly_interval_hours(3.0 / 60.0, mtbf);
+
+  double best_tau = 0.0;
+  double best_goodput = -1.0;
+  for (double tau = 0.1; tau <= 8.0; tau *= 1.15) {
+    config.checkpoint_interval_hours = tau;
+    const double goodput = run_batch_jobs(axis15(), slots, config).goodput();
+    if (goodput > best_goodput) {
+      best_goodput = goodput;
+      best_tau = tau;
+    }
+  }
+  config.checkpoint_interval_hours = tau_star;
+  const double yd_goodput = run_batch_jobs(axis15(), slots, config).goodput();
+  EXPECT_GT(yd_goodput, best_goodput - 0.01)
+      << "tau*=" << tau_star << " best_tau=" << best_tau;
+}
+
+}  // namespace
+}  // namespace vbatt::dcsim

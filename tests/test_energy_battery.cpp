@@ -1,0 +1,137 @@
+#include "vbatt/energy/battery.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vbatt::energy {
+namespace {
+
+PowerTrace hourly(std::vector<double> norm, double peak = 100.0) {
+  return PowerTrace{util::TimeAxis{60}, peak, std::move(norm), Source::wind};
+}
+
+TEST(Battery, ValidatesConfig) {
+  const PowerTrace t = hourly({0.5});
+  BatteryConfig bad;
+  bad.round_trip_efficiency = 0.0;
+  EXPECT_THROW(firm_trace(t, bad, 10.0), std::invalid_argument);
+  BatteryConfig soc;
+  soc.initial_soc = 2.0;
+  EXPECT_THROW(firm_trace(t, soc, 10.0), std::invalid_argument);
+  EXPECT_THROW(firm_trace(t, BatteryConfig{}, -1.0), std::invalid_argument);
+}
+
+TEST(Battery, PassthroughWhenAtTarget) {
+  const PowerTrace t = hourly(std::vector<double>(10, 0.5));
+  const BatteryResult r = firm_trace(t, BatteryConfig{}, 50.0);
+  for (const double mw : r.delivered_mw) EXPECT_DOUBLE_EQ(mw, 50.0);
+  EXPECT_DOUBLE_EQ(r.charged_mwh, 0.0);
+  EXPECT_DOUBLE_EQ(r.discharged_mwh, 0.0);
+  EXPECT_DOUBLE_EQ(r.loss_mwh, 0.0);
+}
+
+TEST(Battery, ShiftsSurplusIntoDeficit) {
+  // One high hour, one zero hour; perfect-efficiency battery firms both
+  // to the target.
+  BatteryConfig config;
+  config.capacity_mwh = 100.0;
+  config.max_charge_mw = 100.0;
+  config.max_discharge_mw = 100.0;
+  config.round_trip_efficiency = 1.0;
+  config.initial_soc = 0.0;
+  const PowerTrace t = hourly({0.8, 0.0});
+  const BatteryResult r = firm_trace(t, config, 40.0);
+  EXPECT_DOUBLE_EQ(r.delivered_mw[0], 40.0);  // 40 charged
+  EXPECT_DOUBLE_EQ(r.delivered_mw[1], 40.0);  // 40 discharged
+  EXPECT_DOUBLE_EQ(r.floor_mw(), 40.0);
+  EXPECT_DOUBLE_EQ(r.loss_mwh, 0.0);
+}
+
+TEST(Battery, EfficiencyLossesAccrue) {
+  BatteryConfig config;
+  config.capacity_mwh = 1000.0;
+  config.max_charge_mw = 1000.0;
+  config.max_discharge_mw = 1000.0;
+  config.round_trip_efficiency = 0.81;  // side eff 0.9
+  config.initial_soc = 0.0;
+  const PowerTrace t = hourly({1.0, 0.0});
+  const BatteryResult r = firm_trace(t, config, 50.0);
+  // Charge 50 MWh -> 45 stored; discharge capped by stored energy.
+  EXPECT_DOUBLE_EQ(r.delivered_mw[0], 50.0);
+  EXPECT_NEAR(r.delivered_mw[1], 45.0 * 0.9, 1e-9);
+  EXPECT_GT(r.loss_mwh, 0.0);
+}
+
+TEST(Battery, PowerLimitBindsCharging) {
+  BatteryConfig config;
+  config.capacity_mwh = 1000.0;
+  config.max_charge_mw = 10.0;
+  config.round_trip_efficiency = 1.0;
+  const PowerTrace t = hourly({1.0});
+  const BatteryResult r = firm_trace(t, config, 0.0);
+  // Only 10 MW could be absorbed; the rest flows through.
+  EXPECT_DOUBLE_EQ(r.delivered_mw[0], 90.0);
+  EXPECT_DOUBLE_EQ(r.charged_mwh, 10.0);
+}
+
+TEST(Battery, CapacityBindsCharging) {
+  BatteryConfig config;
+  config.capacity_mwh = 5.0;
+  config.max_charge_mw = 1000.0;
+  config.round_trip_efficiency = 1.0;
+  config.initial_soc = 0.0;
+  const PowerTrace t = hourly({1.0, 1.0});
+  const BatteryResult r = firm_trace(t, config, 0.0);
+  EXPECT_NEAR(r.soc_mwh[0], 5.0, 1e-9);
+  EXPECT_NEAR(r.charged_mwh, 5.0, 1e-9);  // full after hour one
+}
+
+TEST(Battery, EnergyConservation) {
+  // produced = delivered + losses + delta SOC (at unit efficiency the
+  // loss term vanishes).
+  BatteryConfig config;
+  config.capacity_mwh = 50.0;
+  config.round_trip_efficiency = 1.0;
+  config.initial_soc = 0.5;
+  const PowerTrace t = hourly({0.9, 0.1, 0.7, 0.0, 0.4});
+  const BatteryResult r = firm_trace(t, config, 40.0);
+  double delivered = 0.0;
+  for (const double mw : r.delivered_mw) delivered += mw;
+  const double soc_delta = r.soc_mwh.back() - 25.0;
+  EXPECT_NEAR(t.total_energy_mwh(), delivered + soc_delta, 1e-9);
+}
+
+TEST(RequiredBattery, ZeroTargetNeedsNothing) {
+  const PowerTrace t = hourly({0.5, 0.0, 0.5});
+  EXPECT_DOUBLE_EQ(required_battery_mwh(t, 0.0), 0.0);
+}
+
+TEST(RequiredBattery, InfeasibleTargetIsInfinite) {
+  // Mean production 25 MW can never firm to 90 MW.
+  const PowerTrace t = hourly({0.5, 0.0, 0.5, 0.0});
+  EXPECT_TRUE(std::isinf(required_battery_mwh(t, 90.0)));
+}
+
+TEST(RequiredBattery, MonotoneInTarget) {
+  std::vector<double> norm;
+  for (int d = 0; d < 4; ++d) {
+    for (int h = 0; h < 24; ++h) {
+      norm.push_back(h >= 6 && h < 18 ? 0.8 : 0.05);  // day/night square
+    }
+  }
+  const PowerTrace t = hourly(norm, 400.0);
+  const double small = required_battery_mwh(t, 50.0);
+  const double large = required_battery_mwh(t, 100.0);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+  // And the sized battery actually achieves the floor.
+  BatteryConfig config;
+  config.capacity_mwh = large * 1.01;
+  config.max_charge_mw = config.capacity_mwh / 4.0;
+  config.max_discharge_mw = config.capacity_mwh / 4.0;
+  EXPECT_GE(firm_trace(t, config, 100.0).floor_mw(), 99.9);
+}
+
+}  // namespace
+}  // namespace vbatt::energy

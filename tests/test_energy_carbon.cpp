@@ -1,0 +1,67 @@
+#include "vbatt/energy/carbon.h"
+
+#include <gtest/gtest.h>
+
+namespace vbatt::energy {
+namespace {
+
+util::TimeAxis axis15() { return util::TimeAxis{15}; }
+
+TEST(Carbon, IntensityPeaksInTheEvening) {
+  CarbonConfig config;
+  const double evening =
+      grid_intensity_gco2(config, axis15(), axis15().from_hours(19.0));
+  const double morning =
+      grid_intensity_gco2(config, axis15(), axis15().from_hours(7.0));
+  EXPECT_GT(evening, morning);
+  EXPECT_NEAR(evening, config.grid_base_gco2_per_kwh +
+                           config.grid_swing_gco2_per_kwh,
+              1.0);
+}
+
+TEST(Carbon, IntensityAlwaysPositive) {
+  CarbonConfig config;
+  for (util::Tick t = 0; t < 96; ++t) {
+    EXPECT_GT(grid_intensity_gco2(config, axis15(), t), 0.0);
+  }
+}
+
+TEST(Carbon, ValidatesConfig) {
+  CarbonConfig bad;
+  bad.grid_swing_gco2_per_kwh = bad.grid_base_gco2_per_kwh + 1.0;
+  EXPECT_THROW(compare_carbon(bad, axis15(), {1.0}), std::invalid_argument);
+  CarbonConfig neg;
+  neg.renewable_gco2_per_kwh = -1.0;
+  EXPECT_THROW(compare_carbon(neg, axis15(), {1.0}), std::invalid_argument);
+}
+
+TEST(Carbon, HandComputedComparison) {
+  // 1 MWh consumed in a single tick at exactly the evening peak.
+  CarbonConfig config;
+  std::vector<double> consumption(96, 0.0);
+  const auto peak_tick =
+      static_cast<std::size_t>(axis15().from_hours(19.0));
+  consumption[peak_tick] = 1.0;
+  const CarbonReport report = compare_carbon(config, axis15(), consumption);
+  // 1000 kWh x 410 g/kWh = 0.410 t on grid; 1000 x 15 g = 0.015 t on VB.
+  EXPECT_NEAR(report.grid_tco2, 0.410, 0.002);
+  EXPECT_NEAR(report.vb_tco2, 0.015, 1e-9);
+  EXPECT_NEAR(report.avoided_fraction(), 1.0 - 0.015 / 0.410, 0.01);
+}
+
+TEST(Carbon, EmptyConsumptionIsZero) {
+  const CarbonReport report = compare_carbon({}, axis15(), {});
+  EXPECT_DOUBLE_EQ(report.grid_tco2, 0.0);
+  EXPECT_DOUBLE_EQ(report.avoided_fraction(), 0.0);
+}
+
+TEST(Carbon, VbAlwaysCleanerWithDefaults) {
+  std::vector<double> consumption(96 * 7, 0.5);
+  const CarbonReport report =
+      compare_carbon(CarbonConfig{}, axis15(), consumption);
+  EXPECT_GT(report.avoided_fraction(), 0.90);  // ~95% avoided
+  EXPECT_GT(report.grid_tco2, report.vb_tco2);
+}
+
+}  // namespace
+}  // namespace vbatt::energy

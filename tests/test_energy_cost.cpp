@@ -1,0 +1,47 @@
+#include "vbatt/energy/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace vbatt::energy {
+namespace {
+
+PowerTrace flat_trace() {
+  // 10 hours at 0.5 of 400 MW = 2000 MWh.
+  return PowerTrace{util::TimeAxis{60}, 400.0,
+                    std::vector<double>(10, 0.5), Source::wind};
+}
+
+TEST(CostModel, PaperHeadlineSaving) {
+  // §2.1: 20% of DC cost is power, 50% of power cost is transmission
+  // -> co-location saves ≈10% of total cost.
+  const CostSummary summary = evaluate_economics({}, flat_trace());
+  EXPECT_DOUBLE_EQ(summary.opex_saving_fraction, 0.10);
+}
+
+TEST(CostModel, CurtailmentRecovery) {
+  CostModelConfig config;
+  config.curtailment_fraction = 0.06;
+  config.wholesale_usd_per_mwh = 40.0;
+  const CostSummary summary = evaluate_economics(config, flat_trace());
+  EXPECT_DOUBLE_EQ(summary.recoverable_curtailed_mwh, 120.0);  // 6% of 2000
+  EXPECT_DOUBLE_EQ(summary.recoverable_value_usd, 4800.0);
+}
+
+TEST(CostModel, ValidatesFractions) {
+  CostModelConfig bad;
+  bad.power_share_of_opex = 1.5;
+  EXPECT_THROW(evaluate_economics(bad, flat_trace()), std::invalid_argument);
+  CostModelConfig neg;
+  neg.curtailment_fraction = -0.1;
+  EXPECT_THROW(evaluate_economics(neg, flat_trace()), std::invalid_argument);
+}
+
+TEST(CostModel, ZeroSharesZeroSavings) {
+  CostModelConfig config;
+  config.power_share_of_opex = 0.0;
+  const CostSummary summary = evaluate_economics(config, flat_trace());
+  EXPECT_DOUBLE_EQ(summary.opex_saving_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace vbatt::energy

@@ -1,0 +1,135 @@
+#include "vbatt/energy/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include "vbatt/energy/solar.h"
+#include "vbatt/energy/wind.h"
+#include "vbatt/stats/series.h"
+
+namespace vbatt::energy {
+namespace {
+
+util::TimeAxis axis15() { return util::TimeAxis{15}; }
+
+PowerTrace year_solar() {
+  SolarConfig config;
+  config.start_day_of_year = 0;
+  return SolarModel{config}.generate(axis15(), 96u * 365u);
+}
+
+PowerTrace year_wind() {
+  WindConfig config;
+  config.start_day_of_year = 0;
+  return WindModel{config}.generate(axis15(), 96u * 365u);
+}
+
+TEST(Forecaster, ValidatesConfig) {
+  ForecastConfig bad;
+  bad.window_per_lead = 0.0;
+  EXPECT_THROW(Forecaster{bad}, std::invalid_argument);
+}
+
+TEST(Forecaster, Deterministic) {
+  const Forecaster fc;
+  const PowerTrace solar = year_solar();
+  EXPECT_EQ(fc.forecast(solar, 24.0), fc.forecast(solar, 24.0));
+}
+
+TEST(Forecaster, OutputInUnitRange) {
+  const Forecaster fc;
+  const PowerTrace wind = year_wind();
+  for (const double v : fc.forecast(wind, 168.0)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Forecaster, SolarForecastKnowsNight) {
+  const Forecaster fc;
+  const PowerTrace solar = year_solar();
+  const auto forecast = fc.forecast(solar, 168.0);
+  // Wherever actual is zero across the whole climatology (deep night),
+  // the forecast must be ~zero too, even a week out.
+  const auto clim = Forecaster::climatology(solar);
+  for (std::size_t i = 0; i < forecast.size(); ++i) {
+    if (clim[i % 96] <= 0.02) {
+      EXPECT_LE(forecast[i], 0.03);
+    }
+  }
+}
+
+TEST(Forecaster, ClimatologyHasDiurnalShape) {
+  const auto clim = Forecaster::climatology(year_solar());
+  ASSERT_EQ(clim.size(), 96u);
+  // Noon bucket far above midnight bucket.
+  EXPECT_GT(clim[50], 10.0 * std::max(1e-9, clim[0]));
+}
+
+TEST(Forecaster, ErrorGrowsWithLead) {
+  const Forecaster fc;
+  const PowerTrace solar = year_solar();
+  const PowerTrace wind = year_wind();
+  for (const PowerTrace* trace : {&solar, &wind}) {
+    const double short_lead = fc.measured_mape(*trace, 3.0);
+    const double day = fc.measured_mape(*trace, 24.0);
+    const double week = fc.measured_mape(*trace, 168.0);
+    EXPECT_LT(short_lead, day);
+    EXPECT_LT(day, week);
+  }
+}
+
+// Fig. 5 calibration bands (paper: 8.5-9% @3h, 18-25% @day, 44-75% @week).
+// Our synthetic weather is somewhat less regime-persistent than Europe's,
+// so the long-lead bands are wider; EXPERIMENTS.md records the exact
+// measured values.
+TEST(Forecaster, MapeBandsNearPaper) {
+  const Forecaster fc;
+  const PowerTrace solar = year_solar();
+  const PowerTrace wind = year_wind();
+
+  const double solar3 = fc.measured_mape(solar, 3.0);
+  const double wind3 = fc.measured_mape(wind, 3.0);
+  EXPECT_GT(solar3, 5.0);
+  EXPECT_LT(solar3, 14.0);
+  EXPECT_GT(wind3, 5.0);
+  EXPECT_LT(wind3, 14.0);
+
+  const double solar24 = fc.measured_mape(solar, 24.0);
+  const double wind24 = fc.measured_mape(wind, 24.0);
+  EXPECT_GT(solar24, 14.0);
+  EXPECT_LT(solar24, 32.0);
+  EXPECT_GT(wind24, 14.0);
+  EXPECT_LT(wind24, 36.0);
+
+  const double solar168 = fc.measured_mape(solar, 168.0);
+  const double wind168 = fc.measured_mape(wind, 168.0);
+  EXPECT_GT(solar168, 35.0);
+  EXPECT_LT(solar168, 90.0);
+  EXPECT_GT(wind168, 50.0);
+  EXPECT_LT(wind168, 110.0);
+}
+
+TEST(Forecaster, ZeroLeadTracksActualClosely) {
+  const Forecaster fc;
+  const PowerTrace wind = year_wind();
+  // Lead 0: no smoothing beyond one tick, no climatology blend, minimal
+  // noise. MAPE should be far below the 3-hour figure.
+  EXPECT_LT(fc.measured_mape(wind, 0.0), 7.0);
+}
+
+TEST(Forecaster, NegativeLeadThrows) {
+  const Forecaster fc;
+  const PowerTrace wind = year_wind();
+  EXPECT_THROW(fc.forecast(wind, -1.0), std::invalid_argument);
+}
+
+TEST(Forecaster, EmptyTraceGivesEmptyForecast) {
+  // An empty trace is not constructible (peak>0 requires samples? it
+  // doesn't), so exercise the n==0 path directly.
+  const PowerTrace empty{axis15(), 100.0, {}, Source::wind};
+  const Forecaster fc;
+  EXPECT_TRUE(fc.forecast(empty, 24.0).empty());
+}
+
+}  // namespace
+}  // namespace vbatt::energy

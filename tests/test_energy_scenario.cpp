@@ -1,0 +1,158 @@
+// Calibration tests for the curated Fig. 3 scenario and the fleet
+// generator — these pin the §2.3 claims the benchmarks reproduce.
+#include "vbatt/energy/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "vbatt/energy/aggregate.h"
+#include "vbatt/energy/site.h"
+#include "vbatt/stats/series.h"
+
+namespace vbatt::energy {
+namespace {
+
+util::TimeAxis axis15() { return util::TimeAxis{15}; }
+
+class Fig3Test : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kSpan = 96 * 4;
+  Fig3Scenario scenario_ = make_fig3_scenario(axis15(), kSpan);
+};
+
+TEST_F(Fig3Test, Deterministic) {
+  const Fig3Scenario again = make_fig3_scenario(axis15(), kSpan);
+  EXPECT_EQ(scenario_.trace_no.normalized_series(),
+            again.trace_no.normalized_series());
+  EXPECT_EQ(scenario_.trace_uk.normalized_series(),
+            again.trace_uk.normalized_series());
+  EXPECT_EQ(scenario_.trace_pt.normalized_series(),
+            again.trace_pt.normalized_series());
+}
+
+TEST_F(Fig3Test, AllSites400Mw) {
+  EXPECT_DOUBLE_EQ(scenario_.trace_no.peak_mw(), 400.0);
+  EXPECT_DOUBLE_EQ(scenario_.trace_uk.peak_mw(), 400.0);
+  EXPECT_DOUBLE_EQ(scenario_.trace_pt.peak_mw(), 400.0);
+}
+
+// Fig. 3a: adding UK wind to NO solar cuts cov by ≈3.7x; adding PT wind
+// cuts it by a further ≈2.3x.
+TEST_F(Fig3Test, CovReductionRatiosNearPaper) {
+  const PowerTrace no_uk = combine({&scenario_.trace_no, &scenario_.trace_uk});
+  const PowerTrace all = combine(
+      {&scenario_.trace_no, &scenario_.trace_uk, &scenario_.trace_pt});
+  const double first = trace_cov(scenario_.trace_no) / trace_cov(no_uk);
+  const double second = trace_cov(no_uk) / trace_cov(all);
+  EXPECT_GT(first, 2.5);   // paper: 3.7x
+  EXPECT_LT(first, 5.0);
+  EXPECT_GT(second, 1.7);  // paper: 2.3x
+  EXPECT_LT(second, 3.2);
+}
+
+TEST_F(Fig3Test, UkAndPtWindAnticorrelated) {
+  EXPECT_LT(stats::correlation(scenario_.trace_uk.normalized_series(),
+                               scenario_.trace_pt.normalized_series()),
+            -0.1);  // diurnal components correlate, fronts anti-correlate
+}
+
+// Fig. 3b orderings over a 3-day window: solar alone is 100% variable;
+// the 3-site combination is majority-stable; UK+PT is the most stable pair.
+TEST_F(Fig3Test, StableVariableOrdering) {
+  const util::Tick window = 96 * 3;
+  const PowerTrace no_uk = combine({&scenario_.trace_no, &scenario_.trace_uk});
+  const PowerTrace no_pt = combine({&scenario_.trace_no, &scenario_.trace_pt});
+  const PowerTrace uk_pt = combine({&scenario_.trace_uk, &scenario_.trace_pt});
+  const PowerTrace all = combine(
+      {&scenario_.trace_no, &scenario_.trace_uk, &scenario_.trace_pt});
+
+  const double v_no = decompose(scenario_.trace_no, 0, window).variable_fraction();
+  const double v_uk = decompose(scenario_.trace_uk, 0, window).variable_fraction();
+  const double v_pt = decompose(scenario_.trace_pt, 0, window).variable_fraction();
+  const double v_no_pt = decompose(no_pt, 0, window).variable_fraction();
+  const double v_all = decompose(all, 0, window).variable_fraction();
+  const double v_no_uk = decompose(no_uk, 0, window).variable_fraction();
+  const double v_uk_pt = decompose(uk_pt, 0, window).variable_fraction();
+
+  EXPECT_DOUBLE_EQ(v_no, 1.0);           // solar floor is zero (night)
+  EXPECT_GT(v_pt, 0.80);                 // paper: 91%
+  EXPECT_LT(v_uk, v_pt);                 // UK is the steadier wind site
+  EXPECT_LT(v_no_pt, v_no);              // pairing always helps solar
+  EXPECT_LT(v_all, 0.45);                // paper: 33% — majority stable
+  EXPECT_LT(v_all, v_no_uk);             // 3 sites beat NO+UK
+  EXPECT_LT(v_uk_pt, v_no_pt);           // complementary winds beat NO+PT
+}
+
+// Fig. 3a's purchase experiment: buying a little firm energy stabilizes a
+// disproportionate amount of variable energy.
+TEST_F(Fig3Test, PurchaseStabilizesMultipleOfItself) {
+  const PowerTrace all = combine(
+      {&scenario_.trace_no, &scenario_.trace_uk, &scenario_.trace_pt});
+  const PurchaseResult r = purchase_fill(all, 4000.0);
+  EXPECT_NEAR(r.purchased_mwh, 4000.0, 1.0);
+  EXPECT_GT(r.stabilized_mwh, r.purchased_mwh);   // paper: 8,000 vs 4,000
+  EXPECT_GT(r.added_stable_mwh, 10000.0);         // paper: 12,000 total
+  EXPECT_LT(r.added_stable_mwh, 20000.0);
+}
+
+TEST(FleetGenerator, DeterministicAndSized) {
+  FleetConfig config;
+  const Fleet a = generate_fleet(config, axis15(), 96 * 3);
+  const Fleet b = generate_fleet(config, axis15(), 96 * 3);
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(config.n_solar + config.n_wind));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.traces[i].normalized_series(),
+              b.traces[i].normalized_series());
+    EXPECT_EQ(a.specs[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(FleetGenerator, Validates) {
+  FleetConfig bad;
+  bad.n_solar = 0;
+  bad.n_wind = 0;
+  EXPECT_THROW(generate_fleet(bad, axis15(), 96), std::invalid_argument);
+  FleetConfig fronts;
+  fronts.n_fronts = 0;
+  EXPECT_THROW(generate_fleet(fronts, axis15(), 96), std::invalid_argument);
+}
+
+// §2.3 claim: >52% of 2-site combinations improve cov by >50% (we measure
+// improvement against the worse of the two sites).
+TEST(FleetGenerator, MajorityOfPairsImproveCovByHalf) {
+  FleetConfig config;
+  const Fleet fleet = generate_fleet(config, axis15(), 96 * 3);
+  int improved = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    for (std::size_t j = i + 1; j < fleet.size(); ++j) {
+      ++total;
+      if (pair_cov_improvement(fleet.traces[i], fleet.traces[j]) > 0.5) {
+        ++improved;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(improved) / total, 0.50);
+}
+
+TEST(FleetGenerator, StormToggleChangesWindTraces) {
+  FleetConfig calm;
+  FleetConfig stormy = calm;
+  stormy.enable_storms = true;
+  const Fleet a = generate_fleet(calm, axis15(), 96 * 30);
+  const Fleet b = generate_fleet(stormy, axis15(), 96 * 30);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.specs[i].source == Source::wind &&
+        a.traces[i].normalized_series() != b.traces[i].normalized_series()) {
+      differs = true;
+    }
+    if (a.specs[i].source == Source::solar) {
+      EXPECT_EQ(a.traces[i].normalized_series(),
+                b.traces[i].normalized_series());
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace vbatt::energy

@@ -1,0 +1,114 @@
+#include "vbatt/energy/solar.h"
+
+#include <gtest/gtest.h>
+
+#include "vbatt/stats/percentile.h"
+
+namespace vbatt::energy {
+namespace {
+
+util::TimeAxis axis15() { return util::TimeAxis{15}; }
+
+TEST(SolarModel, ValidatesConfig) {
+  SolarConfig bad;
+  bad.peak_mw = 0.0;
+  EXPECT_THROW(SolarModel{bad}, std::invalid_argument);
+  SolarConfig zero_day;
+  zero_day.day_length_swing_hours = zero_day.day_length_mean_hours + 1.0;
+  EXPECT_THROW(SolarModel{zero_day}, std::invalid_argument);
+}
+
+TEST(SolarModel, Deterministic) {
+  SolarConfig config;
+  const SolarModel model{config};
+  const auto a = model.generate(axis15(), 96 * 5);
+  const auto b = model.generate(axis15(), 96 * 5);
+  EXPECT_EQ(a.normalized_series(), b.normalized_series());
+}
+
+TEST(SolarModel, ZeroAtNight) {
+  SolarConfig config;
+  const SolarModel model{config};
+  const auto trace = model.generate(axis15(), 96 * 10);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double hour = axis15().hour_of_day(static_cast<util::Tick>(i));
+    if (hour < 4.0 || hour > 22.0) {
+      EXPECT_DOUBLE_EQ(trace.normalized(static_cast<util::Tick>(i)), 0.0)
+          << "hour " << hour;
+    }
+  }
+}
+
+TEST(SolarModel, ClearSkyPeaksAtNoon) {
+  SolarConfig config;
+  config.noon_hour = 12.5;
+  const SolarModel model{config};
+  const util::TimeAxis axis = axis15();
+  const double noon = model.clear_sky(axis, axis.from_hours(12.5));
+  EXPECT_GT(noon, model.clear_sky(axis, axis.from_hours(9.0)));
+  EXPECT_GT(noon, model.clear_sky(axis, axis.from_hours(16.0)));
+  EXPECT_DOUBLE_EQ(model.clear_sky(axis, axis.from_hours(0.0)), 0.0);
+}
+
+TEST(SolarModel, NoonShiftMovesPeak) {
+  SolarConfig early;
+  early.noon_hour = 11.0;
+  SolarConfig late;
+  late.noon_hour = 14.0;
+  const util::TimeAxis axis = axis15();
+  EXPECT_GT(SolarModel{early}.clear_sky(axis, axis.from_hours(11.0)),
+            SolarModel{late}.clear_sky(axis, axis.from_hours(11.0)));
+}
+
+// Fig. 2b calibration: >50% exact zeros over a year; the 99th/75th
+// percentile ratio is ≈4x (paper); seasonal winter peak ≈75% below summer.
+TEST(SolarModel, YearCalibrationMatchesPaperBands) {
+  SolarConfig config;
+  config.start_day_of_year = 0;
+  const auto trace =
+      SolarModel{config}.generate(axis15(), 96u * 365u);
+  stats::Sampler s{trace.normalized_series()};
+  EXPECT_GT(s.zero_fraction(), 0.50);
+  EXPECT_LT(s.zero_fraction(), 0.60);
+  const double ratio = s.percentile(99) / s.percentile(75);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 7.0);
+}
+
+TEST(SolarModel, WinterPeakWellBelowSummer) {
+  SolarConfig config;
+  config.start_day_of_year = 0;
+  const auto trace = SolarModel{config}.generate(axis15(), 96u * 365u);
+  const auto day = static_cast<std::size_t>(96);
+  stats::Sampler jan{std::vector<double>(
+      trace.normalized_series().begin(),
+      trace.normalized_series().begin() + static_cast<long>(31 * day))};
+  stats::Sampler jul{std::vector<double>(
+      trace.normalized_series().begin() + static_cast<long>(181 * day),
+      trace.normalized_series().begin() + static_cast<long>(212 * day))};
+  const double ratio = jan.percentile(99) / jul.percentile(99);
+  EXPECT_GT(ratio, 0.15);
+  EXPECT_LT(ratio, 0.45);  // paper: winter ≈75% less than summer
+}
+
+// Fig. 2a: an overcast day peaks far below an adjacent sunny day.
+TEST(SolarModel, SkyStatesSeparateDayPeaks) {
+  SolarConfig config;
+  config.seed = 99;
+  const auto trace = SolarModel{config}.generate(axis15(), 96u * 120u);
+  double min_peak = 1.0;
+  double max_peak = 0.0;
+  for (std::size_t d = 0; d < 120; ++d) {
+    double peak = 0.0;
+    for (std::size_t i = d * 96; i < (d + 1) * 96; ++i) {
+      peak = std::max(peak, trace.normalized_series()[i]);
+    }
+    min_peak = std::min(min_peak, peak);
+    max_peak = std::max(max_peak, peak);
+  }
+  EXPECT_LT(min_peak, 0.15);  // some days nearly dead (paper: 3.5%)
+  EXPECT_GT(max_peak, 0.60);  // some days near capacity (paper: 77%)
+}
+
+}  // namespace
+}  // namespace vbatt::energy

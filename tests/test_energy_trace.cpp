@@ -1,0 +1,79 @@
+#include "vbatt/energy/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace vbatt::energy {
+namespace {
+
+PowerTrace make(std::vector<double> values, double peak = 100.0) {
+  return PowerTrace{util::TimeAxis{15}, peak, std::move(values),
+                    Source::solar};
+}
+
+TEST(PowerTrace, ValidatesRange) {
+  EXPECT_NO_THROW(make({0.0, 0.5, 1.0}));
+  EXPECT_THROW(make({-0.1}), std::invalid_argument);
+  EXPECT_THROW(make({1.1}), std::invalid_argument);
+  EXPECT_THROW(make({0.5}, 0.0), std::invalid_argument);
+  EXPECT_THROW(make({0.5}, -5.0), std::invalid_argument);
+}
+
+TEST(PowerTrace, MwScaling) {
+  const PowerTrace t = make({0.0, 0.25, 1.0}, 400.0);
+  EXPECT_DOUBLE_EQ(t.mw(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.mw(1), 100.0);
+  EXPECT_DOUBLE_EQ(t.mw(2), 400.0);
+  EXPECT_THROW(t.normalized(3), std::out_of_range);
+}
+
+TEST(PowerTrace, EnergyIntegral) {
+  // 4 ticks at 15 min = 1 hour at constant 0.5 of 400 MW -> 200 MWh.
+  const PowerTrace t = make({0.5, 0.5, 0.5, 0.5}, 400.0);
+  EXPECT_DOUBLE_EQ(t.total_energy_mwh(), 200.0);
+  EXPECT_DOUBLE_EQ(t.energy_mwh(0, 2), 100.0);
+  EXPECT_THROW(t.energy_mwh(0, 5), std::out_of_range);
+  EXPECT_THROW(t.energy_mwh(2, 1), std::out_of_range);
+}
+
+TEST(PowerTrace, Slice) {
+  const PowerTrace t = make({0.1, 0.2, 0.3, 0.4});
+  const PowerTrace s = t.slice(1, 3);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.normalized(0), 0.2);
+  EXPECT_DOUBLE_EQ(s.normalized(1), 0.3);
+  EXPECT_THROW(t.slice(3, 2), std::out_of_range);
+}
+
+TEST(PowerTrace, Rescale) {
+  const PowerTrace t = make({0.5}, 100.0);
+  const PowerTrace r = t.rescaled(800.0);
+  EXPECT_DOUBLE_EQ(r.mw(0), 400.0);
+  EXPECT_DOUBLE_EQ(r.normalized(0), 0.5);
+}
+
+TEST(Combine, SumsMegawatts) {
+  const PowerTrace a = make({0.5, 1.0}, 100.0);
+  const PowerTrace b = make({0.25, 0.0}, 300.0);
+  const PowerTrace c = combine({&a, &b});
+  EXPECT_DOUBLE_EQ(c.peak_mw(), 400.0);
+  EXPECT_DOUBLE_EQ(c.mw(0), 125.0);
+  EXPECT_DOUBLE_EQ(c.mw(1), 100.0);
+}
+
+TEST(Combine, RejectsMismatch) {
+  const PowerTrace a = make({0.5, 1.0});
+  const PowerTrace b = make({0.5});
+  EXPECT_THROW(combine({&a, &b}), std::invalid_argument);
+  EXPECT_THROW(combine({}), std::invalid_argument);
+}
+
+TEST(Combine, EnergyIsAdditive) {
+  const PowerTrace a = make({0.5, 0.25, 0.75}, 200.0);
+  const PowerTrace b = make({0.1, 0.9, 0.2}, 400.0);
+  const PowerTrace c = combine({&a, &b});
+  EXPECT_NEAR(c.total_energy_mwh(),
+              a.total_energy_mwh() + b.total_energy_mwh(), 1e-9);
+}
+
+}  // namespace
+}  // namespace vbatt::energy

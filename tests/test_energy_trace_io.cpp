@@ -1,0 +1,95 @@
+#include "vbatt/energy/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "vbatt/energy/solar.h"
+
+namespace vbatt::energy {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "vbatt_trace_io_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(TraceIoTest, RoundTrip) {
+  SolarConfig config;
+  const PowerTrace original =
+      SolarModel{config}.generate(util::TimeAxis{15}, 96 * 2);
+  save_trace_csv(original, path_);
+  const PowerTrace loaded = load_trace_csv(path_, util::TimeAxis{15}, 400.0,
+                                           Source::solar);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded.normalized(static_cast<util::Tick>(i)),
+                original.normalized(static_cast<util::Tick>(i)), 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(loaded.peak_mw(), 400.0);
+  EXPECT_EQ(loaded.source(), Source::solar);
+}
+
+TEST_F(TraceIoTest, CustomColumn) {
+  {
+    std::ofstream out{path_};
+    out << "timestamp,site_a,site_b\n";
+    out << "0,0.5,0.25\n1,0.6,0.75\n";
+  }
+  const PowerTrace b =
+      load_trace_csv(path_, util::TimeAxis{15}, 100.0, Source::wind, 2);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.normalized(0), 0.25);
+  EXPECT_DOUBLE_EQ(b.normalized(1), 0.75);
+}
+
+TEST_F(TraceIoTest, RejectsMissingFile) {
+  EXPECT_THROW(load_trace_csv("/nonexistent.csv", util::TimeAxis{15}, 1.0,
+                              Source::wind),
+               std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsOutOfRangeValues) {
+  {
+    std::ofstream out{path_};
+    out << "tick,norm\n0,1.5\n";
+  }
+  EXPECT_THROW(
+      load_trace_csv(path_, util::TimeAxis{15}, 1.0, Source::wind),
+      std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsNonNumeric) {
+  {
+    std::ofstream out{path_};
+    out << "tick,norm\n0,hello\n";
+  }
+  EXPECT_THROW(
+      load_trace_csv(path_, util::TimeAxis{15}, 1.0, Source::wind),
+      std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsMissingColumn) {
+  {
+    std::ofstream out{path_};
+    out << "tick\n0\n";
+  }
+  EXPECT_THROW(
+      load_trace_csv(path_, util::TimeAxis{15}, 1.0, Source::wind, 1),
+      std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsEmptyFile) {
+  {
+    std::ofstream out{path_};
+    out << "tick,norm\n";
+  }
+  EXPECT_THROW(
+      load_trace_csv(path_, util::TimeAxis{15}, 1.0, Source::wind),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vbatt::energy

@@ -1,0 +1,96 @@
+#include "vbatt/energy/weather.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbatt/stats/running_stats.h"
+#include "vbatt/stats/series.h"
+
+namespace vbatt::energy {
+namespace {
+
+TEST(SkyChain, Deterministic) {
+  SkyChainConfig config;
+  config.seed = 5;
+  EXPECT_EQ(generate_sky_states(config, 100), generate_sky_states(config, 100));
+}
+
+TEST(SkyChain, SteadyStateRoughlyMatchesDefaults) {
+  SkyChainConfig config;
+  config.seed = 7;
+  const auto states = generate_sky_states(config, 20000);
+  int counts[3] = {0, 0, 0};
+  for (const SkyState s : states) ++counts[static_cast<int>(s)];
+  const double n = static_cast<double>(states.size());
+  EXPECT_NEAR(counts[0] / n, 0.45, 0.08);  // sunny
+  EXPECT_NEAR(counts[1] / n, 0.32, 0.08);  // variable
+  EXPECT_NEAR(counts[2] / n, 0.23, 0.08);  // overcast
+}
+
+TEST(SkyChain, HasPersistence) {
+  SkyChainConfig config;
+  config.seed = 11;
+  const auto states = generate_sky_states(config, 5000);
+  int same = 0;
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    if (states[i] == states[i - 1]) ++same;
+  }
+  // With the default transition matrix, repeats are far above the ~37%
+  // an i.i.d. draw would give.
+  EXPECT_GT(static_cast<double>(same) / states.size(), 0.45);
+}
+
+TEST(Ou, StationaryMoments) {
+  util::Rng rng{13};
+  util::TimeAxis axis{15};
+  const double theta = 1.0;
+  const double sigma = 2.0;
+  const auto path = generate_ou(rng, axis, 200000, theta, sigma);
+  stats::RunningStats rs;
+  for (const double x : path) rs.add(x);
+  EXPECT_NEAR(rs.mean(), 0.0, 0.1);
+  // OU stationary std = sigma / sqrt(2 theta).
+  EXPECT_NEAR(rs.stddev(), sigma / std::sqrt(2.0 * theta), 0.1);
+}
+
+TEST(Ou, MeanReverts) {
+  util::Rng rng{17};
+  util::TimeAxis axis{15};
+  const auto path = generate_ou(rng, axis, 50000, 2.0, 1.0);
+  // Lag-1h autocorrelation should be ~exp(-theta * 1h) = exp(-2).
+  std::vector<double> a(path.begin(), path.end() - 4);
+  std::vector<double> b(path.begin() + 4, path.end());
+  EXPECT_NEAR(stats::correlation(a, b), std::exp(-2.0), 0.05);
+}
+
+TEST(Front, DeterministicSharedSeed) {
+  FrontConfig config;
+  config.seed = 21;
+  util::TimeAxis axis{15};
+  EXPECT_EQ(generate_front(config, axis, 500),
+            generate_front(config, axis, 500));
+  FrontConfig other = config;
+  other.seed = 22;
+  EXPECT_NE(generate_front(config, axis, 500),
+            generate_front(other, axis, 500));
+}
+
+TEST(Front, BoundedAndSlow) {
+  FrontConfig config;
+  config.seed = 23;
+  util::TimeAxis axis{15};
+  const auto front = generate_front(config, axis, 96 * 30);
+  stats::RunningStats rs;
+  for (const double v : front) rs.add(v);
+  EXPECT_LT(rs.max(), 2.5);
+  EXPECT_GT(rs.min(), -2.5);
+  // Slow process: adjacent 15-min steps move very little.
+  const auto deltas = stats::diff(front);
+  stats::RunningStats ds;
+  for (const double d : deltas) ds.add(std::abs(d));
+  EXPECT_LT(ds.mean(), 0.08);
+}
+
+}  // namespace
+}  // namespace vbatt::energy

@@ -1,0 +1,161 @@
+// Config-fuzz property tests: random-but-valid configurations must never
+// produce out-of-range traces, invalid forecasts, or non-terminating
+// solves. These guard the public API against edge configurations no
+// curated scenario exercises.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbatt/energy/forecast.h"
+#include "vbatt/energy/solar.h"
+#include "vbatt/energy/wind.h"
+#include "vbatt/solver/branch_bound.h"
+#include "vbatt/util/rng.h"
+
+namespace vbatt {
+namespace {
+
+class FuzzEnergy : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEnergy, SolarAlwaysInUnitRange) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 101 + 5};
+  energy::SolarConfig config;
+  config.seed = rng.next();
+  config.start_day_of_year = static_cast<int>(rng.below(365));
+  config.noon_hour = rng.uniform(10.0, 15.0);
+  config.day_length_mean_hours = rng.uniform(9.0, 14.0);
+  config.day_length_swing_hours = rng.uniform(0.0, 5.0);
+  config.amplitude_base = rng.uniform(0.3, 0.7);
+  config.amplitude_swing = rng.uniform(0.0, 0.3);
+  config.clearness_variable = rng.uniform(0.3, 0.8);
+  config.cloud_sigma_variable = rng.uniform(0.0, 0.5);
+  if (config.day_length_mean_hours - config.day_length_swing_hours <= 0.5) {
+    config.day_length_swing_hours = config.day_length_mean_hours - 1.0;
+  }
+  const auto trace =
+      energy::SolarModel{config}.generate(util::TimeAxis{15}, 96 * 40);
+  for (const double v : trace.normalized_series()) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(FuzzEnergy, WindAlwaysInUnitRange) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 211 + 3};
+  energy::WindConfig config;
+  config.seed = rng.next();
+  config.start_day_of_year = static_cast<int>(rng.below(365));
+  config.base_speed = rng.uniform(3.0, 14.0);
+  config.seasonal_swing_speed = rng.uniform(0.0, 3.0);
+  config.front_loading_speed = rng.uniform(-4.0, 4.0);
+  config.diurnal_amplitude_speed = rng.uniform(0.0, 2.5);
+  config.gust_sigma = rng.uniform(0.0, 2.0);
+  config.storm_mean_gap_days = rng.chance(0.5) ? rng.uniform(1.0, 10.0) : 0.0;
+  const auto trace =
+      energy::WindModel{config}.generate(util::TimeAxis{15}, 96 * 40);
+  for (const double v : trace.normalized_series()) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(FuzzEnergy, ForecastsValidForRandomConfigs) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 307 + 11};
+  energy::WindConfig wind_config;
+  wind_config.seed = rng.next();
+  const auto trace =
+      energy::WindModel{wind_config}.generate(util::TimeAxis{15}, 96 * 30);
+
+  energy::ForecastConfig config;
+  config.window_per_lead = rng.uniform(0.05, 1.0);
+  config.beta_max_wind = rng.uniform(0.0, 1.0);
+  config.sigma0_wind = rng.uniform(0.0, 0.3);
+  config.sigma1_wind = rng.uniform(0.0, 0.4);
+  config.noise_decay_hours = rng.uniform(0.5, 24.0);
+  config.seed = rng.next();
+  const energy::Forecaster forecaster{config};
+  const double lead = rng.uniform(0.0, 200.0);
+  const auto forecast = forecaster.forecast(trace, lead);
+  ASSERT_EQ(forecast.size(), trace.size());
+  for (const double v : forecast) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEnergy, ::testing::Range(0, 10));
+
+class FuzzSolver : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSolver, MixedSenseLpsTerminate) {
+  // Random LPs mixing <=, >= and == rows with random bounds: the solver
+  // must always terminate with a definite status, and any "optimal" point
+  // must satisfy every row.
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 997 + 29};
+  const int n = 2 + static_cast<int>(rng.below(6));
+  const int m = 1 + static_cast<int>(rng.below(5));
+
+  solver::Model model;
+  std::vector<double> lb(static_cast<std::size_t>(n));
+  std::vector<double> ub(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    lb[static_cast<std::size_t>(i)] = rng.uniform(0.0, 2.0);
+    ub[static_cast<std::size_t>(i)] =
+        lb[static_cast<std::size_t>(i)] + rng.uniform(0.0, 8.0);
+    (void)model.add_var("x", rng.uniform(-3.0, 3.0),
+                        lb[static_cast<std::size_t>(i)],
+                        ub[static_cast<std::size_t>(i)]);
+  }
+  struct Row {
+    std::vector<double> coeff;
+    solver::Rel rel;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  for (int r = 0; r < m; ++r) {
+    Row row;
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < n; ++i) {
+      const double c = rng.uniform(-2.0, 2.0);
+      row.coeff.push_back(c);
+      terms.emplace_back(i, c);
+    }
+    const int kind = static_cast<int>(rng.below(3));
+    row.rel = kind == 0 ? solver::Rel::le
+              : kind == 1 ? solver::Rel::ge
+                          : solver::Rel::eq;
+    row.rhs = rng.uniform(-6.0, 12.0);
+    rows.push_back(row);
+    model.add_constraint(std::move(terms), row.rel, row.rhs);
+  }
+
+  const solver::LpResult result = solver::solve_lp(model);
+  ASSERT_NE(result.status, solver::LpStatus::iteration_limit);
+  if (result.status != solver::LpStatus::optimal) return;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_GE(result.x[static_cast<std::size_t>(i)],
+              lb[static_cast<std::size_t>(i)] - 1e-6);
+    ASSERT_LE(result.x[static_cast<std::size_t>(i)],
+              ub[static_cast<std::size_t>(i)] + 1e-6);
+  }
+  for (const Row& row : rows) {
+    double lhs = 0.0;
+    for (int i = 0; i < n; ++i) {
+      lhs += row.coeff[static_cast<std::size_t>(i)] *
+             result.x[static_cast<std::size_t>(i)];
+    }
+    switch (row.rel) {
+      case solver::Rel::le: ASSERT_LE(lhs, row.rhs + 1e-6); break;
+      case solver::Rel::ge: ASSERT_GE(lhs, row.rhs - 1e-6); break;
+      case solver::Rel::eq: ASSERT_NEAR(lhs, row.rhs, 1e-6); break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSolver, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace vbatt

@@ -1,0 +1,51 @@
+#include "vbatt/net/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace vbatt::net {
+namespace {
+
+TEST(RttModel, LinearInDistance) {
+  RttModel model;
+  const util::GeoPoint a{0.0, 0.0};
+  const util::GeoPoint b{1000.0, 0.0};
+  EXPECT_DOUBLE_EQ(model.rtt_ms(a, a), 2.0);
+  EXPECT_DOUBLE_EQ(model.rtt_ms(a, b), 2.0 + 21.0);
+  EXPECT_DOUBLE_EQ(model.rtt_ms(a, b), model.rtt_ms(b, a));
+}
+
+TEST(LatencyGraph, EdgesUnderThreshold) {
+  // Three collinear sites at 0, 1000, 3000 km; threshold 50 ms reaches
+  // ~2285 km: edges (0,1), (1,2) but not (0,2).
+  const std::vector<util::GeoPoint> pts{
+      {0.0, 0.0}, {1000.0, 0.0}, {3000.0, 0.0}};
+  const LatencyGraph g{pts, RttModel{}, 50.0};
+  EXPECT_TRUE(g.connected(0, 1));
+  EXPECT_TRUE(g.connected(1, 2));
+  EXPECT_FALSE(g.connected(0, 2));
+  EXPECT_FALSE(g.connected(1, 1));  // no self loops
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(LatencyGraph, Neighbors) {
+  const std::vector<util::GeoPoint> pts{
+      {0.0, 0.0}, {100.0, 0.0}, {0.0, 100.0}, {5000.0, 5000.0}};
+  const LatencyGraph g{pts, RttModel{}, 50.0};
+  EXPECT_EQ(g.neighbors(0), (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(g.neighbors(3).empty());
+  EXPECT_THROW(g.neighbors(9), std::out_of_range);
+}
+
+TEST(LatencyGraph, ValidatesThreshold) {
+  EXPECT_THROW(LatencyGraph({}, RttModel{}, 0.0), std::invalid_argument);
+}
+
+TEST(LatencyGraph, RttSymmetricMatrix) {
+  const std::vector<util::GeoPoint> pts{{0.0, 0.0}, {700.0, 300.0}};
+  const LatencyGraph g{pts, RttModel{}, 50.0};
+  EXPECT_DOUBLE_EQ(g.rtt_ms(0, 1), g.rtt_ms(1, 0));
+  EXPECT_DOUBLE_EQ(g.rtt_ms(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace vbatt::net

@@ -1,0 +1,59 @@
+#include "vbatt/net/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace vbatt::net {
+namespace {
+
+TEST(Ledger, ValidatesConstruction) {
+  EXPECT_THROW(MigrationLedger(0, 10), std::invalid_argument);
+  EXPECT_THROW(MigrationLedger(3, 0), std::invalid_argument);
+}
+
+TEST(Ledger, RecordAndQuery) {
+  MigrationLedger ledger{2, 5};
+  ledger.record_out(0, 2, 10.0);
+  ledger.record_in(1, 2, 10.0);
+  ledger.record_out(0, 2, 5.0);  // accumulates
+  EXPECT_DOUBLE_EQ(ledger.out_gb(0, 2), 15.0);
+  EXPECT_DOUBLE_EQ(ledger.in_gb(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.out_gb(1, 2), 0.0);
+}
+
+TEST(Ledger, BoundsChecked) {
+  MigrationLedger ledger{2, 5};
+  EXPECT_THROW(ledger.record_out(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(ledger.record_out(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(ledger.record_out(0, -1, 1.0), std::out_of_range);
+  EXPECT_THROW(ledger.record_in(0, 0, -1.0), std::invalid_argument);
+}
+
+TEST(Ledger, Series) {
+  MigrationLedger ledger{2, 3};
+  ledger.record_out(1, 0, 1.0);
+  ledger.record_out(1, 2, 3.0);
+  EXPECT_EQ(ledger.out_series(1), (std::vector<double>{1.0, 0.0, 3.0}));
+  EXPECT_EQ(ledger.in_series(1), (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(Ledger, TotalsAcrossSites) {
+  MigrationLedger ledger{3, 2};
+  ledger.record_out(0, 0, 1.0);
+  ledger.record_out(1, 0, 2.0);
+  ledger.record_out(2, 1, 4.0);
+  ledger.record_in(1, 1, 7.0);
+  EXPECT_EQ(ledger.total_out_per_tick(), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(ledger.total_in_per_tick(), (std::vector<double>{0.0, 7.0}));
+  EXPECT_DOUBLE_EQ(ledger.total_moved_gb(), 7.0);
+}
+
+TEST(Ledger, MovedEqualsOut) {
+  // "Each byte moved once": fleet volume uses the out side only.
+  MigrationLedger ledger{2, 1};
+  ledger.record_out(0, 0, 9.0);
+  ledger.record_in(1, 0, 9.0);
+  EXPECT_EQ(ledger.total_moved_per_tick(), (std::vector<double>{9.0}));
+}
+
+}  // namespace
+}  // namespace vbatt::net

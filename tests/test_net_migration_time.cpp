@@ -1,0 +1,95 @@
+#include "vbatt/net/migration_time.h"
+
+#include <gtest/gtest.h>
+
+namespace vbatt::net {
+namespace {
+
+TEST(MigrationTime, Validates) {
+  EXPECT_THROW(estimate_migration(-1.0), std::invalid_argument);
+  MigrationTimeConfig bad;
+  bad.bandwidth_gbps = 0.0;
+  EXPECT_THROW(estimate_migration(16.0, bad), std::invalid_argument);
+}
+
+TEST(MigrationTime, ZeroMemoryIsInstant) {
+  const MigrationEstimate e = estimate_migration(0.0);
+  EXPECT_DOUBLE_EQ(e.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(e.transferred_gb, 0.0);
+}
+
+TEST(MigrationTime, NoDirtyingMeansSingleCopy) {
+  MigrationTimeConfig config;
+  config.dirty_rate_gbps = 0.0;
+  config.bandwidth_gbps = 8.0;  // 1 GB/s
+  const MigrationEstimate e = estimate_migration(16.0, config);
+  EXPECT_EQ(e.rounds, 1);
+  EXPECT_NEAR(e.total_seconds, 16.0, 1e-9);
+  EXPECT_NEAR(e.transferred_gb, 16.0, 1e-9);
+  EXPECT_LT(e.downtime_seconds, 0.5);  // only the threshold remainder
+}
+
+TEST(MigrationTime, GeometricSeriesMatchesClosedForm) {
+  MigrationTimeConfig config;
+  config.bandwidth_gbps = 8.0;   // 1 GB/s
+  config.dirty_rate_gbps = 4.0;  // 0.5 GB/s -> ratio 0.5
+  config.stop_copy_threshold_gb = 0.0;
+  config.max_rounds = 60;
+  const MigrationEstimate e = estimate_migration(16.0, config);
+  // Total transferred -> M / (1 - r) = 32 GB as the remainder vanishes.
+  EXPECT_NEAR(e.transferred_gb, 32.0, 0.1);
+  EXPECT_NEAR(transfer_amplification(config), 2.0, 0.05);
+}
+
+TEST(MigrationTime, DowntimeShrinksWithBandwidth) {
+  MigrationTimeConfig slow;
+  slow.bandwidth_gbps = 2.0;
+  slow.dirty_rate_gbps = 1.0;
+  MigrationTimeConfig fast = slow;
+  fast.bandwidth_gbps = 40.0;
+  const MigrationEstimate a = estimate_migration(64.0, slow);
+  const MigrationEstimate b = estimate_migration(64.0, fast);
+  EXPECT_GT(a.downtime_seconds, b.downtime_seconds);
+  EXPECT_GT(a.total_seconds, b.total_seconds);
+}
+
+TEST(MigrationTime, DivergentDirtyRateForcesStopAndCopy) {
+  MigrationTimeConfig config;
+  config.bandwidth_gbps = 8.0;
+  config.dirty_rate_gbps = 16.0;  // dirties faster than it copies
+  const MigrationEstimate e = estimate_migration(32.0, config);
+  // One futile pre-copy round, then the full footprint moves in downtime.
+  EXPECT_LE(e.rounds, 2);
+  EXPECT_GT(e.downtime_seconds, 30.0);  // ~32 GB at 1 GB/s
+}
+
+TEST(MigrationTime, MaxRoundsCapsConvergence) {
+  MigrationTimeConfig config;
+  config.bandwidth_gbps = 8.0;
+  config.dirty_rate_gbps = 7.9;  // converges, but very slowly
+  config.max_rounds = 3;
+  const MigrationEstimate e = estimate_migration(32.0, config);
+  EXPECT_EQ(e.rounds, 3);
+  EXPECT_GT(e.downtime_seconds, 1.0);
+}
+
+TEST(MigrationTime, AmplificationAtLeastOne) {
+  for (double dirty : {0.0, 0.5, 2.0, 5.0}) {
+    MigrationTimeConfig config;
+    config.dirty_rate_gbps = dirty;
+    EXPECT_GE(transfer_amplification(config), 1.0) << dirty;
+  }
+}
+
+// The paper's §3 example: completing a migration within 5 minutes. A
+// 512 GB server at 10 Gb/s with a modest dirty rate fits comfortably.
+TEST(MigrationTime, PaperWindowSanity) {
+  MigrationTimeConfig config;
+  config.bandwidth_gbps = 200.0;  // the §5 per-site WAN link
+  config.dirty_rate_gbps = 5.0;
+  const MigrationEstimate e = estimate_migration(512.0, config);
+  EXPECT_LT(e.total_seconds, 5.0 * 60.0);
+}
+
+}  // namespace
+}  // namespace vbatt::net

@@ -1,0 +1,61 @@
+#include "vbatt/net/wan.h"
+
+#include <gtest/gtest.h>
+
+namespace vbatt::net {
+namespace {
+
+TEST(Wan, PerSiteShare) {
+  // Paper: 50 Tb/s across ~100 sites -> 500 Gb/s fair share.
+  EXPECT_DOUBLE_EQ(per_site_share_gbps(WanConfig{}), 500.0);
+  WanConfig zero;
+  zero.n_sites = 0;
+  EXPECT_THROW(per_site_share_gbps(zero), std::invalid_argument);
+}
+
+TEST(Wan, PaperHeadlineExample) {
+  // §3: a 10 TB spike completed within 5 minutes needs ≈267 Gb/s — the
+  // paper rounds to "≈200 Gbps ... roughly 40% of the share".
+  const WanConfig config;
+  const double gbps = required_gbps(config, 10000.0);
+  EXPECT_NEAR(gbps, 267.0, 1.0);
+  EXPECT_NEAR(share_fraction(config, 10000.0), 0.53, 0.01);
+  // With the paper's rounded 200 Gb/s figure the share is exactly 40%.
+  EXPECT_NEAR(200.0 / per_site_share_gbps(config), 0.40, 1e-9);
+}
+
+TEST(Wan, RequiredGbpsScalesLinearly) {
+  const WanConfig config;
+  EXPECT_DOUBLE_EQ(required_gbps(config, 2000.0) * 5.0,
+                   required_gbps(config, 10000.0));
+  WanConfig bad;
+  bad.migration_window_minutes = 0.0;
+  EXPECT_THROW(required_gbps(bad, 1.0), std::invalid_argument);
+}
+
+TEST(Wan, BusyFraction) {
+  WanConfig config;
+  config.per_site_gbps = 200.0;
+  // One tick of 15 min = 900 s. 1125 GB at 200 Gb/s takes 45 s -> 5% of one
+  // tick; over 10 ticks with one transfer -> 0.5%.
+  std::vector<double> transfers(10, 0.0);
+  transfers[3] = 1125.0;
+  EXPECT_NEAR(busy_fraction(config, transfers, 15.0), 0.005, 1e-6);
+}
+
+TEST(Wan, BusyFractionSaturatesPerTick) {
+  WanConfig config;
+  config.per_site_gbps = 1.0;  // tiny link: transfer can't finish in-tick
+  const std::vector<double> transfers{1e9};
+  EXPECT_DOUBLE_EQ(busy_fraction(config, transfers, 15.0), 1.0);
+}
+
+TEST(Wan, BusyFractionEdgeCases) {
+  EXPECT_DOUBLE_EQ(busy_fraction(WanConfig{}, {}, 15.0), 0.0);
+  WanConfig bad;
+  bad.per_site_gbps = 0.0;
+  EXPECT_THROW(busy_fraction(bad, {1.0}, 15.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vbatt::net

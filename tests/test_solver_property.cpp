@@ -1,0 +1,120 @@
+// Property tests for the simplex on random LPs: feasibility of the
+// returned point, and optimality against a dense cloud of random feasible
+// points (a strong statistical check of global optimality for convex
+// problems).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vbatt/solver/simplex.h"
+#include "vbatt/util/rng.h"
+
+namespace vbatt::solver {
+namespace {
+
+struct RandomLp {
+  Model model;
+  std::vector<std::vector<double>> rows;  // m x n
+  std::vector<double> rhs;
+  std::vector<double> ub;
+};
+
+/// Random LP with nonnegative constraint rows and box bounds: min cᵀx,
+/// Ax <= b, 0 <= x <= u. Always feasible (x = 0) and always bounded.
+RandomLp make_random_lp(int n, int m, std::uint64_t seed) {
+  util::Rng rng{seed};
+  RandomLp lp;
+  for (int i = 0; i < n; ++i) {
+    const double ub = rng.uniform(1.0, 10.0);
+    lp.ub.push_back(ub);
+    (void)lp.model.add_var("x", rng.uniform(-5.0, 5.0), 0.0, ub);
+  }
+  for (int r = 0; r < m; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    lp.rows.emplace_back();
+    for (int i = 0; i < n; ++i) {
+      const double coeff = rng.uniform(0.0, 2.0);
+      lp.rows.back().push_back(coeff);
+      terms.emplace_back(i, coeff);
+    }
+    lp.rhs.push_back(rng.uniform(3.0, 15.0));
+    lp.model.add_constraint(std::move(terms), Rel::le, lp.rhs.back());
+  }
+  return lp;
+}
+
+bool feasible(const RandomLp& lp, const std::vector<double>& x,
+              double tol = 1e-6) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < -tol || x[i] > lp.ub[i] + tol) return false;
+  }
+  for (std::size_t r = 0; r < lp.rows.size(); ++r) {
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) lhs += lp.rows[r][i] * x[i];
+    if (lhs > lp.rhs[r] + tol) return false;
+  }
+  return true;
+}
+
+class SimplexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexProperty, ReturnsFeasiblePoint) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const int n = 2 + GetParam() % 7;
+  const int m = 1 + GetParam() % 5;
+  const RandomLp lp = make_random_lp(n, m, seed * 31 + 7);
+  const LpResult r = solve_lp(lp.model);
+  ASSERT_EQ(r.status, LpStatus::optimal);
+  EXPECT_TRUE(feasible(lp, r.x)) << "seed " << seed;
+}
+
+TEST_P(SimplexProperty, BeatsRandomFeasiblePoints) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const int n = 2 + GetParam() % 7;
+  const int m = 1 + GetParam() % 5;
+  const RandomLp lp = make_random_lp(n, m, seed * 131 + 3);
+  const LpResult r = solve_lp(lp.model);
+  ASSERT_EQ(r.status, LpStatus::optimal);
+
+  util::Rng rng{seed * 7 + 1};
+  int tried = 0;
+  while (tried < 2000) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] =
+          rng.uniform(0.0, lp.ub[static_cast<std::size_t>(i)]);
+    }
+    if (!feasible(lp, x, 0.0)) continue;
+    ++tried;
+    EXPECT_LE(r.objective, lp.model.objective_of(x) + 1e-6)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexProperty, ::testing::Range(0, 12));
+
+/// Constructed-optimum check: build an LP whose optimum is known exactly.
+/// min -sum(x) with x <= u and sum(x) <= S where S < sum(u): optimum -S.
+TEST(SimplexConstructed, KnownOptimum) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    util::Rng rng{seed};
+    Model m;
+    const int n = 4;
+    double total_ub = 0.0;
+    std::vector<std::pair<int, double>> sum_terms;
+    for (int i = 0; i < n; ++i) {
+      const double ub = rng.uniform(1.0, 5.0);
+      total_ub += ub;
+      sum_terms.emplace_back(m.add_var("x", -1.0, 0.0, ub), 1.0);
+    }
+    const double cap = total_ub * 0.6;
+    m.add_constraint(std::move(sum_terms), Rel::le, cap);
+    const LpResult r = solve_lp(m);
+    ASSERT_EQ(r.status, LpStatus::optimal);
+    EXPECT_NEAR(r.objective, -cap, 1e-7) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace vbatt::solver

@@ -1,0 +1,148 @@
+#include "vbatt/solver/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vbatt::solver {
+namespace {
+
+TEST(Simplex, ClassicTwoVarMaximization) {
+  // max 3x + 2y st x+y<=4, x+3y<=6 -> x=4, y=0, obj 12 (as min: -12).
+  Model m;
+  const int x = m.add_var("x", -3.0);
+  const int y = m.add_var("y", -2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::le, 4.0);
+  m.add_constraint({{x, 1.0}, {y, 3.0}}, Rel::le, 6.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::optimal);
+  EXPECT_NEAR(r.objective, -12.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, EqualityWithLowerBounds) {
+  Model m;
+  const int x = m.add_var("x", 1.0, 3.0);
+  const int y = m.add_var("y", 1.0, 2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::eq, 10.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::optimal);
+  EXPECT_NEAR(r.objective, 10.0, 1e-9);
+  EXPECT_GE(r.x[0], 3.0 - 1e-9);
+  EXPECT_GE(r.x[1], 2.0 - 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_var("x", 0.0, 0.0, 1.0);
+  m.add_constraint({{x, 1.0}}, Rel::ge, 2.0);
+  (void)x;
+  EXPECT_EQ(solve_lp(m).status, LpStatus::infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const int x = m.add_var("x", -1.0);
+  m.add_constraint({{x, 1.0}}, Rel::ge, 0.0);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::unbounded);
+}
+
+TEST(Simplex, RespectsUpperBounds) {
+  Model m;
+  const int x = m.add_var("x", -1.0, 0.0, 2.5);
+  (void)x;
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::optimal);
+  EXPECT_NEAR(r.x[0], 2.5, 1e-9);
+}
+
+TEST(Simplex, FixedVariablesEliminated) {
+  Model m;
+  const int x = m.add_var("x", 5.0, 2.0, 2.0);  // fixed at 2
+  const int y = m.add_var("y", 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::ge, 5.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::optimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-9);
+  EXPECT_NEAR(r.objective, 13.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleBox) {
+  Model m;
+  (void)m.add_var("x", 1.0);
+  const LpResult r = solve_lp_bounded(m, {2.0}, {1.0});
+  EXPECT_EQ(r.status, LpStatus::infeasible);
+}
+
+TEST(Simplex, FixedOnlyRowsChecked) {
+  Model m;
+  const int x = m.add_var("x", 0.0, 1.0, 1.0);  // fixed at 1
+  m.add_constraint({{x, 1.0}}, Rel::ge, 2.0);   // 1 >= 2: impossible
+  EXPECT_EQ(solve_lp(m).status, LpStatus::infeasible);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x <= -3  <=>  x >= 3.
+  Model m;
+  const int x = m.add_var("x", 1.0);
+  m.add_constraint({{x, -1.0}}, Rel::le, -3.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::optimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateConstraintsTerminate) {
+  // Redundant rows + degenerate vertex: must not cycle.
+  Model m;
+  const int x = m.add_var("x", -1.0, 0.0, 10.0);
+  const int y = m.add_var("y", -1.0, 0.0, 10.0);
+  for (int i = 0; i < 5; ++i) {
+    m.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::le, 10.0);
+  }
+  m.add_constraint({{x, 1.0}}, Rel::le, 10.0);
+  m.add_constraint({{y, 1.0}}, Rel::le, 10.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::optimal);
+  EXPECT_NEAR(r.objective, -10.0, 1e-9);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 supplies (10, 20), 2 demands (15, 15), costs {{1,4},{3,2}}.
+  // Optimal: ship s0->d0 10, s1->d0 5, s1->d1 15 => 10 + 15 + 30 = 55.
+  Model m;
+  int v[2][2];
+  const double cost[2][2] = {{1.0, 4.0}, {3.0, 2.0}};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      v[i][j] = m.add_var("ship", cost[i][j]);
+    }
+  }
+  m.add_constraint({{v[0][0], 1.0}, {v[0][1], 1.0}}, Rel::le, 10.0);
+  m.add_constraint({{v[1][0], 1.0}, {v[1][1], 1.0}}, Rel::le, 20.0);
+  m.add_constraint({{v[0][0], 1.0}, {v[1][0], 1.0}}, Rel::ge, 15.0);
+  m.add_constraint({{v[0][1], 1.0}, {v[1][1], 1.0}}, Rel::ge, 15.0);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::optimal);
+  EXPECT_NEAR(r.objective, 55.0, 1e-6);
+}
+
+TEST(Simplex, BoundSizeMismatchThrows) {
+  Model m;
+  (void)m.add_var("x", 1.0);
+  EXPECT_THROW(solve_lp_bounded(m, {0.0, 0.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Model, Validation) {
+  Model m;
+  EXPECT_THROW(m.add_var("x", 0.0, 2.0, 1.0), std::invalid_argument);
+  (void)m.add_var("x", 1.0);
+  EXPECT_THROW(m.add_constraint({{5, 1.0}}, Rel::le, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.objective_of({1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vbatt::solver

@@ -1,0 +1,127 @@
+#include "vbatt/stats/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "vbatt/util/rng.h"
+
+namespace vbatt::stats {
+namespace {
+
+TEST(Sampler, EmptyReturnsZero) {
+  Sampler s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.zero_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.0);
+  EXPECT_TRUE(s.cdf_points(10).empty());
+}
+
+TEST(Sampler, SingleSample) {
+  Sampler s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(Sampler, KnownPercentiles) {
+  Sampler s{{1.0, 2.0, 3.0, 4.0, 5.0}};
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(62.5), 3.5);  // interpolation
+}
+
+TEST(Sampler, VectorConstructorSorts) {
+  // Regression: the vector constructor must not assume sorted input.
+  Sampler s{{5.0, 1.0, 3.0}};
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(Sampler, PercentileClampsArgument) {
+  Sampler s{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(150), 2.0);
+}
+
+TEST(Sampler, ZeroFraction) {
+  Sampler s{{0.0, 0.0, 1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(s.zero_fraction(), 0.5);
+}
+
+TEST(Sampler, NonzeroDropsZeros) {
+  Sampler s{{0.0, 3.0, 0.0, 1.0}};
+  Sampler nz = s.nonzero();
+  EXPECT_EQ(nz.size(), 2u);
+  EXPECT_DOUBLE_EQ(nz.zero_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(nz.percentile(100), 3.0);
+}
+
+TEST(Sampler, CdfAt) {
+  Sampler s{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(Sampler, CdfPointsMonotone) {
+  util::Rng rng{5};
+  Sampler s;
+  for (int i = 0; i < 500; ++i) s.add(rng.lognormal(2.0, 1.0));
+  const auto pts = s.cdf_points(50, /*log_x=*/true);
+  ASSERT_EQ(pts.size(), 50u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Sampler, AddAllAndInterleavedQueries) {
+  Sampler s;
+  s.add_all({3.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(2.0);  // mutate after query: must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+/// Property: percentile agrees with a direct sorted-index reference on
+/// random data from several distributions.
+class PercentileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileProperty, MatchesSortedReference) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  std::vector<double> xs;
+  for (int i = 0; i < 997; ++i) {
+    switch (GetParam() % 3) {
+      case 0: xs.push_back(rng.uniform()); break;
+      case 1: xs.push_back(rng.normal()); break;
+      default: xs.push_back(rng.exponential(2.0)); break;
+    }
+  }
+  Sampler s{xs};
+  std::sort(xs.begin(), xs.end());
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double expect = xs[lo] + (rank - lo) * (xs[hi] - xs[lo]);
+    EXPECT_NEAR(s.percentile(p), expect, 1e-12) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, PercentileProperty,
+                         ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace vbatt::stats

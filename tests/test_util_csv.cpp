@@ -1,0 +1,54 @@
+#include "vbatt/util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vbatt::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "vbatt_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter csv{path_, {"a", "b"}};
+    csv.row({1.0, 2.5});
+    csv.row({3.0, 4.0});
+  }
+  EXPECT_EQ(slurp(path_), "a,b\n1,2.5\n3,4\n");
+}
+
+TEST_F(CsvTest, LabeledRows) {
+  {
+    CsvWriter csv{path_, {"policy", "total"}};
+    csv.labeled_row("Greedy", {306966.0});
+  }
+  EXPECT_EQ(slurp(path_), "policy,total\nGreedy,306966\n");
+}
+
+TEST_F(CsvTest, RowWidthMismatchThrows) {
+  CsvWriter csv{path_, {"a", "b"}};
+  EXPECT_THROW(csv.row({1.0}), std::invalid_argument);
+  EXPECT_THROW(csv.row({1.0, 2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(csv.labeled_row("x", {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, UnopenablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/f.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vbatt::util

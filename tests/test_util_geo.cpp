@@ -1,0 +1,28 @@
+#include "vbatt/util/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace vbatt::util {
+namespace {
+
+TEST(Geo, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(distance_km({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_km({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_km({1, 1}, {4, 5}), 5.0);
+}
+
+TEST(Geo, Symmetry) {
+  const GeoPoint a{12.5, -7.0};
+  const GeoPoint b{-3.0, 44.0};
+  EXPECT_DOUBLE_EQ(distance_km(a, b), distance_km(b, a));
+}
+
+TEST(Geo, TriangleInequality) {
+  const GeoPoint a{0, 0};
+  const GeoPoint b{100, 50};
+  const GeoPoint c{-30, 200};
+  EXPECT_LE(distance_km(a, c), distance_km(a, b) + distance_km(b, c) + 1e-9);
+}
+
+}  // namespace
+}  // namespace vbatt::util

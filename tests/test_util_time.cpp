@@ -1,0 +1,82 @@
+#include "vbatt/util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace vbatt::util {
+namespace {
+
+TEST(TimeAxis, DefaultIsFifteenMinutes) {
+  TimeAxis axis;
+  EXPECT_EQ(axis.minutes_per_tick(), 15);
+  EXPECT_EQ(axis.ticks_per_hour(), 4);
+  EXPECT_EQ(axis.ticks_per_day(), 96);
+}
+
+TEST(TimeAxis, RejectsNonDivisorOfDay) {
+  EXPECT_THROW(TimeAxis{7}, std::invalid_argument);
+  EXPECT_THROW(TimeAxis{0}, std::invalid_argument);
+  EXPECT_THROW(TimeAxis{-15}, std::invalid_argument);
+}
+
+TEST(TimeAxis, AcceptsCommonResolutions) {
+  for (const int minutes : {1, 5, 10, 15, 20, 30, 60, 120, 360, 1440}) {
+    TimeAxis axis{minutes};
+    EXPECT_EQ(axis.ticks_per_day() * minutes, 1440) << minutes;
+  }
+}
+
+TEST(TimeAxis, HourAndDayConversion) {
+  TimeAxis axis{15};
+  EXPECT_DOUBLE_EQ(axis.hours(0), 0.0);
+  EXPECT_DOUBLE_EQ(axis.hours(4), 1.0);
+  EXPECT_DOUBLE_EQ(axis.days(96), 1.0);
+  EXPECT_DOUBLE_EQ(axis.days(48), 0.5);
+}
+
+TEST(TimeAxis, HourOfDayWrapsDaily) {
+  TimeAxis axis{15};
+  EXPECT_DOUBLE_EQ(axis.hour_of_day(0), 0.0);
+  EXPECT_DOUBLE_EQ(axis.hour_of_day(95), 23.75);
+  EXPECT_DOUBLE_EQ(axis.hour_of_day(96), 0.0);
+  EXPECT_DOUBLE_EQ(axis.hour_of_day(96 * 3 + 4), 1.0);
+}
+
+TEST(TimeAxis, DayIndex) {
+  TimeAxis axis{15};
+  EXPECT_EQ(axis.day_index(0), 0);
+  EXPECT_EQ(axis.day_index(95), 0);
+  EXPECT_EQ(axis.day_index(96), 1);
+  EXPECT_EQ(axis.day_index(96 * 10 + 50), 10);
+}
+
+TEST(TimeAxis, FromHoursRoundTrip) {
+  TimeAxis axis{15};
+  EXPECT_EQ(axis.from_hours(1.0), 4);
+  EXPECT_EQ(axis.from_hours(0.25), 1);
+  EXPECT_EQ(axis.from_days(7.0), 672);
+  for (Tick t = 0; t < 1000; t += 37) {
+    EXPECT_EQ(axis.from_hours(axis.hours(t)), t);
+  }
+}
+
+TEST(TimeAxis, Equality) {
+  EXPECT_EQ(TimeAxis{15}, TimeAxis{15});
+  EXPECT_NE(TimeAxis{15}, TimeAxis{30});
+}
+
+class TimeAxisResolutionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeAxisResolutionTest, HourOfDayStaysInRange) {
+  TimeAxis axis{GetParam()};
+  for (Tick t = 0; t < axis.ticks_per_day() * 3; ++t) {
+    const double h = axis.hour_of_day(t);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LT(h, 24.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, TimeAxisResolutionTest,
+                         ::testing::Values(5, 15, 30, 60));
+
+}  // namespace
+}  // namespace vbatt::util

@@ -1,0 +1,89 @@
+#include "vbatt/workload/app.h"
+
+#include <gtest/gtest.h>
+
+#include "vbatt/stats/running_stats.h"
+
+namespace vbatt::workload {
+namespace {
+
+util::TimeAxis axis15() { return util::TimeAxis{15}; }
+
+TEST(Application, DerivedQuantities) {
+  Application app;
+  app.shape = {4, 16.0};
+  app.n_stable = 3;
+  app.n_degradable = 2;
+  EXPECT_EQ(app.total_vms(), 5);
+  EXPECT_EQ(app.total_cores(), 20);
+  EXPECT_EQ(app.stable_cores(), 12);
+  EXPECT_DOUBLE_EQ(app.total_memory_gb(), 80.0);
+  EXPECT_DOUBLE_EQ(app.stable_memory_gb(), 48.0);
+}
+
+TEST(GenerateApps, Validates) {
+  AppGeneratorConfig bad;
+  bad.apps_per_hour = 0.0;
+  EXPECT_THROW(generate_apps(bad, axis15(), 96), std::invalid_argument);
+  AppGeneratorConfig vms;
+  vms.min_vms = 5;
+  vms.max_vms = 2;
+  EXPECT_THROW(generate_apps(vms, axis15(), 96), std::invalid_argument);
+  AppGeneratorConfig frac;
+  frac.degradable_fraction = -0.1;
+  EXPECT_THROW(generate_apps(frac, axis15(), 96), std::invalid_argument);
+}
+
+TEST(GenerateApps, Deterministic) {
+  AppGeneratorConfig config;
+  const auto a = generate_apps(config, axis15(), 96 * 3);
+  const auto b = generate_apps(config, axis15(), 96 * 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].app_id, b[i].app_id);
+    EXPECT_EQ(a[i].n_stable, b[i].n_stable);
+    EXPECT_EQ(a[i].lifetime_ticks, b[i].lifetime_ticks);
+  }
+}
+
+TEST(GenerateApps, VmCountsWithinBounds) {
+  AppGeneratorConfig config;
+  config.min_vms = 3;
+  config.max_vms = 9;
+  for (const Application& app : generate_apps(config, axis15(), 96 * 10)) {
+    EXPECT_GE(app.total_vms(), 3);
+    EXPECT_LE(app.total_vms(), 9);
+    EXPECT_GE(app.n_stable, 0);
+    EXPECT_GE(app.n_degradable, 0);
+  }
+}
+
+TEST(GenerateApps, DegradableFractionApproached) {
+  AppGeneratorConfig config;
+  config.degradable_fraction = 0.40;
+  const auto apps = generate_apps(config, axis15(), 96 * 30);
+  double degradable = 0.0;
+  double total = 0.0;
+  for (const Application& app : apps) {
+    degradable += app.n_degradable;
+    total += app.total_vms();
+  }
+  EXPECT_NEAR(degradable / total, 0.40, 0.04);
+}
+
+TEST(GenerateApps, LifetimesAtLeastOneHour) {
+  AppGeneratorConfig config;
+  for (const Application& app : generate_apps(config, axis15(), 96 * 10)) {
+    EXPECT_GE(app.lifetime_ticks, axis15().ticks_per_hour());
+  }
+}
+
+TEST(GenerateApps, ArrivalRateMatches) {
+  AppGeneratorConfig config;
+  config.apps_per_hour = 4.0;
+  const auto apps = generate_apps(config, axis15(), 96 * 30);
+  EXPECT_NEAR(static_cast<double>(apps.size()) / (24 * 30), 4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace vbatt::workload

@@ -1,0 +1,129 @@
+#include "vbatt/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "vbatt/stats/running_stats.h"
+
+namespace vbatt::workload {
+namespace {
+
+util::TimeAxis axis15() { return util::TimeAxis{15}; }
+
+TEST(VmTraceGenerator, ValidatesConfig) {
+  GeneratorConfig bad;
+  bad.arrivals_per_hour = 0.0;
+  EXPECT_THROW(VmTraceGenerator{bad}, std::invalid_argument);
+  GeneratorConfig empty;
+  empty.shapes.clear();
+  EXPECT_THROW(VmTraceGenerator{empty}, std::invalid_argument);
+  GeneratorConfig frac;
+  frac.stable_fraction = 1.5;
+  EXPECT_THROW(VmTraceGenerator{frac}, std::invalid_argument);
+  GeneratorConfig shape;
+  shape.shapes[0].shape.cores = 0;
+  EXPECT_THROW(VmTraceGenerator{shape}, std::invalid_argument);
+}
+
+TEST(VmTraceGenerator, Deterministic) {
+  GeneratorConfig config;
+  const VmTraceGenerator gen{config};
+  const auto a = gen.generate(axis15(), 96 * 2);
+  const auto b = gen.generate(axis15(), 96 * 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vm_id, b[i].vm_id);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].shape.cores, b[i].shape.cores);
+    EXPECT_EQ(a[i].lifetime_ticks, b[i].lifetime_ticks);
+  }
+}
+
+TEST(VmTraceGenerator, SortedUniqueIds) {
+  GeneratorConfig config;
+  const auto vms = VmTraceGenerator{config}.generate(axis15(), 96 * 7);
+  for (std::size_t i = 1; i < vms.size(); ++i) {
+    EXPECT_LE(vms[i - 1].arrival, vms[i].arrival);
+    EXPECT_EQ(vms[i].vm_id, vms[i - 1].vm_id + 1);
+  }
+}
+
+TEST(VmTraceGenerator, ArrivalRateMatchesConfig) {
+  GeneratorConfig config;
+  config.arrivals_per_hour = 60.0;
+  config.diurnal_amplitude = 0.0;
+  const auto vms = VmTraceGenerator{config}.generate(axis15(), 96 * 30);
+  const double rate = static_cast<double>(vms.size()) / (24.0 * 30.0);
+  EXPECT_NEAR(rate, 60.0, 2.0);
+}
+
+TEST(VmTraceGenerator, DiurnalModulationShowsUp) {
+  GeneratorConfig config;
+  config.arrivals_per_hour = 200.0;
+  config.diurnal_amplitude = 0.5;
+  config.diurnal_peak_hour = 14.0;
+  const auto vms = VmTraceGenerator{config}.generate(axis15(), 96 * 30);
+  std::map<int, int> by_hour;
+  for (const VmRequest& vm : vms) {
+    by_hour[static_cast<int>(axis15().hour_of_day(vm.arrival))]++;
+  }
+  EXPECT_GT(by_hour[14], by_hour[2] * 2);  // peak vs trough
+}
+
+TEST(VmTraceGenerator, StableFractionRespected) {
+  GeneratorConfig config;
+  config.stable_fraction = 0.60;
+  const auto vms = VmTraceGenerator{config}.generate(axis15(), 96 * 20);
+  const auto stable = std::count_if(
+      vms.begin(), vms.end(), [](const VmRequest& vm) {
+        return vm.vm_class == VmClass::stable;
+      });
+  EXPECT_NEAR(static_cast<double>(stable) / vms.size(), 0.60, 0.03);
+}
+
+TEST(VmTraceGenerator, ShapesFromMenuOnly) {
+  GeneratorConfig config;
+  const auto vms = VmTraceGenerator{config}.generate(axis15(), 96 * 5);
+  for (const VmRequest& vm : vms) {
+    const bool known = std::any_of(
+        config.shapes.begin(), config.shapes.end(),
+        [&](const ShapeOption& option) {
+          return option.shape.cores == vm.shape.cores &&
+                 option.shape.memory_gb == vm.shape.memory_gb;
+        });
+    EXPECT_TRUE(known) << vm.shape.cores << " cores";
+  }
+}
+
+TEST(VmTraceGenerator, LifetimesPositiveAndHeavyTailed) {
+  GeneratorConfig config;
+  const auto vms = VmTraceGenerator{config}.generate(axis15(), 96 * 30);
+  stats::RunningStats rs;
+  for (const VmRequest& vm : vms) {
+    ASSERT_GE(vm.lifetime_ticks, 1);
+    rs.add(static_cast<double>(vm.lifetime_ticks));
+  }
+  // Mean lifetime far above the short-mode median (heavy tail from the
+  // long-lived mode).
+  EXPECT_GT(rs.mean(), 3.0 * axis15().ticks_per_hour());
+}
+
+TEST(ExpectedSteadyCores, SelfConsistent) {
+  GeneratorConfig config;
+  config.arrivals_per_hour = 50.0;
+  // Little's law check against an actual generated trace: steady-state
+  // core-occupancy = arrival_rate x mean lifetime x mean cores.
+  const double expected = expected_steady_cores(config);
+  const auto vms = VmTraceGenerator{config}.generate(axis15(), 96 * 60);
+  double core_ticks = 0.0;
+  for (const VmRequest& vm : vms) {
+    core_ticks += static_cast<double>(vm.lifetime_ticks) * vm.shape.cores;
+  }
+  const double measured = core_ticks / (96.0 * 60.0);
+  EXPECT_NEAR(measured / expected, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace vbatt::workload

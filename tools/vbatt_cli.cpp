@@ -1,0 +1,280 @@
+// vbatt — command-line driver for the library.
+//
+//   vbatt trace     --source=wind --days=30 --seed=7 --out=trace.csv
+//   vbatt fleet     --solar=4 --wind=6 --days=7 [--storms]
+//   vbatt site-sim  --source=wind --days=90 --servers=700
+//   vbatt schedule  --policy=mip --days=7 [--vm-level]
+//   vbatt forecast  --source=solar --lead=24
+//
+// Every run is deterministic for a given --seed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "vbatt/vbatt.h"
+
+namespace {
+
+using namespace vbatt;
+
+/// --key=value / --flag argument bag.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      const std::string body = arg.substr(2);
+      const std::size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        values_.insert_or_assign(body, std::string{"1"});
+      } else {
+        values_.insert_or_assign(body.substr(0, eq), body.substr(eq + 1));
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  bool flag(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+energy::PowerTrace make_trace(const Args& args, std::size_t ticks) {
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 11));
+  if (args.get("source", "wind") == "solar") {
+    energy::SolarConfig config;
+    config.seed = seed;
+    return energy::SolarModel{config}.generate(util::TimeAxis{15}, ticks);
+  }
+  energy::WindConfig config;
+  config.seed = seed;
+  return energy::WindModel{config}.generate(util::TimeAxis{15}, ticks);
+}
+
+int cmd_trace(const Args& args) {
+  const auto days = static_cast<std::size_t>(args.number("days", 30));
+  const energy::PowerTrace trace = make_trace(args, 96 * days);
+  const std::string out = args.get("out", "trace.csv");
+  energy::save_trace_csv(trace, out);
+  stats::Sampler s{trace.normalized_series()};
+  std::printf("wrote %zu samples to %s\n", trace.size(), out.c_str());
+  std::printf("median=%.3f p75=%.3f p99=%.3f zeros=%.1f%% cov=%.2f\n",
+              s.median(), s.percentile(75), s.percentile(99),
+              100.0 * s.zero_fraction(), energy::trace_cov(trace));
+  return 0;
+}
+
+int cmd_fleet(const Args& args) {
+  const auto days = static_cast<std::size_t>(args.number("days", 7));
+  energy::FleetConfig config;
+  config.n_solar = static_cast<int>(args.number("solar", 4));
+  config.n_wind = static_cast<int>(args.number("wind", 6));
+  config.region_km = args.number("region", 2500.0);
+  config.enable_storms = args.flag("storms");
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 1234));
+  const energy::Fleet fleet =
+      energy::generate_fleet(config, util::TimeAxis{15}, 96 * days);
+
+  std::printf("%-10s %-6s %8s %9s %10s\n", "site", "kind", "cov",
+              "stable%", "MWh/day");
+  std::vector<const energy::PowerTrace*> traces;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const energy::EnergySplit split = energy::decompose(fleet.traces[i]);
+    std::printf("%-10s %-6s %8.2f %8.1f%% %10.0f\n",
+                fleet.specs[i].name.c_str(),
+                to_string(fleet.specs[i].source).c_str(),
+                energy::trace_cov(fleet.traces[i]),
+                100.0 * split.stable_fraction(),
+                split.total_mwh() / static_cast<double>(days));
+    traces.push_back(&fleet.traces[i]);
+  }
+  const energy::PowerTrace combined = energy::combine(traces);
+  const energy::EnergySplit split = energy::decompose(combined);
+  std::printf("%-10s %-6s %8.2f %8.1f%% %10.0f\n", "COMBINED", "-",
+              energy::trace_cov(combined), 100.0 * split.stable_fraction(),
+              split.total_mwh() / static_cast<double>(days));
+
+  int improved = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    for (std::size_t j = i + 1; j < fleet.size(); ++j) {
+      ++total;
+      if (energy::pair_cov_improvement(fleet.traces[i], fleet.traces[j]) >
+          0.5) {
+        ++improved;
+      }
+    }
+  }
+  std::printf("%d/%d site pairs improve cov by >50%%\n", improved, total);
+  return 0;
+}
+
+int cmd_site_sim(const Args& args) {
+  const auto days = static_cast<std::size_t>(args.number("days", 90));
+  const energy::PowerTrace trace = make_trace(args, 96 * days);
+
+  dcsim::SiteSimConfig config;
+  config.site.n_servers = static_cast<int>(args.number("servers", 700));
+  workload::GeneratorConfig gen;
+  const double cores = config.site.n_servers * config.site.server.cores;
+  const double per_rate =
+      workload::expected_steady_cores(gen) / gen.arrivals_per_hour;
+  gen.arrivals_per_hour = args.number("load", 0.35) * cores / per_rate;
+  const auto vms = workload::VmTraceGenerator{gen}.generate(
+      util::TimeAxis{15}, trace.size());
+
+  dcsim::BestFitPolicy policy;
+  const dcsim::SiteSimResult result =
+      dcsim::simulate_site(trace, vms, config, policy);
+  const double out_total =
+      std::accumulate(result.out_gb.begin(), result.out_gb.end(), 0.0);
+  const double in_total =
+      std::accumulate(result.in_gb.begin(), result.in_gb.end(), 0.0);
+  std::printf("%zu days on a %d-server %s-powered site (%zu VM arrivals):\n",
+              days, config.site.n_servers,
+              args.get("source", "wind").c_str(), vms.size());
+  std::printf("  out-migration: %.0f GB, in-migration: %.0f GB\n", out_total,
+              in_total);
+  std::printf("  %.0f%% of power changes caused no migration\n",
+              100.0 * result.no_migration_fraction());
+  std::printf("  evicted=%lld relaunched=%lld rejected=%lld\n",
+              static_cast<long long>(result.vms_evicted),
+              static_cast<long long>(result.vms_relaunched),
+              static_cast<long long>(result.vms_rejected));
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const auto days = static_cast<std::size_t>(args.number("days", 7));
+  energy::FleetConfig fleet_config;
+  fleet_config.n_solar = static_cast<int>(args.number("solar", 4));
+  fleet_config.n_wind = static_cast<int>(args.number("wind", 6));
+  fleet_config.region_km = args.number("region", 2500.0);
+  fleet_config.enable_storms = args.flag("storms");
+  const energy::Fleet fleet =
+      energy::generate_fleet(fleet_config, util::TimeAxis{15}, 96 * days);
+  core::VbGraphConfig graph_config;
+  graph_config.cores_per_mw = args.number("cores-per-mw", 20.0);
+  const core::VbGraph graph{fleet, graph_config};
+
+  workload::AppGeneratorConfig app_config;
+  app_config.apps_per_hour = args.number("apps-per-hour", 2.2);
+  const auto apps =
+      workload::generate_apps(app_config, util::TimeAxis{15}, 96 * days);
+
+  const std::string policy = args.get("policy", "mip");
+  core::SimResult result{graph.n_sites(), graph.n_ticks()};
+  if (policy == "replication") {
+    result = core::run_replication_simulation(graph, apps, {});
+  } else {
+    std::unique_ptr<core::Scheduler> scheduler;
+    if (policy == "greedy") {
+      scheduler = std::make_unique<core::GreedyScheduler>();
+    } else if (policy == "mip24h") {
+      scheduler =
+          std::make_unique<core::MipScheduler>(core::make_mip24h_config());
+    } else if (policy == "mippeak") {
+      scheduler =
+          std::make_unique<core::MipScheduler>(core::make_mip_peak_config());
+    } else if (policy == "mip") {
+      scheduler =
+          std::make_unique<core::MipScheduler>(core::make_mip_config());
+    } else {
+      std::fprintf(stderr,
+                   "unknown --policy (greedy|mip|mip24h|mippeak|replication)\n");
+      return 2;
+    }
+    if (args.flag("vm-level")) {
+      const core::VmLevelResult vm =
+          core::run_vm_level_simulation(graph, apps, *scheduler);
+      result = vm.base;
+      std::printf("vm-level: %lld VM migrations, %lld fragmentation "
+                  "failures, %lld powered server-ticks\n",
+                  static_cast<long long>(vm.vm_migrations),
+                  static_cast<long long>(vm.fragmentation_failures),
+                  static_cast<long long>(vm.powered_server_ticks));
+    } else {
+      result = core::run_simulation(graph, apps, *scheduler);
+    }
+  }
+
+  const core::PolicyRow row = core::summarize(policy, result);
+  std::printf("%s over %zu days (%zu apps):\n", policy.c_str(), days,
+              apps.size());
+  std::printf("  total=%.0f GB p99=%.0f peak=%.0f std=%.0f zero=%.0f%%\n",
+              row.total_gb, row.p99_gb, row.peak_gb, row.std_gb,
+              100.0 * row.zero_fraction);
+  std::printf("  planned=%lld forced=%lld displaced=%lld energy=%.1f MWh\n",
+              static_cast<long long>(row.planned_migrations),
+              static_cast<long long>(row.forced_migrations),
+              static_cast<long long>(row.displaced_stable_core_ticks),
+              row.energy_mwh);
+  const core::AvailabilityReport availability =
+      core::availability_report(result, apps, graph.n_ticks());
+  const energy::CarbonReport carbon = energy::compare_carbon(
+      energy::CarbonConfig{}, util::TimeAxis{15}, result.energy_mwh_per_tick);
+  std::printf("  availability: mean=%.4f min=%.4f three-nines=%.0f%%\n",
+              availability.mean, availability.min,
+              100.0 * availability.three_nines_fraction);
+  std::printf("  carbon: %.2f tCO2 avoided vs grid (%.0f%%)\n",
+              carbon.avoided_tco2(), 100.0 * carbon.avoided_fraction());
+  return 0;
+}
+
+int cmd_forecast(const Args& args) {
+  const auto days = static_cast<std::size_t>(args.number("days", 365));
+  const energy::PowerTrace trace = make_trace(args, 96 * days);
+  const energy::Forecaster forecaster;
+  if (args.flag("lead")) {
+    const double lead = args.number("lead", 24.0);
+    std::printf("MAPE @ %.0f h: %.1f%%\n", lead,
+                forecaster.measured_mape(trace, lead));
+    return 0;
+  }
+  for (const double lead : {3.0, 6.0, 12.0, 24.0, 48.0, 96.0, 168.0}) {
+    std::printf("  %5.0f h: %5.1f%%\n", lead,
+                forecaster.measured_mape(trace, lead));
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vbatt <command> [--key=value ...]\n"
+               "commands:\n"
+               "  trace      generate a power trace CSV\n"
+               "  fleet      summarize a generated VB fleet\n"
+               "  site-sim   single-site migration simulation (Fig 4)\n"
+               "  schedule   multi-site policy run (Table 1)\n"
+               "  forecast   forecast-accuracy report (Fig 5)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args{argc, argv, 2};
+  if (command == "trace") return cmd_trace(args);
+  if (command == "fleet") return cmd_fleet(args);
+  if (command == "site-sim") return cmd_site_sim(args);
+  if (command == "schedule") return cmd_schedule(args);
+  if (command == "forecast") return cmd_forecast(args);
+  return usage();
+}
