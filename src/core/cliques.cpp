@@ -1,6 +1,8 @@
 #include "vbatt/core/cliques.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 #include "vbatt/stats/running_stats.h"
@@ -9,27 +11,107 @@ namespace vbatt::core {
 
 namespace {
 
+/// Depth-indexed candidate bitsets for the clique recursion: one
+/// row_words-wide row per level, allocated once up front.
+struct CandidateStack {
+  std::size_t words = 0;
+  std::vector<std::uint64_t> rows;
+
+  CandidateStack(int depth, std::size_t row_words)
+      : words{row_words},
+        rows(static_cast<std::size_t>(depth) * row_words, 0) {}
+
+  std::uint64_t* row(int level) {
+    return rows.data() + static_cast<std::size_t>(level) * words;
+  }
+};
+
+/// Extend `current` (members at levels < depth) with vertices from the
+/// candidate set at `depth`: vertices greater than the last member and
+/// adjacent to every member. Candidates are packed bitsets, so the
+/// per-member connected() probes of the old implementation collapse into
+/// one word-wise AND with the new vertex's adjacency row.
 void extend_clique(const net::LatencyGraph& graph, int k,
-                   std::vector<std::size_t>& current,
-                   std::size_t next_candidate,
+                   std::vector<std::size_t>& current, int depth,
+                   CandidateStack& stack,
                    std::vector<std::vector<std::size_t>>& out) {
-  if (static_cast<int>(current.size()) == k) {
-    out.push_back(current);
+  const std::size_t words = stack.words;
+  const std::uint64_t* cand = stack.row(depth);
+
+  // Prune: not enough candidates left to reach k members.
+  std::size_t available = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    available += static_cast<std::size_t>(std::popcount(cand[w]));
+  }
+  if (static_cast<int>(current.size()) + static_cast<int>(available) < k) {
     return;
   }
-  for (std::size_t v = next_candidate; v < graph.size(); ++v) {
-    bool adjacent_to_all = true;
-    for (const std::size_t u : current) {
-      if (!graph.connected(u, v)) {
-        adjacent_to_all = false;
-        break;
+
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = cand[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::size_t v = w * 64 + static_cast<std::size_t>(bit);
+
+      current.push_back(v);
+      if (static_cast<int>(current.size()) == k) {
+        out.push_back(current);
+        current.pop_back();
+        continue;
       }
+      // Next level: candidates adjacent to v as well, restricted to > v.
+      const std::uint64_t* adj = graph.adjacency_row(v);
+      std::uint64_t* next = stack.row(depth + 1);
+      for (std::size_t i = 0; i < w; ++i) next[i] = 0;
+      next[w] = cand[w] & adj[w] & ~((std::uint64_t{2} << bit) - 1);
+      for (std::size_t i = w + 1; i < words; ++i) {
+        next[i] = cand[i] & adj[i];
+      }
+      extend_clique(graph, k, current, depth + 1, stack, out);
+      current.pop_back();
     }
-    if (!adjacent_to_all) continue;
-    current.push_back(v);
-    extend_clique(graph, k, current, v + 1, out);
-    current.pop_back();
   }
+}
+
+std::vector<RankedSubgraph> score_cliques(
+    std::vector<std::vector<std::size_t>> cliques, const ForecastCache& cache,
+    util::Tick now, util::Tick end, util::ThreadPool* pool) {
+  const std::size_t n_ticks = static_cast<std::size_t>(end - now);
+  const std::size_t offset = static_cast<std::size_t>(now - cache.begin());
+
+  std::vector<RankedSubgraph> out(cliques.size());
+  const auto score_range = [&](std::size_t first, std::size_t last) {
+    // Per-chunk scratch: raw series pointers for the clique, so the tick
+    // loop reads contiguous ints with no vector indirection.
+    std::vector<const int*> series;
+    for (std::size_t c = first; c < last; ++c) {
+      std::vector<std::size_t>& clique = cliques[c];
+      series.clear();
+      for (const std::size_t s : clique) {
+        series.push_back(cache.series(s).data() + offset);
+      }
+      stats::RunningStats rs;
+      for (std::size_t i = 0; i < n_ticks; ++i) {
+        double cores = 0.0;
+        for (const int* site_series : series) cores += site_series[i];
+        rs.add(cores);
+      }
+      out[c] = RankedSubgraph{std::move(clique), rs.cov(), rs.mean()};
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(cliques.size(), score_range);
+  } else {
+    score_range(0, cliques.size());
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const RankedSubgraph& a, const RankedSubgraph& b) {
+              if (a.cov != b.cov) return a.cov < b.cov;
+              return a.sites < b.sites;
+            });
+  return out;
 }
 
 }  // namespace
@@ -38,9 +120,35 @@ std::vector<std::vector<std::size_t>> find_k_cliques(
     const net::LatencyGraph& graph, int k) {
   if (k < 1) throw std::invalid_argument{"find_k_cliques: k < 1"};
   std::vector<std::vector<std::size_t>> out;
+  const std::size_t n = graph.size();
+  if (n == 0) return out;
+
+  CandidateStack stack{k + 1, graph.row_words()};
+  std::uint64_t* all = stack.row(0);
+  for (std::size_t v = 0; v < n; ++v) {
+    all[v / 64] |= std::uint64_t{1} << (v % 64);
+  }
   std::vector<std::size_t> current;
-  extend_clique(graph, k, current, 0, out);
+  current.reserve(static_cast<std::size_t>(k));
+  extend_clique(graph, k, current, 0, stack, out);
   return out;
+}
+
+std::vector<RankedSubgraph> rank_subgraphs(const VbGraph& graph, int k,
+                                           util::Tick now,
+                                           util::Tick window_ticks,
+                                           const ForecastCache& cache,
+                                           util::ThreadPool* pool) {
+  const util::Tick end = std::min<util::Tick>(
+      static_cast<util::Tick>(graph.n_ticks()), now + window_ticks);
+  if (now < 0 || now >= end) {
+    throw std::out_of_range{"rank_subgraphs: bad window"};
+  }
+  if (cache.now() != now || cache.begin() > now || cache.end() < end) {
+    throw std::invalid_argument{"rank_subgraphs: cache/window mismatch"};
+  }
+  return score_cliques(find_k_cliques(graph.latency(), k), cache, now, end,
+                       pool);
 }
 
 std::vector<RankedSubgraph> rank_subgraphs(const VbGraph& graph, int k,
@@ -51,24 +159,11 @@ std::vector<RankedSubgraph> rank_subgraphs(const VbGraph& graph, int k,
   if (now < 0 || now >= end) {
     throw std::out_of_range{"rank_subgraphs: bad window"};
   }
-  std::vector<RankedSubgraph> out;
-  for (auto& clique : find_k_cliques(graph.latency(), k)) {
-    stats::RunningStats rs;
-    for (util::Tick t = now; t < end; ++t) {
-      double cores = 0.0;
-      for (const std::size_t s : clique) {
-        cores += graph.forecast_cores(s, t, now);
-      }
-      rs.add(cores);
-    }
-    out.push_back(RankedSubgraph{std::move(clique), rs.cov(), rs.mean()});
-  }
-  std::sort(out.begin(), out.end(),
-            [](const RankedSubgraph& a, const RankedSubgraph& b) {
-              if (a.cov != b.cov) return a.cov < b.cov;
-              return a.sites < b.sites;
-            });
-  return out;
+  util::ThreadPool& pool = util::ThreadPool::shared();
+  util::ThreadPool* pool_ptr = pool.size() > 0 ? &pool : nullptr;
+  ForecastCache cache;
+  cache.refresh(graph, now, now, end, pool_ptr);
+  return rank_subgraphs(graph, k, now, window_ticks, cache, pool_ptr);
 }
 
 }  // namespace vbatt::core

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "vbatt/core/forecast_cache.h"
 #include "vbatt/stats/running_stats.h"
 
 namespace vbatt::core {
@@ -84,12 +85,18 @@ std::vector<RankedSubgraph> peel_candidate_groups(const VbGraph& graph,
     throw std::out_of_range{"peel_candidate_groups: bad window"};
   }
 
+  // One forecast materialization for the whole peel instead of a
+  // forecast_cores call per (site, tick, candidate-evaluation).
+  ForecastCache cache;
+  cache.refresh(graph, now, now, end);
+  const std::size_t window = static_cast<std::size_t>(end - now);
+
   const auto group_stats = [&](const std::vector<std::size_t>& sites) {
     stats::RunningStats rs;
-    for (util::Tick t = now; t < end; ++t) {
+    for (std::size_t i = 0; i < window; ++i) {
       double cores = 0.0;
       for (const std::size_t s : sites) {
-        cores += graph.forecast_cores(s, t, now);
+        cores += cache.series(s)[i];
       }
       rs.add(cores);
     }
@@ -111,10 +118,12 @@ std::vector<RankedSubgraph> peel_candidate_groups(const VbGraph& graph,
     // *connected* site that minimizes the combined cov.
     std::vector<std::size_t> group;
     {
+      // Seed scan over single sites: prefix sums give each mean in O(1).
       std::size_t seed = pool.front();
       double best_mean = -1.0;
       for (const std::size_t v : pool) {
-        const double mean = group_stats({v}).mean();
+        const double mean = static_cast<double>(cache.range_sum(v, now, end)) /
+                            static_cast<double>(window);
         if (mean > best_mean) {
           best_mean = mean;
           seed = v;

@@ -1,6 +1,9 @@
 #include "vbatt/core/evaluation.h"
 
+#include <algorithm>
+
 #include "vbatt/core/mip_scheduler.h"
+#include "vbatt/stats/quantile.h"
 #include "vbatt/stats/running_stats.h"
 
 namespace vbatt::core {
@@ -10,12 +13,17 @@ PolicyRow summarize(const std::string& policy, const SimResult& result) {
   row.policy = policy;
   stats::RunningStats rs;
   for (const double v : result.moved_gb) rs.add(v);
-  stats::Sampler sampler{result.moved_gb};
+  // One quantile of a throwaway copy: selection, not a full sort.
+  std::vector<double> moved = result.moved_gb;
   row.total_gb = rs.sum();
-  row.p99_gb = sampler.percentile(99.0);
+  row.p99_gb = stats::quantile_in_place(moved, 99.0);
   row.peak_gb = rs.max();
   row.std_gb = rs.stddev();
-  row.zero_fraction = sampler.zero_fraction();
+  row.zero_fraction =
+      moved.empty() ? 0.0
+                    : static_cast<double>(
+                          std::count(moved.begin(), moved.end(), 0.0)) /
+                          static_cast<double>(moved.size());
   row.planned_migrations = result.planned_migrations;
   row.forced_migrations = result.forced_migrations;
   row.displaced_stable_core_ticks = result.displaced_stable_core_ticks;

@@ -9,7 +9,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "vbatt/core/forecast_cache.h"
 #include "vbatt/core/vb_graph.h"
+#include "vbatt/util/thread_pool.h"
 
 namespace vbatt::core {
 
@@ -28,9 +30,23 @@ struct RankedSubgraph {
 };
 
 /// Rank all k-cliques by combined *forecast* cov over [now, now + window).
-/// Sorted ascending by cov.
+/// Sorted ascending by cov. Materializes a local ForecastCache and fans
+/// clique scoring across util::ThreadPool::shared() (serial when
+/// VBATT_THREADS=1); results are bit-identical either way.
 std::vector<RankedSubgraph> rank_subgraphs(const VbGraph& graph, int k,
                                            util::Tick now,
                                            util::Tick window_ticks);
+
+/// Same ranking against a caller-owned cache (must cover
+/// [now, min(n_ticks, now + window)) as seen from `now`) and an explicit
+/// pool (nullptr = serial). This is the replan path: MipScheduler shares
+/// one cache between capacity refresh and ranking. Clique scoring is
+/// embarrassingly parallel — each clique owns one output slot — so the
+/// pool changes wall-clock time only, never a bit of the result.
+std::vector<RankedSubgraph> rank_subgraphs(const VbGraph& graph, int k,
+                                           util::Tick now,
+                                           util::Tick window_ticks,
+                                           const ForecastCache& cache,
+                                           util::ThreadPool* pool);
 
 }  // namespace vbatt::core

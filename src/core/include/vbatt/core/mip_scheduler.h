@@ -24,6 +24,7 @@
 #include <optional>
 
 #include "vbatt/core/cliques.h"
+#include "vbatt/core/forecast_cache.h"
 #include "vbatt/core/scheduler.h"
 #include "vbatt/solver/branch_bound.h"
 
@@ -114,6 +115,9 @@ class MipScheduler final : public Scheduler {
 
   // Per-replan caches, keyed to the `now` they were computed at.
   util::Tick cache_now_ = -1;
+  /// Materialized forecast series shared by capacity bucketing and clique
+  /// ranking; invalidated (re-keyed) whenever `now` changes.
+  ForecastCache forecast_cache_;
   std::vector<std::vector<double>> capacity_;   // [site][bucket]
   std::vector<std::vector<double>> load_;       // [site][bucket] cores
   std::vector<double> committed_moves_gb_;      // [bucket]

@@ -70,6 +70,14 @@ class VbGraph {
   /// oracle for target <= now.
   int forecast_cores(std::size_t s, util::Tick target, util::Tick now) const;
 
+  /// Bulk forecast: element i is forecast_cores(s, begin + i, now) for
+  /// every tick in [begin, end), value-identical to the per-tick calls.
+  /// One bounds check and a single monotone walk over the lead table for
+  /// the whole range instead of a lead search per tick — this is the
+  /// hot-path API; ForecastCache materializes it once per replan.
+  std::vector<int> forecast_series(std::size_t s, util::Tick now,
+                                   util::Tick begin, util::Tick end) const;
+
  private:
   util::TimeAxis axis_{};
   std::size_t n_ticks_ = 0;

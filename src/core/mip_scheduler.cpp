@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "vbatt/stats/quantile.h"
+#include "vbatt/util/thread_pool.h"
+
 namespace vbatt::core {
 
 MipScheduler::MipScheduler(MipSchedulerConfig config)
@@ -43,34 +46,54 @@ void MipScheduler::refresh_capacity(const FleetState& state) {
   committed_moves_gb_.assign(static_cast<std::size_t>(buckets), 0.0);
 
   const auto trace_end = static_cast<util::Tick>(state.graph->n_ticks());
-  for (std::size_t s = 0; s < n_sites; ++s) {
-    for (int b = 0; b < buckets; ++b) {
-      const util::Tick begin = cache_now_ + b * config_.bucket_ticks;
-      const util::Tick end =
-          std::min(trace_end, begin + config_.bucket_ticks);
-      // Bucket capacity: 25th percentile of the forecast over the bucket.
-      // A strict window-minimum proved too trigger-happy (forecast noise
-      // manufactures phantom deficits and churns the plan) while the mean
-      // lets the planner ride the capacity edge and get bitten by
-      // intra-bucket dips; the lower quartile balances the two.
-      std::vector<double> cores;
-      cores.reserve(static_cast<std::size_t>(end - begin));
-      for (util::Tick t = begin; t < end; ++t) {
-        cores.push_back(
-            static_cast<double>(state.graph->forecast_cores(s, t, cache_now_)));
+  const util::Tick window_end = std::min(
+      trace_end,
+      cache_now_ + config_.bucket_ticks * static_cast<util::Tick>(buckets));
+
+  util::ThreadPool& shared_pool = util::ThreadPool::shared();
+  util::ThreadPool* pool = shared_pool.size() > 0 ? &shared_pool : nullptr;
+
+  // One forecast materialization per replan; capacity bucketing and clique
+  // ranking both read from it instead of per-tick forecast_cores calls.
+  forecast_cache_.refresh(*state.graph, cache_now_, cache_now_, window_end,
+                          pool);
+
+  const auto fill_sites = [&](std::size_t first, std::size_t last) {
+    std::vector<double> cores;
+    for (std::size_t s = first; s < last; ++s) {
+      const std::vector<int>& series = forecast_cache_.series(s);
+      for (int b = 0; b < buckets; ++b) {
+        const util::Tick begin = cache_now_ + b * config_.bucket_ticks;
+        const util::Tick end =
+            std::min(trace_end, begin + config_.bucket_ticks);
+        // Bucket capacity: 25th percentile of the forecast over the bucket.
+        // A strict window-minimum proved too trigger-happy (forecast noise
+        // manufactures phantom deficits and churns the plan) while the mean
+        // lets the planner ride the capacity edge and get bitten by
+        // intra-bucket dips; the lower quartile balances the two.
+        cores.clear();
+        for (util::Tick t = begin; t < end; ++t) {
+          cores.push_back(static_cast<double>(
+              series[static_cast<std::size_t>(t - cache_now_)]));
+        }
+        double value = 0.0;
+        if (!cores.empty()) {
+          value = stats::order_statistic_in_place(cores, cores.size() / 4);
+        }
+        capacity_[s][static_cast<std::size_t>(b)] = value;
       }
-      double value = 0.0;
-      if (!cores.empty()) {
-        std::sort(cores.begin(), cores.end());
-        value = cores[cores.size() / 4];
-      }
-      capacity_[s][static_cast<std::size_t>(b)] = value;
     }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_sites, fill_sites);
+  } else {
+    fill_sites(0, n_sites);
   }
 
   ranked_ = rank_subgraphs(*state.graph, config_.clique_k, cache_now_,
                            config_.bucket_ticks *
-                               static_cast<util::Tick>(buckets));
+                               static_cast<util::Tick>(buckets),
+                           forecast_cache_, pool);
 }
 
 std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(

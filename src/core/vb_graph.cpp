@@ -87,4 +87,38 @@ int VbGraph::forecast_cores(std::size_t s, util::Tick target,
   return static_cast<int>(std::floor(norm * site.capacity_cores));
 }
 
+std::vector<int> VbGraph::forecast_series(std::size_t s, util::Tick now,
+                                          util::Tick begin,
+                                          util::Tick end) const {
+  const VbSite& site = sites_.at(s);
+  if (begin < 0 || begin > end ||
+      static_cast<std::size_t>(end) > n_ticks_) {
+    throw std::out_of_range{"VbGraph::forecast_series: bad range"};
+  }
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  const double cap = site.capacity_cores;
+
+  // Oracle region: target <= now reads the actual series.
+  const util::Tick oracle_end = std::clamp<util::Tick>(now + 1, begin, end);
+  for (util::Tick t = begin; t < oracle_end; ++t) {
+    out.push_back(static_cast<int>(
+        std::floor(site.power_norm[static_cast<std::size_t>(t)] * cap)));
+  }
+
+  // Forecast region: the lead grows monotonically with the target, so one
+  // forward walk over the ascending lead table replaces the per-tick scan
+  // forecast_cores does. Snapping matches forecast_cores exactly: first
+  // lead >= the query lead, else the last (blurriest) one.
+  std::size_t idx = 0;
+  const std::size_t last = leads_hours_.size() - 1;
+  for (util::Tick t = oracle_end; t < end; ++t) {
+    const double lead_hours = axis_.hours(t - now);
+    while (idx < last && leads_hours_[idx] < lead_hours) ++idx;
+    out.push_back(static_cast<int>(std::floor(
+        site.forecast_norm[idx][static_cast<std::size_t>(t)] * cap)));
+  }
+  return out;
+}
+
 }  // namespace vbatt::core

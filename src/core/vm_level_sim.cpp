@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace vbatt::core {
 
@@ -76,6 +77,11 @@ VmLevelResult run_vm_level_simulation(
   state.stable_cores.assign(n_sites, 0);
   state.degradable_cores.assign(n_sites, 0);
 
+  // Where each resident VM currently lives. Kept in lockstep with every
+  // site mutation so removals are O(1) lookups instead of a probe over
+  // all sites (displaced VMs are absent until re-placed).
+  std::unordered_map<std::int64_t, std::size_t> vm_site;
+
   const auto place_vm = [&](dcsim::VmInstance vm, std::size_t s) -> bool {
     if (!sites[s].place(vm, *policy)) return false;
     if (vm.vm_class == workload::VmClass::stable) {
@@ -83,6 +89,7 @@ VmLevelResult run_vm_level_simulation(
     } else {
       state.degradable_cores[s] += vm.shape.cores;
     }
+    vm_site[vm.vm_id] = s;
     return true;
   };
   const auto remove_vm = [&](std::int64_t vm_id,
@@ -94,6 +101,7 @@ VmLevelResult run_vm_level_simulation(
       } else {
         state.degradable_cores[s] -= removed->shape.cores;
       }
+      vm_site.erase(vm_id);
     }
     return removed;
   };
@@ -109,16 +117,14 @@ VmLevelResult run_vm_level_simulation(
     for (auto it = live.begin(); it != live.end();) {
       TrackedApp& app = it->second;
       if (app.end_tick >= 0 && app.end_tick <= t) {
-        for (const std::int64_t id : app.stable_ids) {
-          for (std::size_t s = 0; s < n_sites; ++s) {
-            if (remove_vm(id, s)) break;
-          }
-        }
-        for (const std::int64_t id : app.degradable_ids) {
-          for (std::size_t s = 0; s < n_sites; ++s) {
-            if (remove_vm(id, s)) break;
-          }
-        }
+        const auto remove_resident = [&](std::int64_t id) {
+          // Displaced VMs have no index entry; their queued copies are
+          // dropped below.
+          const auto at = vm_site.find(id);
+          if (at != vm_site.end()) remove_vm(id, at->second);
+        };
+        for (const std::int64_t id : app.stable_ids) remove_resident(id);
+        for (const std::int64_t id : app.degradable_ids) remove_resident(id);
         pending_moves.erase(it->first);
         it = live.erase(it);
       } else {
@@ -233,6 +239,7 @@ VmLevelResult run_vm_level_simulation(
       const int avail = graph.available_cores(s, t);
       const std::vector<dcsim::VmInstance> evicted = sites[s].shrink_to(avail);
       for (const dcsim::VmInstance& vm : evicted) {
+        vm_site.erase(vm.vm_id);
         if (vm.vm_class == workload::VmClass::stable) {
           state.stable_cores[s] -= vm.shape.cores;
           displaced.push_back(DisplacedVm{vm, s});

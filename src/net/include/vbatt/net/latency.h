@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "vbatt/util/geo.h"
@@ -48,10 +49,22 @@ class LatencyGraph {
   /// Number of edges.
   std::size_t edge_count() const noexcept;
 
+  /// 64-bit words per packed adjacency row.
+  std::size_t row_words() const noexcept { return row_words_; }
+
+  /// Packed adjacency row of `v`: bit `u` is set iff connected(v, u).
+  /// `row_words()` words long; enumeration code intersects these
+  /// word-at-a-time instead of calling connected() per pair.
+  const std::uint64_t* adjacency_row(std::size_t v) const {
+    return adjacency_.data() + v * row_words_;
+  }
+
  private:
   std::size_t n_;
   double threshold_ms_;
   std::vector<double> rtt_;  // n x n, row-major
+  std::size_t row_words_;
+  std::vector<std::uint64_t> adjacency_;  // n x row_words_, row-major
 };
 
 }  // namespace vbatt::net

@@ -6,16 +6,23 @@ namespace vbatt::net {
 
 LatencyGraph::LatencyGraph(const std::vector<util::GeoPoint>& locations,
                            const RttModel& model, double threshold_ms)
-    : n_{locations.size()}, threshold_ms_{threshold_ms} {
+    : n_{locations.size()},
+      threshold_ms_{threshold_ms},
+      row_words_{(locations.size() + 63) / 64} {
   if (threshold_ms <= 0.0) {
     throw std::invalid_argument{"LatencyGraph: threshold_ms <= 0"};
   }
   rtt_.resize(n_ * n_, 0.0);
+  adjacency_.resize(n_ * row_words_, 0);
   for (std::size_t i = 0; i < n_; ++i) {
     for (std::size_t j = i + 1; j < n_; ++j) {
       const double rtt = model.rtt_ms(locations[i], locations[j]);
       rtt_[i * n_ + j] = rtt;
       rtt_[j * n_ + i] = rtt;
+      if (rtt <= threshold_ms_) {
+        adjacency_[i * row_words_ + j / 64] |= std::uint64_t{1} << (j % 64);
+        adjacency_[j * row_words_ + i / 64] |= std::uint64_t{1} << (i % 64);
+      }
     }
   }
 }

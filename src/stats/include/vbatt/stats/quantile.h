@@ -1,0 +1,32 @@
+// Selection-based quantiles (std::nth_element, expected O(n)).
+//
+// Sampler keeps a fully sorted copy because its CDF queries consume the
+// whole order; callers that need a *single* quantile of a series they own
+// should come through here instead — a one-off percentile does not need
+// an O(n log n) sort. The interpolation convention is shared with
+// Sampler::percentile (linear / "type-7"), so routing a caller through
+// either path yields bit-identical values.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vbatt::stats {
+
+/// p-th percentile (p in [0, 100], clamped) of `xs` using nth_element;
+/// linear interpolation between the two bracketing order statistics,
+/// exactly as Sampler::percentile. Reorders `xs`. Returns 0 when empty.
+double quantile_in_place(std::vector<double>& xs, double p);
+
+/// The `index`-th order statistic (0-based) of `xs` via nth_element;
+/// reorders `xs`. `index` is clamped to the last element. Returns 0 when
+/// empty. This is the raw quantile refresh_capacity uses (index = n/4 for
+/// the lower quartile), with no interpolation.
+double order_statistic_in_place(std::vector<double>& xs, std::size_t index);
+
+/// Shared interpolation formula over an already **sorted** series: the
+/// single implementation behind both quantile_in_place and
+/// Sampler::percentile, so the two stay bit-identical.
+double interpolate_sorted(const std::vector<double>& sorted, double p);
+
+}  // namespace vbatt::stats

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "vbatt/stats/quantile.h"
+
 namespace vbatt::stats {
 
 void Sampler::add_all(const std::vector<double>& xs) {
@@ -19,13 +21,11 @@ void Sampler::ensure_sorted() {
 
 double Sampler::percentile(double p) {
   if (samples_.empty()) return 0.0;
+  // The full sort is kept here deliberately: Sampler also serves CDF
+  // queries, which consume the whole sorted series. One-shot quantiles
+  // of caller-owned data belong in quantile.h instead.
   ensure_sorted();
-  p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, samples_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+  return interpolate_sorted(samples_, p);
 }
 
 double Sampler::zero_fraction() const noexcept {

@@ -1,0 +1,43 @@
+#include "vbatt/stats/quantile.h"
+
+#include <algorithm>
+
+namespace vbatt::stats {
+
+double interpolate_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile_in_place(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+
+  const auto lo_it = xs.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(xs.begin(), lo_it, xs.end());
+  const double lo_value = *lo_it;
+  if (hi == lo || frac == 0.0) return lo_value;
+  // After nth_element everything past `lo` is >= xs[lo]; the (lo+1)-th
+  // order statistic is the minimum of that tail.
+  const double hi_value = *std::min_element(lo_it + 1, xs.end());
+  return lo_value + frac * (hi_value - lo_value);
+}
+
+double order_statistic_in_place(std::vector<double>& xs, std::size_t index) {
+  if (xs.empty()) return 0.0;
+  index = std::min(index, xs.size() - 1);
+  const auto it = xs.begin() + static_cast<std::ptrdiff_t>(index);
+  std::nth_element(xs.begin(), it, xs.end());
+  return *it;
+}
+
+}  // namespace vbatt::stats

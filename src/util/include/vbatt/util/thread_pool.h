@@ -1,0 +1,78 @@
+// Fixed-size thread pool and a deterministic parallel_for.
+//
+// The scheduler hot path (clique ranking, per-site capacity refresh) fans
+// independent work items across cores. Determinism is part of the
+// contract: parallel_for statically chunks the index range and every item
+// writes only its own pre-assigned output slot, so parallel results are
+// bit-identical to a serial run — the thread count changes wall-clock
+// time, never the answer.
+//
+// Sizing: ThreadPool::shared() holds `default_threads() - 1` workers
+// (the calling thread participates as the extra lane). default_threads()
+// honors the VBATT_THREADS environment variable; VBATT_THREADS=1 (or a
+// zero-worker pool) is the serial fallback — the body runs inline on the
+// caller with no synchronization at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vbatt::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `n_workers` worker threads (0 = serial pool, no threads).
+  explicit ThreadPool(std::size_t n_workers);
+
+  /// Drains every queued task, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (the caller adds one more lane during
+  /// parallel_for).
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a fire-and-forget task. Runs inline when the pool has no
+  /// workers. Tasks must not throw (parallel_for wraps bodies; raw
+  /// submissions that throw terminate).
+  void submit(std::function<void()> task);
+
+  /// Run `body(begin, end)` over static chunks of [0, n). The calling
+  /// thread executes chunk 0 while workers take the rest; returns after
+  /// every chunk finished. The first exception thrown by any chunk is
+  /// rethrown on the caller (remaining chunks still complete). With no
+  /// workers (or n too small to split) the body runs inline as
+  /// body(0, n) — the serial fallback.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Intended total parallelism: VBATT_THREADS if set (clamped to >= 1),
+  /// otherwise std::thread::hardware_concurrency().
+  static std::size_t default_threads();
+
+  /// Parse a VBATT_THREADS-style value; nullptr/empty/garbage fall back
+  /// to `fallback`. Exposed for tests.
+  static std::size_t parse_threads(const char* value, std::size_t fallback);
+
+  /// Process-wide pool sized from default_threads() (that many lanes
+  /// including the caller). Serial when default_threads() <= 1.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vbatt::util

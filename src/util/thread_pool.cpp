@@ -1,0 +1,127 @@
+#include "vbatt/util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace vbatt::util {
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      // Drain the queue even when stopping: destruction must not drop
+      // queued work (parallel_for callers are still waiting on it).
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    tasks_.push(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t lanes = workers_.size() + 1;
+  if (lanes == 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(lanes, n);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;  // first `extra` chunks get +1
+
+  struct State {
+    std::size_t remaining;  // guarded by mutex
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;  // first exception wins, guarded by mutex
+  };
+  State state;
+  state.remaining = chunks;
+
+  const auto run_chunk = [&body, &state](std::size_t begin, std::size_t end) {
+    std::exception_ptr error;
+    try {
+      body(begin, end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // Decrement and notify under the lock: the waiter may destroy State
+    // the moment it observes remaining == 0, which it can only do after
+    // this scope released the mutex.
+    const std::lock_guard<std::mutex> lock{state.mutex};
+    if (error && !state.error) state.error = std::move(error);
+    if (--state.remaining == 0) state.done.notify_all();
+  };
+
+  std::size_t begin = base + (extra > 0 ? 1 : 0);  // chunk 0 is the caller's
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t width = base + (c < extra ? 1 : 0);
+      const std::size_t end = begin + width;
+      tasks_.push([run_chunk, begin, end] { run_chunk(begin, end); });
+      begin = end;
+    }
+  }
+  ready_.notify_all();
+
+  run_chunk(0, base + (extra > 0 ? 1 : 0));
+
+  std::unique_lock<std::mutex> lock{state.mutex};
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+std::size_t ThreadPool::parse_threads(const char* value, std::size_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t ThreadPool::default_threads() {
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return parse_threads(std::getenv("VBATT_THREADS"), hardware);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool{default_threads() - 1};
+  return pool;
+}
+
+}  // namespace vbatt::util

@@ -1,0 +1,65 @@
+#include "vbatt/stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vbatt/stats/percentile.h"
+#include "vbatt/util/rng.h"
+
+namespace vbatt::stats {
+namespace {
+
+TEST(Quantile, MatchesSamplerPercentileBitForBit) {
+  util::Rng rng{7};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    const int n = 1 + trial * 13;
+    for (int i = 0; i < n; ++i) xs.push_back(rng.uniform(-50.0, 50.0));
+    Sampler sampler{xs};
+    for (const double p : {0.0, 12.5, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+      std::vector<double> copy = xs;
+      EXPECT_EQ(quantile_in_place(copy, p), sampler.percentile(p))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Quantile, OrderStatisticMatchesFullSort) {
+  util::Rng rng{11};
+  std::vector<double> xs;
+  for (int i = 0; i < 101; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const std::size_t idx : {0u, 1u, 25u, 50u, 100u}) {
+    std::vector<double> copy = xs;
+    EXPECT_EQ(order_statistic_in_place(copy, idx), sorted[idx]);
+  }
+  // Out-of-range index clamps to the maximum.
+  std::vector<double> copy = xs;
+  EXPECT_EQ(order_statistic_in_place(copy, 9999), sorted.back());
+}
+
+TEST(Quantile, EmptyAndSingleton) {
+  std::vector<double> empty;
+  EXPECT_EQ(quantile_in_place(empty, 50.0), 0.0);
+  EXPECT_EQ(order_statistic_in_place(empty, 3), 0.0);
+  std::vector<double> one{4.5};
+  EXPECT_EQ(quantile_in_place(one, 99.0), 4.5);
+  one = {4.5};
+  EXPECT_EQ(order_statistic_in_place(one, 0), 4.5);
+}
+
+TEST(Quantile, InterpolateSortedIsTheSharedFormula) {
+  const std::vector<double> sorted{1.0, 2.0, 4.0, 8.0};
+  EXPECT_EQ(interpolate_sorted(sorted, 0.0), 1.0);
+  EXPECT_EQ(interpolate_sorted(sorted, 100.0), 8.0);
+  // rank = 1.5 -> halfway between 2 and 4.
+  EXPECT_DOUBLE_EQ(interpolate_sorted(sorted, 50.0), 3.0);
+  // Clamping mirrors Sampler::percentile.
+  EXPECT_EQ(interpolate_sorted(sorted, -5.0), 1.0);
+  EXPECT_EQ(interpolate_sorted(sorted, 250.0), 8.0);
+}
+
+}  // namespace
+}  // namespace vbatt::stats

@@ -1,0 +1,108 @@
+#include "vbatt/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace vbatt::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool{3};
+  const std::size_t n = 10000;
+  std::vector<int> hits(n, 0);
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(n));
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, SerialFallbackRunsInlineOnCaller) {
+  ThreadPool pool{0};
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {
+    (void)begin;
+    (void)end;
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);  // single inline chunk, no splitting
+  EXPECT_EQ(seen.front(), caller);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            if (i == 777) {
+                              throw std::runtime_error{"chunk failed"};
+                            }
+                          }
+                        }),
+      std::runtime_error);
+
+  // The pool must remain fully usable after a failed parallel_for.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(1000, [&](std::size_t begin, std::size_t end) {
+    sum.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000u);
+}
+
+TEST(ThreadPool, DrainsQueuedTasksOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor must wait for (not drop) everything still queued.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, StressManyRoundsStaysConsistent) {
+  ThreadPool pool{4};
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = static_cast<std::size_t>(1 + (round * 37) % 500);
+    std::vector<std::size_t> out(n, 0);
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) out[i] = i * i;
+    });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, ParseThreadsHonorsOverrideAndFallsBack) {
+  EXPECT_EQ(ThreadPool::parse_threads("8", 4), 8u);
+  EXPECT_EQ(ThreadPool::parse_threads("1", 4), 1u);
+  EXPECT_EQ(ThreadPool::parse_threads(nullptr, 4), 4u);
+  EXPECT_EQ(ThreadPool::parse_threads("", 4), 4u);
+  EXPECT_EQ(ThreadPool::parse_threads("0", 4), 4u);
+  EXPECT_EQ(ThreadPool::parse_threads("-2", 4), 4u);
+  EXPECT_EQ(ThreadPool::parse_threads("lots", 4), 4u);
+  EXPECT_EQ(ThreadPool::parse_threads("3x", 4), 4u);
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  ThreadPool pool{2};
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace vbatt::util
