@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "vbatt/core/cliques.h"
 #include "vbatt/energy/site.h"
 #include "vbatt/stats/running_stats.h"
@@ -133,23 +134,27 @@ struct SweepRow {
 
 bool write_json(const std::string& path, const std::vector<SweepRow>& rows) {
   std::ofstream out{path};
-  out << "{\n  \"bench\": \"scale_sched\",\n"
-      << "  \"window_ticks\": " << kWindow << ",\n"
-      << "  \"threads\": " << util::ThreadPool::default_threads() << ",\n"
-      << "  \"results\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const SweepRow& r = rows[i];
-    out << "    {\"sites\": " << r.sites << ", \"k\": " << r.k
-        << ", \"cliques\": " << r.cliques << ", \"ref_ms\": " << r.ref_ms
-        << ", \"serial_ms\": " << r.serial_ms
-        << ", \"parallel_ms\": " << r.parallel_ms
-        << ", \"serial_speedup\": " << r.ref_ms / std::max(1e-9, r.serial_ms)
-        << ", \"parallel_speedup\": "
-        << r.ref_ms / std::max(1e-9, r.parallel_ms)
-        << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
-        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  bench::JsonWriter json{out};
+  json.begin_object();
+  json.field("bench", "scale_sched");
+  json.field("window_ticks", kWindow);
+  json.field("threads", util::ThreadPool::default_threads());
+  json.begin_array("results");
+  for (const SweepRow& r : rows) {
+    json.begin_object();
+    json.field("sites", r.sites);
+    json.field("k", r.k);
+    json.field("cliques", r.cliques);
+    json.field("ref_ms", r.ref_ms);
+    json.field("serial_ms", r.serial_ms);
+    json.field("parallel_ms", r.parallel_ms);
+    json.field("serial_speedup", r.ref_ms / std::max(1e-9, r.serial_ms));
+    json.field("parallel_speedup", r.ref_ms / std::max(1e-9, r.parallel_ms));
+    json.field("bit_identical", r.bit_identical);
+    json.end_object();
   }
-  out << "  ]\n}\n";
+  json.end_array();
+  json.end_object();
   out.flush();
   return static_cast<bool>(out);
 }

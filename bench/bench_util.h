@@ -9,9 +9,74 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <ostream>
 #include <string>
+#include <vector>
 
 namespace vbatt::bench {
+
+/// Minimal streaming JSON emitter shared by the scale benches (the perf
+/// trajectory files CI archives as BENCH_*.json). Handles nesting, comma
+/// placement, and bool formatting; keys and string values are written
+/// verbatim (nothing emitted here needs escaping). Numbers use the
+/// stream's default formatting.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_{out} {}
+
+  void begin_object(const char* key = nullptr) { open(key, '{', false); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key = nullptr) { open(key, '[', true); }
+  void end_array() { close(']'); }
+
+  template <typename T>
+  void field(const char* key, const T& value) {
+    start_item(key);
+    write_value(value);
+  }
+
+ private:
+  struct Level {
+    bool array = false;
+    bool fresh = true;  // no items emitted yet at this level
+  };
+
+  void open(const char* key, char bracket, bool array) {
+    start_item(key);
+    out_ << bracket;
+    levels_.push_back(Level{array, true});
+  }
+  void close(char bracket) {
+    const bool fresh = levels_.back().fresh;
+    levels_.pop_back();
+    if (!fresh) newline_indent();
+    out_ << bracket;
+    if (levels_.empty()) out_ << '\n';
+  }
+  void start_item(const char* key) {
+    if (!levels_.empty()) {
+      if (!levels_.back().fresh) out_ << ',';
+      levels_.back().fresh = false;
+      newline_indent();
+    }
+    if (key != nullptr) out_ << '"' << key << "\": ";
+  }
+  void newline_indent() {
+    out_ << '\n';
+    for (std::size_t i = 0; i < levels_.size(); ++i) out_ << "  ";
+  }
+
+  void write_value(bool v) { out_ << (v ? "true" : "false"); }
+  void write_value(const char* v) { out_ << '"' << v << '"'; }
+  void write_value(const std::string& v) { out_ << '"' << v << '"'; }
+  template <typename T>
+  void write_value(const T& v) {
+    out_ << v;
+  }
+
+  std::ostream& out_;
+  std::vector<Level> levels_;
+};
 
 inline std::string out_dir() {
   const std::string dir = "vbatt_bench_out";

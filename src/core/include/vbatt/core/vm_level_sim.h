@@ -15,6 +15,7 @@
 #include "vbatt/core/scheduler.h"
 #include "vbatt/core/simulation.h"
 #include "vbatt/dcsim/site.h"
+#include "vbatt/util/thread_pool.h"
 
 namespace vbatt::core {
 
@@ -41,9 +42,14 @@ struct VmLevelResult {
 };
 
 /// Run `apps` against `graph` at VM granularity under `scheduler` (the
-/// same Scheduler implementations the app-level simulator uses).
+/// same Scheduler implementations the app-level simulator uses). With a
+/// `pool`, the independent per-site power-enforcement and energy steps fan
+/// out over its lanes; the output is bit-identical to the serial run
+/// (every site writes only its own slot), so the thread count never
+/// changes the answer.
 VmLevelResult run_vm_level_simulation(
     const VbGraph& graph, const std::vector<workload::Application>& apps,
-    Scheduler& scheduler, const VmLevelConfig& config = {});
+    Scheduler& scheduler, const VmLevelConfig& config = {},
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace vbatt::core

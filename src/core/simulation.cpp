@@ -2,20 +2,26 @@
 
 #include <algorithm>
 #include <map>
+#include <queue>
+#include <set>
 #include <stdexcept>
+#include <utility>
 
 namespace vbatt::core {
 
 namespace {
 
-/// Move an app between sites in the state ledgers.
-void relocate(FleetState& state, LiveApp& app, std::size_t to) {
+/// Move an app between sites in the state ledgers and the per-site index.
+void relocate(FleetState& state, std::vector<std::set<std::int64_t>>& by_site,
+              std::int64_t app_id, LiveApp& app, std::size_t to) {
   state.stable_cores[app.site] -= app.app.stable_cores();
   state.degradable_cores[app.site] -=
       app.active_degradable * app.app.shape.cores;
+  by_site[app.site].erase(app_id);
   app.site = to;
   state.stable_cores[to] += app.app.stable_cores();
   state.degradable_cores[to] += app.active_degradable * app.app.shape.cores;
+  by_site[to].insert(app_id);
 }
 
 }  // namespace
@@ -33,8 +39,18 @@ SimResult run_simulation(const VbGraph& graph,
   state.stable_cores.assign(n_sites, 0);
   state.degradable_cores.assign(n_sites, 0);
 
-  // Pending proactive moves, per app (replans replace the whole set).
+  // Pending proactive moves, per app (replans replace the whole set), plus
+  // a due-tick index so each tick touches only apps with a move due now.
   std::map<std::int64_t, std::vector<Move>> pending;
+  std::map<util::Tick, std::set<std::int64_t>> due_moves;
+
+  // Departure calendar queue and resident apps per site (app_id-ordered,
+  // so per-site sweeps see the same order the global sweep produced).
+  using AppDeparture = std::pair<util::Tick, std::int64_t>;
+  std::priority_queue<AppDeparture, std::vector<AppDeparture>,
+                      std::greater<AppDeparture>>
+      departures;
+  std::vector<std::set<std::int64_t>> site_apps(n_sites);
 
   const util::Tick replan_period = scheduler.replan_period_ticks();
   std::size_t next_app = 0;
@@ -43,24 +59,27 @@ SimResult run_simulation(const VbGraph& graph,
     const auto t = static_cast<util::Tick>(i);
     state.now = t;
 
-    // 1. Departures.
-    for (auto it = state.apps.begin(); it != state.apps.end();) {
-      if (it->second.end_tick >= 0 && it->second.end_tick <= t) {
-        LiveApp& app = it->second;
-        state.stable_cores[app.site] -= app.app.stable_cores();
-        state.degradable_cores[app.site] -=
-            app.active_degradable * app.app.shape.cores;
-        pending.erase(it->first);
-        it = state.apps.erase(it);
-      } else {
-        ++it;
-      }
+    // 1. Departures, served from the calendar queue.
+    while (!departures.empty() && departures.top().first <= t) {
+      const std::int64_t app_id = departures.top().second;
+      departures.pop();
+      const auto it = state.apps.find(app_id);
+      if (it == state.apps.end()) continue;  // defensive: apps depart once
+      LiveApp& app = it->second;
+      state.stable_cores[app.site] -= app.app.stable_cores();
+      state.degradable_cores[app.site] -=
+          app.active_degradable * app.app.shape.cores;
+      site_apps[app.site].erase(app_id);
+      pending.erase(app_id);
+      state.apps.erase(it);
     }
 
     // 2. Replanning: the returned schedule supersedes all pending moves.
     if (replan_period > 0 && t > 0 && t % replan_period == 0) {
       pending.clear();
+      due_moves.clear();
       for (Move& move : scheduler.replan(state)) {
+        due_moves[move.at_tick].insert(move.app_id);
         pending[move.app_id].push_back(move);
       }
     }
@@ -78,33 +97,44 @@ SimResult run_simulation(const VbGraph& graph,
       state.stable_cores[live.site] += app.stable_cores();
       state.degradable_cores[live.site] +=
           live.active_degradable * app.shape.cores;
+      site_apps[live.site].insert(app.app_id);
+      if (live.end_tick >= 0) departures.emplace(live.end_tick, app.app_id);
       state.apps.emplace(app.app_id, std::move(live));
       if (!placement.scheduled_moves.empty()) {
+        for (const Move& move : placement.scheduled_moves) {
+          due_moves[move.at_tick].insert(app.app_id);
+        }
         pending[app.app_id] = placement.scheduled_moves;
       }
       ++result.apps_placed;
       ++next_app;
     }
 
-    // 4. Execute due proactive moves.
-    for (auto& [app_id, moves] : pending) {
-      const auto live_it = state.apps.find(app_id);
-      if (live_it == state.apps.end()) continue;
-      LiveApp& app = live_it->second;
-      for (const Move& move : moves) {
-        if (move.at_tick > t) break;  // moves are emitted in time order
-        if (move.at_tick == t && move.to_site != app.site) {
-          const double gb = app.app.stable_memory_gb();
-          result.ledger.record_out(app.site, t, gb);
-          result.ledger.record_in(move.to_site, t, gb);
-          result.moved_gb[i] += gb;
-          relocate(state, app, move.to_site);
-          ++result.planned_migrations;
+    // 4. Execute due proactive moves (only apps with a move due now).
+    if (const auto due = due_moves.find(t); due != due_moves.end()) {
+      for (const std::int64_t app_id : due->second) {
+        const auto pend = pending.find(app_id);
+        if (pend == pending.end()) continue;
+        const auto live_it = state.apps.find(app_id);
+        if (live_it == state.apps.end()) continue;
+        LiveApp& app = live_it->second;
+        for (const Move& move : pend->second) {
+          if (move.at_tick > t) break;  // moves are emitted in time order
+          if (move.at_tick == t && move.to_site != app.site) {
+            const double gb = app.app.stable_memory_gb();
+            result.ledger.record_out(app.site, t, gb);
+            result.ledger.record_in(move.to_site, t, gb);
+            result.moved_gb[i] += gb;
+            relocate(state, site_apps, app_id, app, move.to_site);
+            ++result.planned_migrations;
+          }
         }
       }
+      due_moves.erase(due);
     }
 
-    // 5. Capacity enforcement, site by site.
+    // 5. Capacity enforcement, site by site (resident apps only, via the
+    //    per-site index — no fleet-wide app sweep per site).
     for (std::size_t s = 0; s < n_sites; ++s) {
       const int avail = graph.available_cores(s, t);
 
@@ -112,8 +142,9 @@ SimResult run_simulation(const VbGraph& graph,
       //     stable + active-degradable demand fits (or all are paused).
       int stable = state.stable_cores[s];
       int budget = avail - stable;  // cores left for degradable
-      for (auto& [id, app] : state.apps) {
-        if (app.site != s || app.app.n_degradable == 0) continue;
+      for (const std::int64_t id : site_apps[s]) {
+        LiveApp& app = state.apps.at(id);
+        if (app.app.n_degradable == 0) continue;
         const int want = app.app.n_degradable;
         const int can =
             std::clamp(budget / std::max(1, app.app.shape.cores), 0, want);
@@ -128,10 +159,14 @@ SimResult run_simulation(const VbGraph& graph,
       }
 
       // 5b. Forced migration of whole apps while stable demand exceeds
-      //     powered capacity.
+      //     powered capacity. Snapshot the residents: relocation mutates
+      //     the per-site index mid-iteration.
       if (stable > avail) {
-        for (auto& [id, app] : state.apps) {
+        const std::vector<std::int64_t> residents(site_apps[s].begin(),
+                                                  site_apps[s].end());
+        for (const std::int64_t id : residents) {
           if (stable <= avail) break;
+          LiveApp& app = state.apps.at(id);
           if (app.site != s) continue;
           // Best target: allowed site with the most headroom that fits.
           std::size_t target = s;
@@ -152,7 +187,7 @@ SimResult run_simulation(const VbGraph& graph,
           result.ledger.record_out(s, t, gb);
           result.ledger.record_in(target, t, gb);
           result.moved_gb[i] += gb;
-          relocate(state, app, target);
+          relocate(state, site_apps, id, app, target);
           ++result.forced_migrations;
           stable = state.stable_cores[s];
         }
@@ -161,9 +196,9 @@ SimResult run_simulation(const VbGraph& graph,
           // Attribute the shortfall to resident apps (ascending id) so the
           // availability report can rank per-app impact.
           int deficit = stable - avail;
-          for (const auto& [id, app] : state.apps) {
+          for (const std::int64_t id : site_apps[s]) {
             if (deficit <= 0) break;
-            if (app.site != s) continue;
+            const LiveApp& app = state.apps.at(id);
             const int hit = std::min(deficit, app.app.stable_cores());
             result.displaced_by_app[id] += hit;
             deficit -= hit;

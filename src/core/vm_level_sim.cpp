@@ -4,8 +4,11 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <queue>
+#include <set>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 namespace vbatt::core {
 
@@ -44,7 +47,8 @@ struct DisplacedVm {
 
 VmLevelResult run_vm_level_simulation(
     const VbGraph& graph, const std::vector<workload::Application>& apps,
-    Scheduler& scheduler, const VmLevelConfig& config) {
+    Scheduler& scheduler, const VmLevelConfig& config,
+    util::ThreadPool* pool) {
   const std::size_t n_sites = graph.n_sites();
   const std::size_t n_ticks = graph.n_ticks();
   VmLevelResult result{n_sites, n_ticks};
@@ -64,11 +68,57 @@ VmLevelResult run_vm_level_simulation(
     sites.emplace_back(site_config);
   }
 
-  std::map<std::int64_t, TrackedApp> live;
+  // Hashed, not ordered: the hot paths (displaced re-home, eviction
+  // bookkeeping, resume) look apps up by id once per VM touched, and the
+  // only iteration (replan's FleetState mirror) fills an ordered map keyed
+  // by app_id, which comes out identical regardless of visit order.
+  std::unordered_map<std::int64_t, TrackedApp> live;
+  live.reserve(apps.size());
   std::map<std::int64_t, std::vector<Move>> pending_moves;
   std::deque<DisplacedVm> displaced;
   std::int64_t next_vm_id = 0;
   std::size_t next_app = 0;
+
+  // Aggregates over the live entries of the displaced queue (count per
+  // distinct core size, per owning app, and the core-tick sum) so the
+  // re-home pass can prove "nothing can fit anywhere" in O(sites) and skip
+  // its full rotation of the queue. Entries of departed apps are not
+  // scanned out eagerly: their aggregates are retired when the app departs
+  // and the queue nodes become tombstones the next slow pass discards.
+  std::map<int, std::int64_t> displaced_core_counts;
+  std::unordered_map<std::int64_t, int> displaced_count_by_app;
+  std::int64_t displaced_cores_total = 0;
+  const auto displaced_add = [&](std::int64_t app_id, int cores) {
+    ++displaced_core_counts[cores];
+    ++displaced_count_by_app[app_id];
+    displaced_cores_total += cores;
+  };
+  const auto displaced_drop = [&](std::int64_t app_id, int cores) {
+    const auto it = displaced_core_counts.find(cores);
+    if (--it->second == 0) displaced_core_counts.erase(it);
+    const auto ait = displaced_count_by_app.find(app_id);
+    if (--ait->second == 0) displaced_count_by_app.erase(ait);
+    displaced_cores_total -= cores;
+  };
+
+  // Same aggregate for paused degradable VMs: during a power dip no site
+  // has headroom, and the resume pass (step 7) can skip its walk of the
+  // paused index outright.
+  std::map<int, std::int64_t> paused_core_counts;
+
+  // Event indices: apps by departure tick (calendar queue, heap yields
+  // app_id order within a tick), pending moves by due tick (step 4 touches
+  // only apps with a move due now), and apps with paused degradable VMs
+  // (step 7 touches only those). The fleet-wide degradable counters make
+  // the per-tick paused/active stats O(1) instead of a live-app sweep.
+  using AppDeparture = std::pair<util::Tick, std::int64_t>;
+  std::priority_queue<AppDeparture, std::vector<AppDeparture>,
+                      std::greater<AppDeparture>>
+      app_departures;
+  std::map<util::Tick, std::set<std::int64_t>> due_moves;
+  std::set<std::int64_t> paused_apps;
+  std::int64_t fleet_degradable_ids = 0;  // sum of degradable_ids sizes
+  std::int64_t fleet_paused = 0;          // sum of paused_degradable
 
   // The scheduler sees the same FleetState as the app-level simulator;
   // keep its aggregates in sync with the per-VM truth.
@@ -77,10 +127,11 @@ VmLevelResult run_vm_level_simulation(
   state.stable_cores.assign(n_sites, 0);
   state.degradable_cores.assign(n_sites, 0);
 
-  // Where each resident VM currently lives. Kept in lockstep with every
-  // site mutation so removals are O(1) lookups instead of a probe over
-  // all sites (displaced VMs are absent until re-placed).
-  std::unordered_map<std::int64_t, std::size_t> vm_site;
+  // Where each resident VM currently lives, indexed by vm_id (-1 while the
+  // VM is displaced, paused, or departed). VM ids are dense sequential
+  // integers, so a flat vector makes every lookup and update a single
+  // indexed access with no hashing and no per-placement node allocation.
+  std::vector<std::int32_t> vm_site;
 
   const auto place_vm = [&](dcsim::VmInstance vm, std::size_t s) -> bool {
     if (!sites[s].place(vm, *policy)) return false;
@@ -89,7 +140,11 @@ VmLevelResult run_vm_level_simulation(
     } else {
       state.degradable_cores[s] += vm.shape.cores;
     }
-    vm_site[vm.vm_id] = s;
+    if (static_cast<std::size_t>(vm.vm_id) >= vm_site.size()) {
+      vm_site.resize(static_cast<std::size_t>(vm.vm_id) + 1, -1);
+    }
+    vm_site[static_cast<std::size_t>(vm.vm_id)] =
+        static_cast<std::int32_t>(s);
     return true;
   };
   const auto remove_vm = [&](std::int64_t vm_id,
@@ -101,43 +156,79 @@ VmLevelResult run_vm_level_simulation(
       } else {
         state.degradable_cores[s] -= removed->shape.cores;
       }
-      vm_site.erase(vm_id);
+      vm_site[static_cast<std::size_t>(vm_id)] = -1;
     }
     return removed;
+  };
+  const auto pause_degradable = [&](std::int64_t app_id, TrackedApp& app) {
+    ++app.paused_degradable;
+    ++fleet_paused;
+    ++paused_core_counts[app.app.shape.cores];
+    paused_apps.insert(app_id);
   };
 
   const double hours_per_tick = graph.axis().minutes_per_tick() / 60.0;
   const util::Tick replan_period = scheduler.replan_period_ticks();
 
+  // Per-site scratch reused every tick by the parallel steps; each lane
+  // writes only its own slots, so results are thread-count-invariant.
+  std::vector<std::vector<dcsim::VmInstance>> evicted_by_site(n_sites);
+  std::vector<int> site_powered(n_sites, 0);
+  std::vector<double> site_mwh(n_sites, 0.0);
+  std::vector<int> avail(n_sites, 0);
+
   for (std::size_t i = 0; i < n_ticks; ++i) {
     const auto t = static_cast<util::Tick>(i);
     state.now = t;
-
-    // 1. App departures.
-    for (auto it = live.begin(); it != live.end();) {
-      TrackedApp& app = it->second;
-      if (app.end_tick >= 0 && app.end_tick <= t) {
-        const auto remove_resident = [&](std::int64_t id) {
-          // Displaced VMs have no index entry; their queued copies are
-          // dropped below.
-          const auto at = vm_site.find(id);
-          if (at != vm_site.end()) remove_vm(id, at->second);
-        };
-        for (const std::int64_t id : app.stable_ids) remove_resident(id);
-        for (const std::int64_t id : app.degradable_ids) remove_resident(id);
-        pending_moves.erase(it->first);
-        it = live.erase(it);
-      } else {
-        ++it;
-      }
+    // The tick's power budget is pure in (s, t): compute it once instead
+    // of per displaced VM / paused app in steps 5-7.
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      avail[s] = graph.available_cores(s, t);
     }
-    // Drop displaced VMs of departed apps.
-    displaced.erase(
-        std::remove_if(displaced.begin(), displaced.end(),
-                       [&](const DisplacedVm& d) {
-                         return !live.contains(d.vm.app_id);
-                       }),
-        displaced.end());
+
+    // 1. App departures, served from the calendar queue.
+    while (!app_departures.empty() && app_departures.top().first <= t) {
+      const std::int64_t app_id = app_departures.top().second;
+      app_departures.pop();
+      const auto it = live.find(app_id);
+      if (it == live.end()) continue;  // defensive: apps depart once
+      TrackedApp& app = it->second;
+      const auto remove_resident = [&](std::int64_t id) {
+        // Non-resident VMs (displaced, paused, or never placed) map to -1
+        // or lie past the end; their queued copies are dropped below.
+        if (static_cast<std::size_t>(id) >= vm_site.size()) return;
+        const std::int32_t at = vm_site[static_cast<std::size_t>(id)];
+        if (at >= 0) remove_vm(id, static_cast<std::size_t>(at));
+      };
+      for (const std::int64_t id : app.stable_ids) remove_resident(id);
+      for (const std::int64_t id : app.degradable_ids) remove_resident(id);
+      fleet_degradable_ids -=
+          static_cast<std::int64_t>(app.degradable_ids.size());
+      fleet_paused -= app.paused_degradable;
+      if (app.paused_degradable > 0) {
+        const auto pit = paused_core_counts.find(app.app.shape.cores);
+        if ((pit->second -= app.paused_degradable) == 0) {
+          paused_core_counts.erase(pit);
+        }
+      }
+      // Retire the app's displaced aggregates now; its queue entries
+      // become tombstones the next slow re-home pass discards. (All of an
+      // app's VMs share its shape.)
+      if (const auto dit = displaced_count_by_app.find(app_id);
+          dit != displaced_count_by_app.end()) {
+        const int cores = app.app.shape.cores;
+        const auto cit = displaced_core_counts.find(cores);
+        if ((cit->second -= dit->second) == 0) {
+          displaced_core_counts.erase(cit);
+        }
+        displaced_cores_total -=
+            static_cast<std::int64_t>(dit->second) * cores;
+        displaced_count_by_app.erase(dit);
+      }
+      paused_apps.erase(app_id);
+      pending_moves.erase(app_id);
+      live.erase(it);
+    }
 
     // 2. Replanning — mirror the scheduler state into FleetState.apps.
     if (replan_period > 0 && t > 0 && t % replan_period == 0) {
@@ -153,7 +244,9 @@ VmLevelResult run_vm_level_simulation(
         state.apps.emplace(id, std::move(summary));
       }
       pending_moves.clear();
+      due_moves.clear();
       for (Move& move : scheduler.replan(state)) {
+        due_moves[move.at_tick].insert(move.app_id);
         pending_moves[move.app_id].push_back(move);
       }
     }
@@ -185,6 +278,7 @@ VmLevelResult run_vm_level_simulation(
         } else if (vm.vm_class == workload::VmClass::stable) {
           ++result.fragmentation_failures;
           displaced.push_back(DisplacedVm{vm, placement.site});
+          displaced_add(vm.app_id, vm.shape.cores);
           tracked.stable_ids.push_back(vm.vm_id);
         } else {
           ++tracked.paused_degradable;
@@ -192,101 +286,166 @@ VmLevelResult run_vm_level_simulation(
         }
       }
       if (!placement.scheduled_moves.empty()) {
+        for (const Move& move : placement.scheduled_moves) {
+          due_moves[move.at_tick].insert(app.app_id);
+        }
         pending_moves[app.app_id] = placement.scheduled_moves;
+      }
+      fleet_degradable_ids +=
+          static_cast<std::int64_t>(tracked.degradable_ids.size());
+      fleet_paused += tracked.paused_degradable;
+      if (tracked.paused_degradable > 0) {
+        paused_core_counts[app.shape.cores] += tracked.paused_degradable;
+        paused_apps.insert(app.app_id);
+      }
+      if (tracked.end_tick >= 0) {
+        app_departures.emplace(tracked.end_tick, app.app_id);
       }
       ++result.base.apps_placed;
       live.emplace(app.app_id, std::move(tracked));
       ++next_app;
     }
 
-    // 4. Execute due proactive moves: relocate every resident VM.
-    for (auto& [app_id, moves] : pending_moves) {
-      const auto live_it = live.find(app_id);
-      if (live_it == live.end()) continue;
-      TrackedApp& app = live_it->second;
-      for (const Move& move : moves) {
-        if (move.at_tick != t || move.to_site == app.home) continue;
-        const std::size_t from = app.home;
-        app.home = move.to_site;
-        bool moved_any = false;
-        for (const std::int64_t id : app.stable_ids) {
-          const auto vm = remove_vm(id, from);
-          if (!vm) continue;  // currently displaced or elsewhere
-          if (place_vm(*vm, move.to_site)) {
-            const double gb = vm->shape.memory_gb;
-            result.base.ledger.record_out(from, t, gb);
-            result.base.ledger.record_in(move.to_site, t, gb);
-            result.base.moved_gb[i] += gb;
-            ++result.vm_migrations;
-            moved_any = true;
-          } else {
-            ++result.fragmentation_failures;
-            displaced.push_back(DisplacedVm{*vm, from});
+    // 4. Execute due proactive moves: relocate every resident VM. The due
+    // index hands over exactly the apps with a move due this tick, in
+    // app_id order (as the full pending_moves sweep used to).
+    if (const auto due = due_moves.find(t); due != due_moves.end()) {
+      for (const std::int64_t app_id : due->second) {
+        const auto pend = pending_moves.find(app_id);
+        if (pend == pending_moves.end()) continue;
+        const auto live_it = live.find(app_id);
+        if (live_it == live.end()) continue;
+        TrackedApp& app = live_it->second;
+        for (const Move& move : pend->second) {
+          if (move.at_tick != t || move.to_site == app.home) continue;
+          const std::size_t from = app.home;
+          app.home = move.to_site;
+          bool moved_any = false;
+          for (const std::int64_t id : app.stable_ids) {
+            const auto vm = remove_vm(id, from);
+            if (!vm) continue;  // currently displaced or elsewhere
+            if (place_vm(*vm, move.to_site)) {
+              const double gb = vm->shape.memory_gb;
+              result.base.ledger.record_out(from, t, gb);
+              result.base.ledger.record_in(move.to_site, t, gb);
+              result.base.moved_gb[i] += gb;
+              ++result.vm_migrations;
+              moved_any = true;
+            } else {
+              ++result.fragmentation_failures;
+              displaced.push_back(DisplacedVm{*vm, from});
+              displaced_add(vm->app_id, vm->shape.cores);
+            }
           }
+          for (const std::int64_t id : app.degradable_ids) {
+            const auto vm = remove_vm(id, from);
+            if (!vm) continue;
+            if (!place_vm(*vm, move.to_site)) pause_degradable(app_id, app);
+            // Degradable respawn: no WAN traffic.
+          }
+          if (moved_any) ++result.base.planned_migrations;
         }
-        for (const std::int64_t id : app.degradable_ids) {
-          const auto vm = remove_vm(id, from);
-          if (!vm) continue;
-          if (!place_vm(*vm, move.to_site)) ++app.paused_degradable;
-          // Degradable respawn: no WAN traffic.
-        }
-        if (moved_any) ++result.base.planned_migrations;
       }
+      due_moves.erase(due);
     }
 
     // 5. Power enforcement: each site sheds to its powered-core budget.
+    // Shrinks are site-local, so they fan across the pool; eviction
+    // bookkeeping merges serially in site order (deterministic).
+    const auto shrink_sites = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        evicted_by_site[s] = sites[s].shrink_to(avail[s]);
+      }
+    };
+    if (pool != nullptr && n_sites > 1) {
+      pool->parallel_for(n_sites, shrink_sites);
+    } else {
+      shrink_sites(0, n_sites);
+    }
     for (std::size_t s = 0; s < n_sites; ++s) {
-      const int avail = graph.available_cores(s, t);
-      const std::vector<dcsim::VmInstance> evicted = sites[s].shrink_to(avail);
-      for (const dcsim::VmInstance& vm : evicted) {
-        vm_site.erase(vm.vm_id);
+      for (const dcsim::VmInstance& vm : evicted_by_site[s]) {
+        vm_site[static_cast<std::size_t>(vm.vm_id)] = -1;
         if (vm.vm_class == workload::VmClass::stable) {
           state.stable_cores[s] -= vm.shape.cores;
           displaced.push_back(DisplacedVm{vm, s});
+          displaced_add(vm.app_id, vm.shape.cores);
         } else {
           state.degradable_cores[s] -= vm.shape.cores;
           const auto it = live.find(vm.app_id);
-          if (it != live.end()) ++it->second.paused_degradable;
+          if (it != live.end()) pause_degradable(vm.app_id, it->second);
         }
       }
     }
 
-    // 6. Re-home displaced stable VMs (migration traffic on success).
-    for (std::size_t d = displaced.size(); d-- > 0;) {
-      DisplacedVm entry = displaced.front();
-      displaced.pop_front();
-      const auto it = live.find(entry.vm.app_id);
-      if (it == live.end()) continue;
-      bool placed = false;
-      for (const std::size_t cand : it->second.allowed) {
-        if (graph.available_cores(cand, t) - sites[cand].allocated_cores() <
-            entry.vm.shape.cores) {
-          continue;
-        }
-        if (place_vm(entry.vm, cand)) {
-          const double gb = entry.vm.shape.memory_gb;
-          if (cand != entry.source) {
-            result.base.ledger.record_out(entry.source, t, gb);
-            result.base.ledger.record_in(cand, t, gb);
-            result.base.moved_gb[i] += gb;
-            ++result.vm_migrations;
-            ++result.base.forced_migrations;
+    // 6. Re-home displaced stable VMs (migration traffic on success). When
+    // no site has headroom for even the smallest displaced VM, every retry
+    // would fail and the full rotation would leave the queue unchanged, so
+    // the pass collapses to one counter bump (the sum the rotation would
+    // have accumulated). This is the common case during long power dips.
+    bool any_can_fit = false;
+    if (!displaced_core_counts.empty()) {
+      const int min_cores = displaced_core_counts.begin()->first;
+      for (std::size_t s = 0; s < n_sites && !any_can_fit; ++s) {
+        any_can_fit = avail[s] - sites[s].allocated_cores() >= min_cores;
+      }
+    }
+    if (!any_can_fit) {
+      // Sum over live entries only: tombstones stay queued but were
+      // already retired from the aggregates when their app departed.
+      result.base.displaced_stable_core_ticks += displaced_cores_total;
+    } else {
+      for (std::size_t d = displaced.size(); d-- > 0;) {
+        DisplacedVm entry = displaced.front();
+        displaced.pop_front();
+        const auto it = live.find(entry.vm.app_id);
+        if (it == live.end()) continue;  // tombstone: aggregates retired
+        bool placed = false;
+        for (const std::size_t cand : it->second.allowed) {
+          if (avail[cand] - sites[cand].allocated_cores() <
+              entry.vm.shape.cores) {
+            continue;
           }
-          placed = true;
-          break;
+          if (place_vm(entry.vm, cand)) {
+            const double gb = entry.vm.shape.memory_gb;
+            if (cand != entry.source) {
+              result.base.ledger.record_out(entry.source, t, gb);
+              result.base.ledger.record_in(cand, t, gb);
+              result.base.moved_gb[i] += gb;
+              ++result.vm_migrations;
+              ++result.base.forced_migrations;
+            }
+            displaced_drop(entry.vm.app_id, entry.vm.shape.cores);
+            placed = true;
+            break;
+          }
         }
-      }
-      if (!placed) {
-        result.base.displaced_stable_core_ticks += entry.vm.shape.cores;
-        displaced.push_back(entry);
+        if (!placed) {
+          result.base.displaced_stable_core_ticks += entry.vm.shape.cores;
+          displaced.push_back(entry);
+        }
       }
     }
 
-    // 7. Resume paused degradable VMs at their app's home site.
-    for (auto& [id, app] : live) {
+    // 7. Resume paused degradable VMs at their app's home site. Only apps
+    // in the paused index are touched (in app_id order, matching the old
+    // full sweep); the per-tick stats come from the fleet counters. When
+    // no site has headroom for even the smallest paused shape — the whole
+    // of every power dip — the walk is skipped outright: headroom never
+    // grows during the pass, so every iteration would be a no-op.
+    bool any_can_resume = false;
+    if (!paused_core_counts.empty()) {
+      const int min_cores = paused_core_counts.begin()->first;
+      for (std::size_t s = 0; s < n_sites && !any_can_resume; ++s) {
+        any_can_resume = avail[s] - sites[s].allocated_cores() >= min_cores;
+      }
+    }
+    for (auto it = paused_apps.begin();
+         any_can_resume && it != paused_apps.end();) {
+      const std::int64_t id = *it;
+      TrackedApp& app = live.at(id);
       while (app.paused_degradable > 0) {
-        const int headroom = graph.available_cores(app.home, t) -
-                             sites[app.home].allocated_cores();
+        const int headroom =
+            avail[app.home] - sites[app.home].allocated_cores();
         if (headroom < app.app.shape.cores) break;
         dcsim::VmInstance vm;
         vm.vm_id = next_vm_id++;
@@ -296,30 +455,42 @@ VmLevelResult run_vm_level_simulation(
         vm.end_tick = app.end_tick;
         if (!place_vm(vm, app.home)) break;  // fragmentation
         app.degradable_ids.push_back(vm.vm_id);
+        ++fleet_degradable_ids;
         --app.paused_degradable;
+        --fleet_paused;
+        const auto pit = paused_core_counts.find(app.app.shape.cores);
+        if (--pit->second == 0) paused_core_counts.erase(pit);
       }
-      result.base.paused_degradable_vm_ticks += app.paused_degradable;
-      result.base.degradable_active_vm_ticks +=
-          static_cast<std::int64_t>(app.degradable_ids.size()) -
-          app.paused_degradable;
+      it = app.paused_degradable == 0 ? paused_apps.erase(it)
+                                      : std::next(it);
     }
+    result.base.paused_degradable_vm_ticks += fleet_paused;
+    result.base.degradable_active_vm_ticks +=
+        fleet_degradable_ids - fleet_paused;
 
-    // 8. Energy: only servers actually hosting VMs are powered.
-    for (std::size_t s = 0; s < n_sites; ++s) {
-      int powered = 0;
-      int active_cores = 0;
-      for (const dcsim::ServerState& server : sites[s].servers()) {
-        if (server.vm_count > 0) {
-          ++powered;
-          active_cores += config.server.cores - server.free_cores;
-        }
+    // 8. Energy: only servers actually hosting VMs are powered. The site
+    // counters make each term O(1); the per-site terms fan across the
+    // pool and reduce serially in site order (bit-identical).
+    const auto energy_body = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        const int powered = sites[s].powered_servers();
+        const int active_cores = sites[s].active_cores();
+        site_powered[s] = powered;
+        site_mwh[s] =
+            (powered * config.power.server_idle_watts +
+             active_cores * config.power.watts_per_active_core) *
+            hours_per_tick / 1e6;
       }
-      result.powered_server_ticks += powered;
-      const double mwh = (powered * config.power.server_idle_watts +
-                          active_cores * config.power.watts_per_active_core) *
-                         hours_per_tick / 1e6;
-      result.base.energy_mwh += mwh;
-      result.base.energy_mwh_per_tick[i] += mwh;
+    };
+    if (pool != nullptr && n_sites > 1) {
+      pool->parallel_for(n_sites, energy_body);
+    } else {
+      energy_body(0, n_sites);
+    }
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      result.powered_server_ticks += site_powered[s];
+      result.base.energy_mwh += site_mwh[s];
+      result.base.energy_mwh_per_tick[i] += site_mwh[s];
     }
   }
   return result;

@@ -1,0 +1,101 @@
+// Retained linear-scan allocation chooses.
+//
+// These are the original O(n_servers) `AllocationPolicy::choose` loops the
+// free-cores bucket index replaced. They are kept (a) as the executable
+// specification of each policy's exact semantics — including tie-breaks —
+// and (b) as the oracle for the property tests and the scale bench: every
+// indexed choose on Site must return the identical server id these scans
+// return, on any reachable site state.
+#pragma once
+
+#include <optional>
+
+#include "vbatt/dcsim/site.h"
+
+namespace vbatt::dcsim::scan_reference {
+
+/// First server with room, by index.
+inline std::optional<int> first_fit(const Site& site,
+                                    const workload::VmShape& shape) {
+  const auto& servers = site.servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (servers[i].free_cores >= shape.cores &&
+        servers[i].free_memory_gb >= shape.memory_gb) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Least free cores that still fit; ties prefer servers already hosting
+/// VMs (never start an empty server if a partially-used one fits), then
+/// the lowest index. The vm_count tie-break only fires for zero-core
+/// shapes — for any positive shape a used server always has strictly
+/// fewer free cores than an empty one.
+inline std::optional<int> best_fit(const Site& site,
+                                   const workload::VmShape& shape) {
+  const auto& servers = site.servers();
+  std::optional<int> best;
+  int best_free = 0;
+  bool best_used = false;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const ServerState& s = servers[i];
+    if (s.free_cores < shape.cores || s.free_memory_gb < shape.memory_gb) {
+      continue;
+    }
+    const bool used = s.vm_count > 0;
+    const bool better = !best || (used && !best_used) ||
+                        (used == best_used && s.free_cores < best_free);
+    if (better) {
+      best = static_cast<int>(i);
+      best_free = s.free_cores;
+      best_used = used;
+    }
+  }
+  return best;
+}
+
+/// Most free cores; ties to the lowest index.
+inline std::optional<int> worst_fit(const Site& site,
+                                    const workload::VmShape& shape) {
+  const auto& servers = site.servers();
+  std::optional<int> best;
+  int best_free = -1;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const ServerState& s = servers[i];
+    if (s.free_cores < shape.cores || s.free_memory_gb < shape.memory_gb) {
+      continue;
+    }
+    if (s.free_cores > best_free) {
+      best = static_cast<int>(i);
+      best_free = s.free_cores;
+    }
+  }
+  return best;
+}
+
+/// Least free cores, then least free memory, then lowest index.
+inline std::optional<int> protean(const Site& site,
+                                  const workload::VmShape& shape) {
+  const auto& servers = site.servers();
+  std::optional<int> best;
+  int best_free_cores = 0;
+  double best_free_mem = 0.0;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const ServerState& s = servers[i];
+    if (s.free_cores < shape.cores || s.free_memory_gb < shape.memory_gb) {
+      continue;
+    }
+    const bool better =
+        !best || s.free_cores < best_free_cores ||
+        (s.free_cores == best_free_cores && s.free_memory_gb < best_free_mem);
+    if (better) {
+      best = static_cast<int>(i);
+      best_free_cores = s.free_cores;
+      best_free_mem = s.free_memory_gb;
+    }
+  }
+  return best;
+}
+
+}  // namespace vbatt::dcsim::scan_reference

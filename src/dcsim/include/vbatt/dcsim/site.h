@@ -4,12 +4,28 @@
 // admission-control utilization cap (70%), and the paper's power-shrink
 // policy: power down unallocated cores first, then evict VMs from servers
 // in round-robin order.
+//
+// The container is event-driven: every mutation (place / remove / shrink)
+// maintains three incremental indices so the per-tick simulators never
+// rescan the cluster —
+//   * a free-cores bucket index (one bitset of server ids per free-core
+//     count) that answers all four allocation-policy `choose` queries in
+//     O(#buckets) instead of O(n_servers), returning the same server id as
+//     the linear scan (see scan_reference.h for the retained reference);
+//   * a calendar queue (min-heap on end_tick) so collect_departures costs
+//     O(departures · log n) instead of a full-VM sweep;
+//   * per-server victim order (degradable first, then vm_id) kept as an
+//     ordered set so shrink_to no longer rebuilds and sorts a by-server
+//     table on every power dip;
+// plus O(1) powered-server / active-core counters for energy accounting.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <optional>
+#include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "vbatt/util/time.h"
@@ -80,6 +96,14 @@ class Site {
 
   const std::vector<ServerState>& servers() const noexcept { return servers_; }
 
+  /// Servers currently hosting at least one VM (those draw power);
+  /// maintained incrementally, O(1).
+  int powered_servers() const noexcept { return powered_servers_; }
+  /// Cores in use on powered servers — equals allocated cores, since only
+  /// VMs allocate and only VM-hosting servers are powered. O(1), kept as
+  /// its own accessor so energy accounting reads as intended.
+  int active_cores() const noexcept { return allocated_cores_; }
+
   /// Cores that must stay powered: exactly the allocated ones (unallocated
   /// cores are powered down for free — the paper's first-line response).
   int required_cores() const noexcept { return allocated_cores_; }
@@ -100,26 +124,61 @@ class Site {
   /// order until allocated cores <= available_cores. Evicted VMs are
   /// returned (the caller decides whether they migrate or die). Degradable
   /// VMs on a server are evicted before stable ones — they absorb the hit,
-  /// per §3.1's "sources of benefits".
+  /// per §3.1's "sources of benefits". Victim order is maintained
+  /// incrementally per server; nothing is rebuilt or sorted here.
   std::vector<VmInstance> shrink_to(int available_cores);
 
-  /// All VMs whose end_tick == t, removed from the site.
+  /// All VMs whose end_tick == t, removed from the site. Served from the
+  /// departure calendar queue: O(departures · log n) per call.
   std::vector<VmInstance> collect_departures(util::Tick t);
 
   /// Look up a resident VM.
   const VmInstance* find(std::int64_t vm_id) const;
 
+  // Indexed allocation queries (used by the AllocationPolicy
+  // implementations below). Each walks the free-cores buckets instead of
+  // the server array and returns the exact server id the corresponding
+  // linear scan in scan_reference.h would return.
+  std::optional<int> choose_first_fit(const workload::VmShape& shape) const;
+  std::optional<int> choose_best_fit(const workload::VmShape& shape) const;
+  std::optional<int> choose_worst_fit(const workload::VmShape& shape) const;
+  std::optional<int> choose_protean(const workload::VmShape& shape) const;
+
  private:
   void detach(const VmInstance& vm);
+  void move_bucket(int server, int old_free, int new_free);
+  /// Lowest-index server in bucket `b` at or after `from` whose free
+  /// memory fits; -1 if none.
+  int first_fit_in_bucket(int b, const workload::VmShape& shape) const;
 
   SiteConfig config_;
   std::vector<ServerState> servers_;
   std::unordered_map<std::int64_t, VmInstance> vms_;
   int allocated_cores_ = 0;
   double allocated_memory_gb_ = 0.0;
+  int powered_servers_ = 0;
   /// Round-robin eviction cursor over servers (persists across shrinks, as
   /// in the paper's round-robin order).
   int eviction_cursor_ = 0;
+
+  /// Free-cores bucket index: buckets_[f] is a bitset of server ids whose
+  /// free_cores == f; bucket_count_[f] its population (lets chooses skip
+  /// empty buckets in O(1)).
+  std::vector<std::vector<std::uint64_t>> buckets_;
+  std::vector<int> bucket_count_;
+
+  /// Per-server eviction order: (0 for degradable / 1 for stable, vm_id),
+  /// kept as a flat sorted vector — a server hosts few VMs, so shifting on
+  /// insert/erase beats a node-based set's allocation per placement.
+  std::vector<std::vector<std::pair<int, std::int64_t>>> victims_;
+
+  /// Departure calendar queue: (end_tick, vm_id), lazily invalidated —
+  /// entries whose VM is gone or re-placed with a different end_tick are
+  /// skipped on pop.
+  using Departure = std::pair<util::Tick, std::int64_t>;
+  std::priority_queue<Departure, std::vector<Departure>,
+                      std::greater<Departure>>
+      departures_;
 };
 
 /// First server with room.
@@ -131,8 +190,12 @@ class FirstFitPolicy final : public AllocationPolicy {
 
 /// Server with the least free cores that still fits: consolidates load so
 /// unallocated cores concentrate on empty servers (which then power down
-/// first). This mimics Protean-style packing and is what produces the
-/// paper's ">80% of power changes cause no migration".
+/// first). Never starts an empty server if a partially-used one fits
+/// (ties on free cores break toward servers already hosting VMs — this
+/// only matters for zero-core shapes, where free cores alone cannot tell
+/// an empty server from a used one). This mimics Protean-style packing
+/// and is what produces the paper's ">80% of power changes cause no
+/// migration".
 class BestFitPolicy final : public AllocationPolicy {
  public:
   std::optional<int> choose(const Site& site,

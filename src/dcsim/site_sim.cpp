@@ -118,15 +118,10 @@ SiteSimResult simulate_site(const energy::PowerTrace& power,
     prev_available = available;
 
     // Energy: powered servers (those hosting VMs) draw idle + active-core
-    // power for this tick.
-    int powered = 0;
-    int active_cores = 0;
-    for (const ServerState& server : site.servers()) {
-      if (server.vm_count > 0) {
-        ++powered;
-        active_cores += config.site.server.cores - server.free_cores;
-      }
-    }
+    // power for this tick. Both counts are maintained incrementally by the
+    // site, so this is O(1) instead of a server sweep.
+    const int powered = site.powered_servers();
+    const int active_cores = site.active_cores();
     result.powered_server_ticks += powered;
     const double hours_per_tick = power.axis().minutes_per_tick() / 60.0;
     result.energy_mwh += (powered * config.server_idle_watts +

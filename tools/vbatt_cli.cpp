@@ -200,8 +200,9 @@ int cmd_schedule(const Args& args) {
       return 2;
     }
     if (args.flag("vm-level")) {
-      const core::VmLevelResult vm =
-          core::run_vm_level_simulation(graph, apps, *scheduler);
+      // The pool fans per-site shrink/energy; output is thread-invariant.
+      const core::VmLevelResult vm = core::run_vm_level_simulation(
+          graph, apps, *scheduler, {}, &util::ThreadPool::shared());
       result = vm.base;
       std::printf("vm-level: %lld VM migrations, %lld fragmentation "
                   "failures, %lld powered server-ticks\n",
