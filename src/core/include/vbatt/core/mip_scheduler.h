@@ -83,6 +83,13 @@ class MipScheduler final : public Scheduler {
   /// Total per-app MIP solves performed (observability / tests).
   std::int64_t solve_count() const noexcept { return solve_count_; }
 
+  /// Fallback-ladder activations: a solver failure (node budget exhausted,
+  /// infeasible) first shrinks the horizon to half the buckets, then
+  /// degrades to greedy behavior (greedy placement for arrivals, keep the
+  /// current site on replans). Each rung taken counts once; a solver
+  /// failure is never fatal.
+  std::int64_t fallback_count() const override { return fallback_count_; }
+
  private:
   struct Trajectory {
     double cost = 0.0;
@@ -112,6 +119,7 @@ class MipScheduler final : public Scheduler {
 
   MipSchedulerConfig config_;
   std::int64_t solve_count_ = 0;
+  std::int64_t fallback_count_ = 0;
 
   // Per-replan caches, keyed to the `now` they were computed at.
   util::Tick cache_now_ = -1;

@@ -76,6 +76,11 @@ class Scheduler {
   }
   /// 0 = never replan.
   virtual util::Tick replan_period_ticks() const { return 0; }
+
+  /// How many times this scheduler degraded to a cheaper decision rung
+  /// (e.g. MIP solver timeout -> shrunken horizon -> greedy). Schedulers
+  /// without a fallback ladder report 0.
+  virtual std::int64_t fallback_count() const { return 0; }
 };
 
 /// The paper's baseline: "always assigns VMs to the site with the most

@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "vbatt/core/fault_hooks.h"
 #include "vbatt/core/scheduler.h"
 #include "vbatt/net/ledger.h"
 
@@ -52,16 +53,39 @@ struct SimResult {
   /// (feeds the per-app availability report).
   std::map<std::int64_t, std::int64_t> displaced_by_app;
 
+  // Fault / degradation accounting. All stay zero without fault hooks
+  // (except the displaced series, which mirrors displaced_stable_core_ticks
+  // per tick and is filled unconditionally).
+  /// Site-ticks spent under an active fault (blackout, brownout, outage).
+  std::int64_t faulted_site_ticks = 0;
+  /// Proactive moves re-queued with backoff after a failed attempt.
+  std::int64_t retried_moves = 0;
+  /// Proactive moves dropped after exhausting MoveRetryPolicy::max_attempts.
+  std::int64_t abandoned_moves = 0;
+  /// Times the scheduler fell back to a cheaper rung (see
+  /// Scheduler::fallback_count); copied from the scheduler at sim end.
+  std::int64_t fallback_activations = 0;
+  /// Ticks during which at least one stable core was displaced — the
+  /// "stable VM downtime" a chaos run tries to minimize.
+  std::int64_t stable_vm_downtime_ticks = 0;
+  /// Fleet-wide displaced stable cores per tick (p99 recovery analysis).
+  std::vector<std::int64_t> displaced_stable_cores_per_tick;
+
   SimResult(std::size_t n_sites, std::size_t n_ticks)
       : moved_gb(n_ticks, 0.0),
         ledger{n_sites, n_ticks},
-        energy_mwh_per_tick(n_ticks, 0.0) {}
+        energy_mwh_per_tick(n_ticks, 0.0),
+        displaced_stable_cores_per_tick(n_ticks, 0) {}
 };
 
 /// Run the full span of `graph` with `apps` (sorted by arrival tick).
+/// `faults` (optional) installs fault hooks plus the retry policy; with
+/// `faults == nullptr` or `faults->hooks == nullptr` the run is
+/// byte-identical to one without the parameter.
 SimResult run_simulation(const VbGraph& graph,
                          const std::vector<workload::Application>& apps,
                          Scheduler& scheduler,
-                         const SitePowerModel& power_model = {});
+                         const SitePowerModel& power_model = {},
+                         const FaultConfig* faults = nullptr);
 
 }  // namespace vbatt::core

@@ -62,6 +62,12 @@ class VbGraph {
   const std::vector<VbSite>& sites() const noexcept { return sites_; }
   const net::LatencyGraph& latency() const noexcept { return latency_; }
 
+  // Fault-injection seams (vbatt::fault bakes faults into a *copy* of the
+  // graph through these; nothing else mutates a built graph, so the
+  // schedulers' immutability assumption holds on the original).
+  std::vector<VbSite>& mutable_sites() noexcept { return sites_; }
+  net::LatencyGraph& mutable_latency() noexcept { return latency_; }
+
   /// Cores actually available at site `s`, tick `t`.
   int available_cores(std::size_t s, util::Tick t) const;
 

@@ -25,6 +25,9 @@ struct VmLevelConfig {
   /// Which allocation policy packs VMs onto servers.
   enum class Placement { first_fit, best_fit, worst_fit };
   Placement placement = Placement::best_fit;
+  /// Optional fault injection (hooks == nullptr keeps the no-fault path
+  /// byte-identical) plus the move retry/backoff discipline.
+  FaultConfig faults{};
 };
 
 struct VmLevelResult {

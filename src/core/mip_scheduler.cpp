@@ -105,11 +105,15 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
   b0 = std::clamp(b0, 0, total_buckets - 1);
   int b_end = bucket_count(state, end_tick);
   b_end = std::clamp(b_end, b0 + 1, total_buckets);
-  const int nb = b_end - b0;
+  const int full_nb = b_end - b0;
   const auto n_sites = sites.size();
   if (n_sites == 0) return std::nullopt;
 
   const double demand = static_cast<double>(stable_cores);
+
+  /// Build and solve the model over `nb` buckets; nullopt when the solver
+  /// fails (infeasible or node budget exhausted).
+  const auto attempt = [&](const int nb) -> std::optional<Trajectory> {
   solver::Model model;
 
   // x[k][s]: app resides at sites[s] during bucket b0 + k.
@@ -224,6 +228,22 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
     trajectory.sites[static_cast<std::size_t>(k)] = site;
   }
   return trajectory;
+  };  // attempt
+
+  std::optional<Trajectory> trajectory = attempt(full_nb);
+  if (trajectory) return trajectory;
+  // Fallback rung 1: the full-horizon model failed; a model half as deep
+  // is exponentially cheaper to branch on and usually feasible.
+  if (full_nb > 1) {
+    ++fallback_count_;
+    trajectory = attempt(std::max(1, full_nb / 2));
+    if (trajectory) return trajectory;
+  }
+  // Fallback rung 2: no MIP answer at any horizon. The caller degrades to
+  // greedy behavior (greedy placement for arrivals; replans keep the
+  // current site, i.e. greedy's purely reactive stance). Never fatal.
+  ++fallback_count_;
+  return std::nullopt;
 }
 
 std::vector<Move> MipScheduler::commit(std::int64_t app_id,
@@ -288,7 +308,9 @@ Scheduler::Placement MipScheduler::place(const workload::Application& app,
 
   Placement placement;
   if (!best) {
-    // Degenerate fallback (no clique fits): greedy headroom site.
+    // Degenerate fallback (no clique fits / every solve failed): greedy
+    // headroom site.
+    ++fallback_count_;
     GreedyScheduler greedy;
     return greedy.place(app, state);
   }

@@ -29,10 +29,25 @@ void relocate(FleetState& state, std::vector<std::set<std::int64_t>>& by_site,
 SimResult run_simulation(const VbGraph& graph,
                          const std::vector<workload::Application>& apps,
                          Scheduler& scheduler,
-                         const SitePowerModel& power_model) {
+                         const SitePowerModel& power_model,
+                         const FaultConfig* faults) {
   const std::size_t n_sites = graph.n_sites();
   const std::size_t n_ticks = graph.n_ticks();
   SimResult result{n_sites, n_ticks};
+
+  // Every fault branch below is gated on `hooks` so the no-fault run stays
+  // byte-identical to the pre-fault simulator.
+  FaultHooks* const hooks = faults ? faults->hooks : nullptr;
+  const MoveRetryPolicy retry = faults ? faults->retry : MoveRetryPolicy{};
+  /// A proactive move that could not execute (target blacked out or link
+  /// severed), waiting out its backoff.
+  struct PendingRetry {
+    Move move;
+    int attempts = 0;  // failed attempts so far
+  };
+  std::map<util::Tick, std::vector<PendingRetry>> retry_queue;
+  std::vector<int> avail_cache;  // per-tick available, for the snapshot
+  if (hooks) avail_cache.assign(n_sites, 0);
 
   FleetState state;
   state.graph = &graph;
@@ -59,6 +74,44 @@ SimResult run_simulation(const VbGraph& graph,
     const auto t = static_cast<util::Tick>(i);
     state.now = t;
 
+    // 0. Fault bookkeeping for this tick (link up/down transitions apply
+    //    to the graph inside begin_tick).
+    if (hooks) hooks->begin_tick(t);
+
+    /// Whether `move` can execute right now under active faults.
+    const auto move_blocked = [&](const LiveApp& app, const Move& move) {
+      return hooks->site_down(move.to_site, t) ||
+             !graph.latency().connected(app.site, move.to_site);
+    };
+    /// Charge and apply a proactive move.
+    const auto execute_move = [&](std::int64_t app_id, LiveApp& app,
+                                  const Move& move) {
+      const double gb = app.app.stable_memory_gb();
+      result.ledger.record_out(app.site, t, gb);
+      result.ledger.record_in(move.to_site, t, gb);
+      result.moved_gb[i] += gb;
+      relocate(state, site_apps, app_id, app, move.to_site);
+      ++result.planned_migrations;
+    };
+    /// Re-queue a blocked move with capped exponential backoff, or abandon
+    /// it once the attempt budget is spent.
+    const auto defer_move = [&](const Move& move, int prior_attempts) {
+      const int attempts = prior_attempts + 1;
+      if (attempts >= retry.max_attempts) {
+        ++result.abandoned_moves;
+        return;
+      }
+      util::Tick backoff = retry.base_backoff_ticks;
+      for (int a = 1; a < attempts && backoff < retry.max_backoff_ticks; ++a) {
+        backoff *= 2;
+      }
+      backoff = std::min(backoff, retry.max_backoff_ticks);
+      Move again = move;
+      again.at_tick = t + backoff;
+      retry_queue[again.at_tick].push_back({again, attempts});
+      ++result.retried_moves;
+    };
+
     // 1. Departures, served from the calendar queue.
     while (!departures.empty() && departures.top().first <= t) {
       const std::int64_t app_id = departures.top().second;
@@ -78,6 +131,7 @@ SimResult run_simulation(const VbGraph& graph,
     if (replan_period > 0 && t > 0 && t % replan_period == 0) {
       pending.clear();
       due_moves.clear();
+      retry_queue.clear();  // a replan supersedes every outstanding move
       for (Move& move : scheduler.replan(state)) {
         due_moves[move.at_tick].insert(move.app_id);
         pending[move.app_id].push_back(move);
@@ -121,22 +175,46 @@ SimResult run_simulation(const VbGraph& graph,
         for (const Move& move : pend->second) {
           if (move.at_tick > t) break;  // moves are emitted in time order
           if (move.at_tick == t && move.to_site != app.site) {
-            const double gb = app.app.stable_memory_gb();
-            result.ledger.record_out(app.site, t, gb);
-            result.ledger.record_in(move.to_site, t, gb);
-            result.moved_gb[i] += gb;
-            relocate(state, site_apps, app_id, app, move.to_site);
-            ++result.planned_migrations;
+            if (hooks && move_blocked(app, move)) {
+              defer_move(move, 0);
+            } else {
+              execute_move(app_id, app, move);
+            }
           }
         }
       }
       due_moves.erase(due);
     }
 
+    // 4b. Retry moves whose backoff expires now (fault runs only).
+    if (hooks) {
+      if (const auto due = retry_queue.find(t); due != retry_queue.end()) {
+        std::vector<PendingRetry> batch = std::move(due->second);
+        retry_queue.erase(due);
+        for (const PendingRetry& pr : batch) {
+          const auto live_it = state.apps.find(pr.move.app_id);
+          if (live_it == state.apps.end()) continue;  // departed meanwhile
+          LiveApp& app = live_it->second;
+          if (pr.move.to_site == app.site) continue;  // already there
+          if (move_blocked(app, pr.move)) {
+            defer_move(pr.move, pr.attempts);
+          } else {
+            execute_move(pr.move.app_id, app, pr.move);
+          }
+        }
+      }
+    }
+
     // 5. Capacity enforcement, site by site (resident apps only, via the
-    //    per-site index — no fleet-wide app sweep per site).
+    //    per-site index — no fleet-wide app sweep per site). A blacked-out
+    //    site has 0 available cores in the (baked) graph, so the ordering
+    //    below is exactly the emergency path: pause every degradable VM
+    //    first (5a), then force-migrate stable apps out (5b), and count
+    //    whatever cannot leave as displaced.
+    std::int64_t displaced_this_tick = 0;
     for (std::size_t s = 0; s < n_sites; ++s) {
       const int avail = graph.available_cores(s, t);
+      if (hooks) avail_cache[s] = avail;
 
       // 5a. Degradable VMs absorb the dip first: pause until the site's
       //     stable + active-degradable demand fits (or all are paused).
@@ -193,6 +271,7 @@ SimResult run_simulation(const VbGraph& graph,
         }
         if (stable > avail) {
           result.displaced_stable_core_ticks += stable - avail;
+          displaced_this_tick += stable - avail;
           // Attribute the shortfall to resident apps (ascending id) so the
           // availability report can rank per-app impact.
           int deficit = stable - avail;
@@ -222,7 +301,24 @@ SimResult run_simulation(const VbGraph& graph,
       result.energy_mwh += mwh;
       result.energy_mwh_per_tick[i] += mwh;
     }
+
+    // 7. Fault accounting and end-of-tick observation.
+    result.displaced_stable_cores_per_tick[i] = displaced_this_tick;
+    if (hooks) {
+      if (displaced_this_tick > 0) ++result.stable_vm_downtime_ticks;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        if (hooks->site_degraded(s, t)) ++result.faulted_site_ticks;
+      }
+      TickSnapshot snap;
+      snap.t = t;
+      snap.available = &avail_cache;
+      snap.stable_cores = &state.stable_cores;
+      snap.degradable_cores = &state.degradable_cores;
+      snap.displaced_stable_cores = displaced_this_tick;
+      hooks->on_tick_end(snap);
+    }
   }
+  result.fallback_activations = scheduler.fallback_count();
   return result;
 }
 

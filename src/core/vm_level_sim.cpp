@@ -56,6 +56,18 @@ VmLevelResult run_vm_level_simulation(
   const std::unique_ptr<dcsim::AllocationPolicy> policy =
       make_policy(config.placement);
 
+  // Fault machinery; every branch below is gated on `hooks`, so without
+  // hooks the run is byte-identical to the pre-fault simulator.
+  FaultHooks* const hooks = config.faults.hooks;
+  const MoveRetryPolicy retry = config.faults.retry;
+  struct PendingRetry {
+    Move move;
+    int attempts = 0;  // failed attempts so far
+  };
+  std::map<util::Tick, std::vector<PendingRetry>> retry_queue;
+  /// Scheduled server repairs: repair tick -> (site, server count).
+  std::map<util::Tick, std::vector<std::pair<std::size_t, int>>> repairs;
+
   // One dcsim site per VB node, sized from the node's capacity.
   std::vector<dcsim::Site> sites;
   sites.reserve(n_sites);
@@ -180,11 +192,42 @@ VmLevelResult run_vm_level_simulation(
   for (std::size_t i = 0; i < n_ticks; ++i) {
     const auto t = static_cast<util::Tick>(i);
     state.now = t;
+
+    // 0. Fault bookkeeping: link transitions apply inside begin_tick, and
+    //    servers whose outage ends now come back (empty, placeable again).
+    if (hooks) {
+      hooks->begin_tick(t);
+      if (const auto due = repairs.find(t); due != repairs.end()) {
+        for (const auto& [s, count] : due->second) {
+          sites[s].repair_servers(count);
+        }
+        repairs.erase(due);
+      }
+    }
+
     // The tick's power budget is pure in (s, t): compute it once instead
     // of per displaced VM / paused app in steps 5-7.
     for (std::size_t s = 0; s < n_sites; ++s) {
       avail[s] = graph.available_cores(s, t);
     }
+
+    /// Fold a batch of evicted VMs (power shrink or server failure at site
+    /// `s`) into the displaced/paused machinery.
+    const auto absorb_evicted =
+        [&](std::size_t s, const std::vector<dcsim::VmInstance>& batch) {
+          for (const dcsim::VmInstance& vm : batch) {
+            vm_site[static_cast<std::size_t>(vm.vm_id)] = -1;
+            if (vm.vm_class == workload::VmClass::stable) {
+              state.stable_cores[s] -= vm.shape.cores;
+              displaced.push_back(DisplacedVm{vm, s});
+              displaced_add(vm.app_id, vm.shape.cores);
+            } else {
+              state.degradable_cores[s] -= vm.shape.cores;
+              const auto it = live.find(vm.app_id);
+              if (it != live.end()) pause_degradable(vm.app_id, it->second);
+            }
+          }
+        };
 
     // 1. App departures, served from the calendar queue.
     while (!app_departures.empty() && app_departures.top().first <= t) {
@@ -245,6 +288,7 @@ VmLevelResult run_vm_level_simulation(
       }
       pending_moves.clear();
       due_moves.clear();
+      retry_queue.clear();  // a replan supersedes every outstanding move
       for (Move& move : scheduler.replan(state)) {
         due_moves[move.at_tick].insert(move.app_id);
         pending_moves[move.app_id].push_back(move);
@@ -309,6 +353,59 @@ VmLevelResult run_vm_level_simulation(
     // 4. Execute due proactive moves: relocate every resident VM. The due
     // index hands over exactly the apps with a move due this tick, in
     // app_id order (as the full pending_moves sweep used to).
+    /// Whether `move` can execute right now under active faults.
+    const auto move_blocked = [&](const TrackedApp& app, const Move& move) {
+      return hooks->site_down(move.to_site, t) ||
+             !graph.latency().connected(app.home, move.to_site);
+    };
+    /// Re-queue a blocked move with capped exponential backoff, or abandon
+    /// it once the attempt budget is spent.
+    const auto defer_move = [&](const Move& move, int prior_attempts) {
+      const int attempts = prior_attempts + 1;
+      if (attempts >= retry.max_attempts) {
+        ++result.base.abandoned_moves;
+        return;
+      }
+      util::Tick backoff = retry.base_backoff_ticks;
+      for (int a = 1; a < attempts && backoff < retry.max_backoff_ticks; ++a) {
+        backoff *= 2;
+      }
+      backoff = std::min(backoff, retry.max_backoff_ticks);
+      Move again = move;
+      again.at_tick = t + backoff;
+      retry_queue[again.at_tick].push_back({again, attempts});
+      ++result.base.retried_moves;
+    };
+    /// Carry out one app move: relocate every resident VM.
+    const auto execute_app_move = [&](std::int64_t app_id, TrackedApp& app,
+                                      const Move& move) {
+      const std::size_t from = app.home;
+      app.home = move.to_site;
+      bool moved_any = false;
+      for (const std::int64_t id : app.stable_ids) {
+        const auto vm = remove_vm(id, from);
+        if (!vm) continue;  // currently displaced or elsewhere
+        if (place_vm(*vm, move.to_site)) {
+          const double gb = vm->shape.memory_gb;
+          result.base.ledger.record_out(from, t, gb);
+          result.base.ledger.record_in(move.to_site, t, gb);
+          result.base.moved_gb[i] += gb;
+          ++result.vm_migrations;
+          moved_any = true;
+        } else {
+          ++result.fragmentation_failures;
+          displaced.push_back(DisplacedVm{*vm, from});
+          displaced_add(vm->app_id, vm->shape.cores);
+        }
+      }
+      for (const std::int64_t id : app.degradable_ids) {
+        const auto vm = remove_vm(id, from);
+        if (!vm) continue;
+        if (!place_vm(*vm, move.to_site)) pause_degradable(app_id, app);
+        // Degradable respawn: no WAN traffic.
+      }
+      if (moved_any) ++result.base.planned_migrations;
+    };
     if (const auto due = due_moves.find(t); due != due_moves.end()) {
       for (const std::int64_t app_id : due->second) {
         const auto pend = pending_moves.find(app_id);
@@ -318,35 +415,46 @@ VmLevelResult run_vm_level_simulation(
         TrackedApp& app = live_it->second;
         for (const Move& move : pend->second) {
           if (move.at_tick != t || move.to_site == app.home) continue;
-          const std::size_t from = app.home;
-          app.home = move.to_site;
-          bool moved_any = false;
-          for (const std::int64_t id : app.stable_ids) {
-            const auto vm = remove_vm(id, from);
-            if (!vm) continue;  // currently displaced or elsewhere
-            if (place_vm(*vm, move.to_site)) {
-              const double gb = vm->shape.memory_gb;
-              result.base.ledger.record_out(from, t, gb);
-              result.base.ledger.record_in(move.to_site, t, gb);
-              result.base.moved_gb[i] += gb;
-              ++result.vm_migrations;
-              moved_any = true;
-            } else {
-              ++result.fragmentation_failures;
-              displaced.push_back(DisplacedVm{*vm, from});
-              displaced_add(vm->app_id, vm->shape.cores);
-            }
+          if (hooks && move_blocked(app, move)) {
+            defer_move(move, 0);
+          } else {
+            execute_app_move(app_id, app, move);
           }
-          for (const std::int64_t id : app.degradable_ids) {
-            const auto vm = remove_vm(id, from);
-            if (!vm) continue;
-            if (!place_vm(*vm, move.to_site)) pause_degradable(app_id, app);
-            // Degradable respawn: no WAN traffic.
-          }
-          if (moved_any) ++result.base.planned_migrations;
         }
       }
       due_moves.erase(due);
+    }
+
+    // 4b. Retry moves whose backoff expires now (fault runs only).
+    if (hooks) {
+      if (const auto due = retry_queue.find(t); due != retry_queue.end()) {
+        std::vector<PendingRetry> batch = std::move(due->second);
+        retry_queue.erase(due);
+        for (const PendingRetry& pr : batch) {
+          const auto live_it = live.find(pr.move.app_id);
+          if (live_it == live.end()) continue;  // departed meanwhile
+          TrackedApp& app = live_it->second;
+          if (pr.move.to_site == app.home) continue;  // already there
+          if (move_blocked(app, pr.move)) {
+            defer_move(pr.move, pr.attempts);
+          } else {
+            execute_app_move(pr.move.app_id, app, pr.move);
+          }
+        }
+      }
+
+      // 4c. Server failures beginning this tick: take the servers offline
+      //     and fold their evicted residents into the displaced/paused
+      //     machinery, exactly as a power shrink would.
+      for (const ServerOutage& outage : hooks->server_outages_at(t)) {
+        if (outage.site >= n_sites || outage.count <= 0) continue;
+        absorb_evicted(outage.site,
+                       sites[outage.site].fail_servers(outage.count));
+        if (outage.repair_tick > t) {
+          repairs[outage.repair_tick].emplace_back(outage.site,
+                                                   outage.count);
+        }
+      }
     }
 
     // 5. Power enforcement: each site sheds to its powered-core budget.
@@ -363,18 +471,7 @@ VmLevelResult run_vm_level_simulation(
       shrink_sites(0, n_sites);
     }
     for (std::size_t s = 0; s < n_sites; ++s) {
-      for (const dcsim::VmInstance& vm : evicted_by_site[s]) {
-        vm_site[static_cast<std::size_t>(vm.vm_id)] = -1;
-        if (vm.vm_class == workload::VmClass::stable) {
-          state.stable_cores[s] -= vm.shape.cores;
-          displaced.push_back(DisplacedVm{vm, s});
-          displaced_add(vm.app_id, vm.shape.cores);
-        } else {
-          state.degradable_cores[s] -= vm.shape.cores;
-          const auto it = live.find(vm.app_id);
-          if (it != live.end()) pause_degradable(vm.app_id, it->second);
-        }
-      }
+      absorb_evicted(s, evicted_by_site[s]);
     }
 
     // 6. Re-home displaced stable VMs (migration traffic on success). When
@@ -389,10 +486,12 @@ VmLevelResult run_vm_level_simulation(
         any_can_fit = avail[s] - sites[s].allocated_cores() >= min_cores;
       }
     }
+    std::int64_t displaced_this_tick = 0;
     if (!any_can_fit) {
       // Sum over live entries only: tombstones stay queued but were
       // already retired from the aggregates when their app departed.
       result.base.displaced_stable_core_ticks += displaced_cores_total;
+      displaced_this_tick = displaced_cores_total;
     } else {
       for (std::size_t d = displaced.size(); d-- > 0;) {
         DisplacedVm entry = displaced.front();
@@ -421,6 +520,7 @@ VmLevelResult run_vm_level_simulation(
         }
         if (!placed) {
           result.base.displaced_stable_core_ticks += entry.vm.shape.cores;
+          displaced_this_tick += entry.vm.shape.cores;
           displaced.push_back(entry);
         }
       }
@@ -492,7 +592,24 @@ VmLevelResult run_vm_level_simulation(
       result.base.energy_mwh += site_mwh[s];
       result.base.energy_mwh_per_tick[i] += site_mwh[s];
     }
+
+    // 9. Fault accounting and end-of-tick observation.
+    result.base.displaced_stable_cores_per_tick[i] = displaced_this_tick;
+    if (hooks) {
+      if (displaced_this_tick > 0) ++result.base.stable_vm_downtime_ticks;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        if (hooks->site_degraded(s, t)) ++result.base.faulted_site_ticks;
+      }
+      TickSnapshot snap;
+      snap.t = t;
+      snap.available = &avail;
+      snap.stable_cores = &state.stable_cores;
+      snap.degradable_cores = &state.degradable_cores;
+      snap.displaced_stable_cores = displaced_this_tick;
+      hooks->on_tick_end(snap);
+    }
   }
+  result.base.fallback_activations = scheduler.fallback_count();
   return result;
 }
 

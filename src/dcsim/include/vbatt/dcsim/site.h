@@ -132,6 +132,29 @@ class Site {
   /// departure calendar queue: O(departures · log n) per call.
   std::vector<VmInstance> collect_departures(util::Tick t);
 
+  /// Hardware fault injection: take `count` healthy servers offline
+  /// (lowest index first). Resident VMs are evicted and returned —
+  /// degradable before stable per server, then by vm_id, the same
+  /// priority-class order shrink_to uses. Failed servers leave the
+  /// free-cores bucket index, so no allocation policy can choose them
+  /// until repair. Returns fewer evictions than requested servers imply
+  /// when the site runs out of healthy servers.
+  std::vector<VmInstance> fail_servers(int count);
+
+  /// Return `count` failed servers to service (lowest index first). The
+  /// repaired servers come back empty and immediately placeable. Repairing
+  /// more servers than are failed repairs all of them.
+  void repair_servers(int count);
+
+  /// Servers currently offline due to fail_servers.
+  int failed_servers() const noexcept { return failed_servers_; }
+
+  /// Cores on servers currently in service (total minus failed capacity);
+  /// the capacity ceiling fault-aware callers should plan against.
+  int online_cores() const noexcept {
+    return (config_.n_servers - failed_servers_) * config_.server.cores;
+  }
+
   /// Look up a resident VM.
   const VmInstance* find(std::int64_t vm_id) const;
 
@@ -157,6 +180,9 @@ class Site {
   int allocated_cores_ = 0;
   double allocated_memory_gb_ = 0.0;
   int powered_servers_ = 0;
+  int failed_servers_ = 0;
+  /// failed_[i] != 0 while server i is offline (fault injection).
+  std::vector<char> failed_;
   /// Round-robin eviction cursor over servers (persists across shrinks, as
   /// in the paper's round-robin order).
   int eviction_cursor_ = 0;

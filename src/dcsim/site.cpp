@@ -29,6 +29,7 @@ Site::Site(SiteConfig config) : config_{config} {
   servers_.assign(n,
                   ServerState{config.server.cores, config.server.memory_gb, 0});
   victims_.assign(n, {});
+  failed_.assign(n, 0);
 
   const std::size_t n_words = (n + kWordBits - 1) / kWordBits;
   buckets_.assign(static_cast<std::size_t>(config.server.cores) + 1,
@@ -161,6 +162,51 @@ std::vector<VmInstance> Site::collect_departures(util::Tick t) {
               return a.vm_id < b.vm_id;
             });
   return out;
+}
+
+std::vector<VmInstance> Site::fail_servers(int count) {
+  std::vector<VmInstance> evicted;
+  const int n = config_.n_servers;
+  for (int i = 0; i < n && count > 0; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (failed_[idx]) continue;
+    --count;
+    // Evict residents in the per-server victim order (degradable first,
+    // then vm_id — the same priority-class order a power shrink uses).
+    std::vector<std::pair<int, std::int64_t>>& order = victims_[idx];
+    while (!order.empty()) {
+      const std::int64_t id = order.front().second;
+      const VmInstance vm = vms_.at(id);
+      evicted.push_back(vm);
+      detach(vm);  // also pops the victim entry
+      vms_.erase(id);
+    }
+    // The server is empty now (all cores free): pull it out of the top
+    // bucket so no choose_* query can see it until repair.
+    ServerState& s = servers_[idx];
+    const auto bucket = static_cast<std::size_t>(s.free_cores);
+    buckets_[bucket][idx / kWordBits] &=
+        ~(std::uint64_t{1} << (idx % kWordBits));
+    --bucket_count_[bucket];
+    failed_[idx] = 1;
+    ++failed_servers_;
+  }
+  return evicted;
+}
+
+void Site::repair_servers(int count) {
+  const int n = config_.n_servers;
+  for (int i = 0; i < n && count > 0; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!failed_[idx]) continue;
+    --count;
+    const auto bucket = static_cast<std::size_t>(servers_[idx].free_cores);
+    buckets_[bucket][idx / kWordBits] |= std::uint64_t{1}
+                                         << (idx % kWordBits);
+    ++bucket_count_[bucket];
+    failed_[idx] = 0;
+    --failed_servers_;
+  }
 }
 
 const VmInstance* Site::find(std::int64_t vm_id) const {

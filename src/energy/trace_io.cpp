@@ -1,5 +1,6 @@
 #include "vbatt/energy/trace_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -8,6 +9,31 @@
 #include "vbatt/util/csv.h"
 
 namespace vbatt::energy {
+
+namespace {
+
+/// "load_trace_csv: <what> at line L, column C" — every rejection names
+/// the exact cell so a malformed export is fixable without bisecting it.
+[[noreturn]] void reject(const std::string& what, std::size_t line_no,
+                         int column) {
+  throw std::runtime_error{"load_trace_csv: " + what + " at line " +
+                           std::to_string(line_no) + ", column " +
+                           std::to_string(column)};
+}
+
+double parse_cell(const std::string& cell, std::size_t line_no, int column) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    reject("non-numeric value", line_no, column);
+  }
+  if (consumed == 0) reject("non-numeric value", line_no, column);
+  return value;
+}
+
+}  // namespace
 
 void save_trace_csv(const PowerTrace& trace, const std::string& path) {
   util::CsvWriter csv{path, {"tick", "normalized"}};
@@ -29,29 +55,41 @@ PowerTrace load_trace_csv(const std::string& path, const util::TimeAxis& axis,
   }
   std::vector<double> values;
   std::size_t line_no = 1;
+  bool have_prev_timestamp = false;
+  double prev_timestamp = 0.0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
     std::stringstream row{line};
     std::string cell;
+    std::string timestamp_cell;
     for (int c = 0; c <= column; ++c) {
       if (!std::getline(row, cell, ',')) {
-        throw std::runtime_error{"load_trace_csv: missing column at line " +
-                                 std::to_string(line_no)};
+        reject("missing column", line_no, c);
       }
+      if (c == 0) timestamp_cell = cell;
     }
-    std::size_t consumed = 0;
-    double value = 0.0;
-    try {
-      value = std::stod(cell, &consumed);
-    } catch (const std::exception&) {
-      throw std::runtime_error{"load_trace_csv: non-numeric value at line " +
-                               std::to_string(line_no)};
+    // Timestamp discipline: when the power value is not itself in the
+    // first column, column 0 is the tick/timestamp and must be a strictly
+    // increasing finite number — duplicated or shuffled rows would
+    // silently shift the whole simulation otherwise.
+    if (column > 0) {
+      const double ts = parse_cell(timestamp_cell, line_no, 0);
+      if (std::isnan(ts) || std::isinf(ts)) {
+        reject("non-finite timestamp", line_no, 0);
+      }
+      if (have_prev_timestamp && ts <= prev_timestamp) {
+        reject("non-monotonic timestamp", line_no, 0);
+      }
+      prev_timestamp = ts;
+      have_prev_timestamp = true;
     }
-    if (consumed == 0 || value < 0.0 || value > 1.0) {
-      throw std::runtime_error{"load_trace_csv: value out of [0, 1] at line " +
-                               std::to_string(line_no)};
-    }
+    const double value = parse_cell(cell, line_no, column);
+    // NaN fails every range comparison, so test it explicitly: a NaN that
+    // slips through poisons cov/percentile statistics downstream.
+    if (std::isnan(value)) reject("NaN power value", line_no, column);
+    if (value < 0.0) reject("negative power value", line_no, column);
+    if (value > 1.0) reject("value out of [0, 1]", line_no, column);
     values.push_back(value);
   }
   if (values.empty()) {

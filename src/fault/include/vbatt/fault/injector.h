@@ -1,0 +1,68 @@
+// FaultInjector: turns a FaultSchedule into live faults.
+//
+// Wrapper-based injection: the injector owns a *copy* of the VbGraph with
+// power faults (blackout, brownout) and forecast corruption baked directly
+// into the copied series at construction time. Simulators run against the
+// copy through the ordinary const VbGraph& path — the hot loops read plain
+// arrays exactly as before, and the no-fault path of the simulators stays
+// byte-identical because it never sees an injector at all. Only the
+// dynamic faults (WAN link flaps, server failures) act at runtime, through
+// the core::FaultHooks callbacks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "vbatt/core/fault_hooks.h"
+#include "vbatt/core/vb_graph.h"
+#include "vbatt/fault/invariants.h"
+#include "vbatt/fault/schedule.h"
+
+namespace vbatt::fault {
+
+class FaultInjector final : public core::FaultHooks {
+ public:
+  /// Bake `schedule` (validated against `graph`) into a private copy of
+  /// `graph`. `noise_seed` drives the forecast-noise stream; equal seeds
+  /// give identical baked graphs. With `check_invariants`, every on_tick_end
+  /// runs the InvariantChecker (throws std::logic_error on violation).
+  FaultInjector(const core::VbGraph& graph, FaultSchedule schedule,
+                std::uint64_t noise_seed = 0, bool check_invariants = false);
+
+  /// The faulted graph: run the simulation against *this*, not the
+  /// original.
+  const core::VbGraph& graph() const noexcept { return graph_; }
+
+  const FaultSchedule& schedule() const noexcept { return schedule_; }
+
+  /// Ticks the InvariantChecker has vetted (0 unless enabled).
+  std::int64_t checked_ticks() const noexcept {
+    return checker_ ? checker_->checked_ticks() : 0;
+  }
+
+  // core::FaultHooks
+  void begin_tick(util::Tick t) override;
+  bool site_down(std::size_t s, util::Tick t) const override;
+  bool site_degraded(std::size_t s, util::Tick t) const override;
+  std::vector<core::ServerOutage> server_outages_at(util::Tick t) override;
+  void on_tick_end(const core::TickSnapshot& snap) override;
+
+ private:
+  core::VbGraph graph_;  // the faulted copy
+  FaultSchedule schedule_;
+  std::size_t n_ticks_ = 0;
+  /// Per-site fault masks, tick-indexed (site * n_ticks + t).
+  std::vector<char> down_;      // blackout active
+  std::vector<char> degraded_;  // any site fault active
+  /// Link transitions due at a tick: (a, b, up).
+  std::map<util::Tick,
+           std::vector<std::tuple<std::size_t, std::size_t, bool>>>
+      link_transitions_;
+  std::map<util::Tick, std::vector<core::ServerOutage>> outages_;
+  std::unique_ptr<InvariantChecker> checker_;
+};
+
+}  // namespace vbatt::fault

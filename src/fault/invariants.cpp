@@ -1,0 +1,52 @@
+#include "vbatt/fault/invariants.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace vbatt::fault {
+
+void InvariantChecker::check(const core::TickSnapshot& snap,
+                             const std::vector<char>& site_down) {
+  const auto fail = [&](const std::string& law) {
+    throw std::logic_error{"InvariantChecker: tick " +
+                           std::to_string(snap.t) + ": " + law};
+  };
+  if (snap.available == nullptr || snap.stable_cores == nullptr ||
+      snap.degradable_cores == nullptr) {
+    fail("missing snapshot arrays");
+  }
+  const std::size_t n = snap.available->size();
+  if (snap.stable_cores->size() != n ||
+      snap.degradable_cores->size() != n || site_down.size() != n) {
+    fail("snapshot array size mismatch");
+  }
+  if (snap.displaced_stable_cores < 0) fail("negative displaced total");
+
+  std::int64_t over_budget = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const int stable = (*snap.stable_cores)[s];
+    const int degradable = (*snap.degradable_cores)[s];
+    const int avail = (*snap.available)[s];
+    const std::string at = " at site " + std::to_string(s);
+    if (stable < 0) fail("negative stable cores" + at);
+    if (degradable < 0) fail("negative degradable cores" + at);
+    if (site_down[s] != 0) {
+      if (avail > 0) fail("blacked-out site reports available cores" + at);
+      if (degradable > 0) {
+        fail("active degradable VMs on blacked-out site" + at);
+      }
+    }
+    over_budget += std::max(0, stable + degradable - std::max(avail, 0));
+  }
+  // Nothing may run on unpowered cores unaccounted: any excess of served
+  // cores over the power budget must appear in the displaced total.
+  if (over_budget > snap.displaced_stable_cores) {
+    fail("served cores exceed available beyond the displaced total (" +
+         std::to_string(over_budget) + " > " +
+         std::to_string(snap.displaced_stable_cores) + ")");
+  }
+  ++checked_ticks_;
+}
+
+}  // namespace vbatt::fault

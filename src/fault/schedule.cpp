@@ -1,0 +1,281 @@
+#include "vbatt/fault/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "vbatt/util/rng.h"
+
+namespace vbatt::fault {
+
+namespace {
+
+[[noreturn]] void bad_event(std::size_t index, const std::string& what) {
+  throw std::runtime_error{"FaultSchedule: event " + std::to_string(index) +
+                           ": " + what};
+}
+
+/// "load_schedule_csv: <what> at line L, column C".
+[[noreturn]] void reject(const std::string& what, std::size_t line_no,
+                         int column) {
+  throw std::runtime_error{"load_schedule_csv: " + what + " at line " +
+                           std::to_string(line_no) + ", column " +
+                           std::to_string(column)};
+}
+
+double parse_number(const std::string& cell, std::size_t line_no,
+                    int column) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    reject("non-numeric value", line_no, column);
+  }
+  if (consumed == 0 || std::isnan(value)) {
+    reject("non-numeric value", line_no, column);
+  }
+  return value;
+}
+
+FaultKind parse_kind(const std::string& cell, std::size_t line_no) {
+  for (const FaultKind kind :
+       {FaultKind::site_blackout, FaultKind::site_brownout,
+        FaultKind::forecast_error, FaultKind::link_down,
+        FaultKind::server_failure}) {
+    if (cell == to_string(kind)) return kind;
+  }
+  reject("unknown fault kind '" + cell + "'", line_no, 0);
+}
+
+/// Sort key making generation order irrelevant to the emitted schedule.
+auto event_key(const FaultEvent& e) {
+  return std::make_tuple(e.start, static_cast<int>(e.kind), e.site, e.peer,
+                         e.end);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::site_blackout:
+      return "site_blackout";
+    case FaultKind::site_brownout:
+      return "site_brownout";
+    case FaultKind::forecast_error:
+      return "forecast_error";
+    case FaultKind::link_down:
+      return "link_down";
+    case FaultKind::server_failure:
+      return "server_failure";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::validate(std::size_t n_sites, std::size_t n_ticks) const {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (e.site >= n_sites) bad_event(i, "site out of range");
+    if (e.start < 0 || e.start >= static_cast<util::Tick>(n_ticks)) {
+      bad_event(i, "start out of range");
+    }
+    if (e.end <= e.start) bad_event(i, "end must exceed start");
+    switch (e.kind) {
+      case FaultKind::site_brownout:
+        if (e.alpha < 0.0 || e.alpha >= 1.0) {
+          bad_event(i, "brownout alpha out of [0, 1)");
+        }
+        break;
+      case FaultKind::forecast_error:
+        if (e.alpha < -1.0) bad_event(i, "forecast bias below -1");
+        if (e.sigma < 0.0) bad_event(i, "negative forecast sigma");
+        break;
+      case FaultKind::link_down:
+        if (e.peer >= n_sites) bad_event(i, "peer out of range");
+        if (e.peer == e.site) bad_event(i, "link endpoints identical");
+        break;
+      case FaultKind::server_failure:
+        if (e.count <= 0) bad_event(i, "server count must be positive");
+        break;
+      case FaultKind::site_blackout:
+        break;
+    }
+  }
+}
+
+FaultSchedule make_chaos_schedule(const core::VbGraph& graph,
+                                  const ChaosConfig& config,
+                                  std::uint64_t seed) {
+  FaultSchedule schedule;
+  if (config.intensity <= 0.0) return schedule;
+
+  const std::size_t n_sites = graph.n_sites();
+  const auto n_ticks = static_cast<util::Tick>(graph.n_ticks());
+  const double weeks =
+      static_cast<double>(n_ticks) /
+      static_cast<double>(std::max<util::Tick>(1, config.ticks_per_day) * 7);
+
+  /// Poisson-many windows of exponential duration for one (stream, site).
+  const auto windows = [&](std::string_view stream, std::size_t site,
+                           double per_week, util::Tick mean_ticks,
+                           auto&& emit) {
+    util::Rng rng{util::seed_for(seed, stream, site)};
+    const std::uint64_t n =
+        rng.poisson(per_week * config.intensity * weeks);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const auto start =
+          static_cast<util::Tick>(rng.below(static_cast<std::uint64_t>(
+              std::max<util::Tick>(1, n_ticks))));
+      const auto span = std::max<util::Tick>(
+          1, static_cast<util::Tick>(std::llround(
+                 rng.exponential(static_cast<double>(mean_ticks)))));
+      emit(rng, start, std::min(n_ticks, start + span));
+    }
+  };
+
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    windows("chaos-blackout", s, config.blackouts_per_site_week,
+            config.blackout_mean_ticks,
+            [&](util::Rng&, util::Tick start, util::Tick end) {
+              FaultEvent e;
+              e.kind = FaultKind::site_blackout;
+              e.start = start;
+              e.end = end;
+              e.site = s;
+              schedule.events.push_back(e);
+            });
+    windows("chaos-brownout", s, config.brownouts_per_site_week,
+            config.brownout_mean_ticks,
+            [&](util::Rng& rng, util::Tick start, util::Tick end) {
+              FaultEvent e;
+              e.kind = FaultKind::site_brownout;
+              e.start = start;
+              e.end = end;
+              e.site = s;
+              // Jitter around the configured mean, clamped into [0, 0.95].
+              e.alpha = std::clamp(
+                  rng.normal(config.brownout_alpha, 0.1), 0.0, 0.95);
+              schedule.events.push_back(e);
+            });
+    windows("chaos-forecast", s, config.forecast_errors_per_site_week,
+            config.forecast_error_mean_ticks,
+            [&](util::Rng& rng, util::Tick start, util::Tick end) {
+              FaultEvent e;
+              e.kind = FaultKind::forecast_error;
+              e.start = start;
+              e.end = end;
+              e.site = s;
+              // Bias direction flips per event: optimistic forecasts hurt
+              // differently than pessimistic ones.
+              e.alpha = rng.chance(0.5) ? config.forecast_bias
+                                        : -config.forecast_bias;
+              e.sigma = config.forecast_sigma;
+              schedule.events.push_back(e);
+            });
+    windows("chaos-servers", s, config.server_failures_per_site_week,
+            config.server_repair_mean_ticks,
+            [&](util::Rng&, util::Tick start, util::Tick end) {
+              const int servers = std::max(
+                  1, graph.site(s).capacity_cores /
+                         std::max(1, config.server_cores));
+              FaultEvent e;
+              e.kind = FaultKind::server_failure;
+              e.start = start;
+              e.end = end;
+              e.site = s;
+              e.count = std::max(
+                  1, static_cast<int>(std::llround(
+                         servers * config.server_failure_frac)));
+              schedule.events.push_back(e);
+            });
+  }
+
+  // Link flaps: one stream per existing link, indexed by the packed pair
+  // (a * n_sites + b) so streams are stable under site reordering of the
+  // loop, not of the graph.
+  for (std::size_t a = 0; a < n_sites; ++a) {
+    for (std::size_t b = a + 1; b < n_sites; ++b) {
+      if (!graph.latency().link_exists(a, b)) continue;
+      windows("chaos-link", a * n_sites + b, config.link_downs_per_link_week,
+              config.link_down_mean_ticks,
+              [&](util::Rng&, util::Tick start, util::Tick end) {
+                FaultEvent e;
+                e.kind = FaultKind::link_down;
+                e.start = start;
+                e.end = end;
+                e.site = a;
+                e.peer = b;
+                schedule.events.push_back(e);
+              });
+    }
+  }
+
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const FaultEvent& lhs, const FaultEvent& rhs) {
+              return event_key(lhs) < event_key(rhs);
+            });
+  schedule.validate(n_sites, graph.n_ticks());
+  return schedule;
+}
+
+void save_schedule_csv(const FaultSchedule& schedule,
+                       const std::string& path) {
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error{"save_schedule_csv: cannot open " + path};
+  }
+  out << "kind,start,end,site,peer,alpha,sigma,count\n";
+  for (const FaultEvent& e : schedule.events) {
+    out << to_string(e.kind) << ',' << e.start << ',' << e.end << ','
+        << e.site << ',' << e.peer << ',' << e.alpha << ',' << e.sigma
+        << ',' << e.count << '\n';
+  }
+}
+
+FaultSchedule load_schedule_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"load_schedule_csv: cannot open " + path};
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error{"load_schedule_csv: empty file " + path};
+  }
+
+  FaultSchedule schedule;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream row{line};
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(row, cell, ',')) cells.push_back(cell);
+    if (cells.size() != 8) {
+      reject("expected 8 columns, got " + std::to_string(cells.size()),
+             line_no, static_cast<int>(cells.size()));
+    }
+    FaultEvent e;
+    e.kind = parse_kind(cells[0], line_no);
+    e.start = static_cast<util::Tick>(parse_number(cells[1], line_no, 1));
+    e.end = static_cast<util::Tick>(parse_number(cells[2], line_no, 2));
+    const double site = parse_number(cells[3], line_no, 3);
+    const double peer = parse_number(cells[4], line_no, 4);
+    if (site < 0) reject("negative site", line_no, 3);
+    if (peer < 0) reject("negative peer", line_no, 4);
+    e.site = static_cast<std::size_t>(site);
+    e.peer = static_cast<std::size_t>(peer);
+    e.alpha = parse_number(cells[5], line_no, 5);
+    e.sigma = parse_number(cells[6], line_no, 6);
+    e.count = static_cast<int>(parse_number(cells[7], line_no, 7));
+    if (e.end <= e.start) reject("end must exceed start", line_no, 2);
+    if (e.sigma < 0.0) reject("negative sigma", line_no, 6);
+    schedule.events.push_back(e);
+  }
+  return schedule;
+}
+
+}  // namespace vbatt::fault

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "vbatt/util/geo.h"
@@ -27,6 +28,12 @@ struct RttModel {
 };
 
 /// Undirected latency graph over a set of site locations.
+///
+/// Edges can be masked dynamically (`set_edge_up`) — the WAN-fault
+/// injector severs and restores links mid-simulation. The packed adjacency
+/// rows are the single source of truth: `connected`, `neighbors`,
+/// `edge_count`, and the clique-enumeration word intersections all read
+/// the same bits, so a masked edge disappears from every query at once.
 class LatencyGraph {
  public:
   /// Build from site locations: edge iff rtt <= threshold_ms.
@@ -40,13 +47,29 @@ class LatencyGraph {
     return rtt_.at(a * n_ + b);
   }
   bool connected(std::size_t a, std::size_t b) const {
+    if (a >= n_ || b >= n_) throw std::out_of_range{"LatencyGraph::connected"};
+    return (adjacency_[a * row_words_ + b / 64] >> (b % 64)) & 1u;
+  }
+
+  /// Whether the physical link (rtt under threshold) exists, ignoring any
+  /// dynamic mask. connected() == link_exists() && !masked.
+  bool link_exists(std::size_t a, std::size_t b) const {
     return a != b && rtt_.at(a * n_ + b) <= threshold_ms_;
   }
 
-  /// Neighbors of `v` (all u with an edge to v).
+  /// Sever (`up == false`) or restore (`up == true`) the edge {a, b}.
+  /// Restoring is a no-op unless the physical link exists; severing a
+  /// non-edge is a no-op. Updates both packed rows, so every derived
+  /// query (neighbors, edge_count, clique enumeration) stays consistent.
+  void set_edge_up(std::size_t a, std::size_t b, bool up);
+
+  /// Number of currently masked (severed) physical links.
+  std::size_t masked_edge_count() const noexcept { return masked_edges_; }
+
+  /// Neighbors of `v` (all u with an edge to v), from the packed row.
   std::vector<std::size_t> neighbors(std::size_t v) const;
 
-  /// Number of edges.
+  /// Number of (unmasked) edges, from the packed rows.
   std::size_t edge_count() const noexcept;
 
   /// 64-bit words per packed adjacency row.
@@ -65,6 +88,7 @@ class LatencyGraph {
   std::vector<double> rtt_;  // n x n, row-major
   std::size_t row_words_;
   std::vector<std::uint64_t> adjacency_;  // n x row_words_, row-major
+  std::size_t masked_edges_ = 0;
 };
 
 }  // namespace vbatt::net

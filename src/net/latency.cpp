@@ -1,5 +1,6 @@
 #include "vbatt/net/latency.h"
 
+#include <bit>
 #include <stdexcept>
 
 namespace vbatt::net {
@@ -27,23 +28,51 @@ LatencyGraph::LatencyGraph(const std::vector<util::GeoPoint>& locations,
   }
 }
 
+void LatencyGraph::set_edge_up(std::size_t a, std::size_t b, bool up) {
+  if (a >= n_ || b >= n_) throw std::out_of_range{"LatencyGraph::set_edge_up"};
+  if (!link_exists(a, b)) return;  // no physical link to mask or restore
+  const std::uint64_t bit_b = std::uint64_t{1} << (b % 64);
+  const std::uint64_t bit_a = std::uint64_t{1} << (a % 64);
+  std::uint64_t& row_ab = adjacency_[a * row_words_ + b / 64];
+  std::uint64_t& row_ba = adjacency_[b * row_words_ + a / 64];
+  const bool currently_up = (row_ab & bit_b) != 0;
+  if (up == currently_up) return;
+  if (up) {
+    row_ab |= bit_b;
+    row_ba |= bit_a;
+    --masked_edges_;
+  } else {
+    row_ab &= ~bit_b;
+    row_ba &= ~bit_a;
+    ++masked_edges_;
+  }
+}
+
 std::vector<std::size_t> LatencyGraph::neighbors(std::size_t v) const {
   if (v >= n_) throw std::out_of_range{"LatencyGraph::neighbors"};
+  // Walk the packed row so a dynamic edge mask is honored identically here
+  // and in the word-wise clique enumeration.
   std::vector<std::size_t> out;
-  for (std::size_t u = 0; u < n_; ++u) {
-    if (connected(v, u)) out.push_back(u);
+  const std::uint64_t* row = adjacency_row(v);
+  for (std::size_t w = 0; w < row_words_; ++w) {
+    std::uint64_t bits = row[w];
+    while (bits != 0) {
+      const std::size_t u =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      out.push_back(u);
+    }
   }
   return out;
 }
 
 std::size_t LatencyGraph::edge_count() const noexcept {
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      if (connected(i, j)) ++count;
-    }
+  // Popcount of the packed rows: every undirected edge sets two bits.
+  std::size_t twice = 0;
+  for (const std::uint64_t word : adjacency_) {
+    twice += static_cast<std::size_t>(std::popcount(word));
   }
-  return count;
+  return twice / 2;
 }
 
 }  // namespace vbatt::net

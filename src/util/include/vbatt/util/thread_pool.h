@@ -40,9 +40,15 @@ class ThreadPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a fire-and-forget task. Runs inline when the pool has no
-  /// workers. Tasks must not throw (parallel_for wraps bodies; raw
-  /// submissions that throw terminate).
+  /// workers. Exception-safe: a task that throws never terminates the
+  /// process — the first exception is captured and rethrown by the next
+  /// drain() (mirroring parallel_for's caller-rethrow contract).
   void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished, then rethrow
+  /// the first exception any of them threw (clearing it). Safe to call
+  /// repeatedly; a no-op on an idle pool.
+  void drain();
 
   /// Run `body(begin, end)` over static chunks of [0, n). The calling
   /// thread executes chunk 0 while workers take the rest; returns after
@@ -70,8 +76,13 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable ready_;
+  std::condition_variable idle_;
   std::queue<std::function<void()>> tasks_;
   bool stopping_ = false;
+  /// Tasks popped from the queue but still running (guarded by mutex_).
+  std::size_t running_ = 0;
+  /// First exception thrown by a submitted task; rethrown by drain().
+  std::exception_ptr submit_error_;
   std::vector<std::thread> workers_;
 };
 

@@ -33,21 +33,47 @@ void ThreadPool::worker_loop() {
       if (tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      ++running_;
     }
     task();
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      if (--running_ == 0 && tasks_.empty()) idle_.notify_all();
+    }
   }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Guard every raw submission: a throwing task must surface on drain(),
+  // never std::terminate the worker.
+  auto guarded = [this, task = std::move(task)]() mutable {
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      if (!submit_error_) submit_error_ = std::current_exception();
+    }
+  };
   if (workers_.empty()) {
-    task();
+    guarded();
     return;
   }
   {
     const std::lock_guard<std::mutex> lock{mutex_};
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(guarded));
   }
   ready_.notify_one();
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  idle_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
+  if (submit_error_) {
+    std::exception_ptr error = std::move(submit_error_);
+    submit_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallel_for(

@@ -140,6 +140,89 @@ TEST(Site, CollectDeparturesRemovesEndedVms) {
   EXPECT_EQ(site.vm_count(), 1u);  // the immortal one
 }
 
+TEST(Site, FailServersEvictsResidentsDegradableFirst) {
+  Site site{small_site(2, 8)};
+  FirstFitPolicy policy;
+  ASSERT_TRUE(site.place(vm(1, 4, 8.0, workload::VmClass::stable), policy));
+  ASSERT_TRUE(site.place(vm(2, 4, 8.0, workload::VmClass::degradable), policy));
+  ASSERT_TRUE(site.place(vm(3, 4), policy));  // lands on server 1
+
+  const auto evicted = site.fail_servers(1);  // server 0 (lowest index)
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0].vm_id, 2);  // degradable first
+  EXPECT_EQ(evicted[1].vm_id, 1);
+  EXPECT_EQ(site.failed_servers(), 1);
+  EXPECT_EQ(site.online_cores(), 8);
+  EXPECT_EQ(site.vm_count(), 1u);
+  EXPECT_NE(site.find(3), nullptr);
+}
+
+TEST(Site, FailedServersAreNotPlaceable) {
+  Site site{small_site(2, 8)};
+  FirstFitPolicy policy;
+  site.fail_servers(1);
+  // Only server 1 can host anything now; the 8-core VM fills it and the
+  // next placement must fail even though server 0 looks empty.
+  ASSERT_TRUE(site.place(vm(1, 8), policy));
+  EXPECT_EQ(site.find(1)->server, 1);
+  EXPECT_FALSE(site.place(vm(2, 1), policy));
+}
+
+TEST(Site, RepairReturnsServersToService) {
+  Site site{small_site(2, 8)};
+  FirstFitPolicy policy;
+  site.fail_servers(2);
+  EXPECT_EQ(site.failed_servers(), 2);
+  EXPECT_EQ(site.online_cores(), 0);
+  EXPECT_FALSE(site.place(vm(1, 1), policy));
+
+  site.repair_servers(1);
+  EXPECT_EQ(site.failed_servers(), 1);
+  ASSERT_TRUE(site.place(vm(2, 2), policy));
+  EXPECT_EQ(site.find(2)->server, 0);
+
+  site.repair_servers(5);  // over-repair clamps to what is failed
+  EXPECT_EQ(site.failed_servers(), 0);
+  EXPECT_EQ(site.online_cores(), 16);
+}
+
+TEST(Site, FailMoreServersThanHealthyClamps) {
+  Site site{small_site(2, 8)};
+  FirstFitPolicy policy;
+  ASSERT_TRUE(site.place(vm(1, 2), policy));
+  const auto evicted = site.fail_servers(10);
+  EXPECT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(site.failed_servers(), 2);
+  EXPECT_EQ(site.vm_count(), 0u);
+  // Idempotent: nothing healthy left to fail.
+  EXPECT_TRUE(site.fail_servers(1).empty());
+  EXPECT_EQ(site.failed_servers(), 2);
+}
+
+TEST(Site, FailRepairKeepsDeparturesAndShrinkConsistent) {
+  Site site{small_site(3, 8)};
+  FirstFitPolicy policy;
+  VmInstance a = vm(1, 4);
+  a.end_tick = 5;
+  ASSERT_TRUE(site.place(a, policy));
+  const auto evicted = site.fail_servers(1);
+  ASSERT_EQ(evicted.size(), 1u);
+  // The evicted VM is gone from the site: its calendar entry must be
+  // lazily dropped, not double-returned.
+  EXPECT_TRUE(site.collect_departures(5).empty());
+
+  // Shrink math still works with a failed server out of the index.
+  ASSERT_TRUE(site.place(vm(2, 4), policy));
+  ASSERT_TRUE(site.place(vm(3, 4), policy));
+  const auto shrunk = site.shrink_to(4);
+  EXPECT_EQ(shrunk.size(), 1u);
+  EXPECT_EQ(site.allocated_cores(), 4);
+
+  site.repair_servers(1);
+  EXPECT_EQ(site.failed_servers(), 0);
+  ASSERT_TRUE(site.place(vm(4, 8), policy));  // repaired server usable again
+}
+
 TEST(AllocationPolicies, BestFitConsolidates) {
   Site site{small_site(3, 8)};
   BestFitPolicy best;

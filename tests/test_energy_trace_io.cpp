@@ -81,6 +81,73 @@ TEST_F(TraceIoTest, RejectsMissingColumn) {
       std::runtime_error);
 }
 
+/// Run the loader and return the exception message (empty = no throw).
+std::string load_error(const std::string& path, int column = 1) {
+  try {
+    load_trace_csv(path, util::TimeAxis{15}, 1.0, Source::wind, column);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST_F(TraceIoTest, RejectsNaNNamingRowAndColumn) {
+  {
+    std::ofstream out{path_};
+    out << "tick,norm\n0,0.5\n1,nan\n";
+  }
+  const std::string what = load_error(path_);
+  EXPECT_NE(what.find("NaN"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("column 1"), std::string::npos) << what;
+}
+
+TEST_F(TraceIoTest, RejectsNegativeNamingRowAndColumn) {
+  {
+    std::ofstream out{path_};
+    out << "tick,norm\n0,-0.25\n";
+  }
+  const std::string what = load_error(path_);
+  EXPECT_NE(what.find("negative"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST_F(TraceIoTest, RejectsNonMonotonicTimestamps) {
+  {
+    std::ofstream out{path_};
+    out << "tick,norm\n0,0.5\n2,0.5\n1,0.5\n";
+  }
+  const std::string what = load_error(path_);
+  EXPECT_NE(what.find("non-monotonic"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  EXPECT_NE(what.find("column 0"), std::string::npos) << what;
+}
+
+TEST_F(TraceIoTest, RejectsDuplicateTimestamps) {
+  {
+    std::ofstream out{path_};
+    out << "tick,norm\n0,0.5\n0,0.6\n";
+  }
+  EXPECT_NE(load_error(path_).find("non-monotonic"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, AcceptsIrregularButIncreasingTimestamps) {
+  {
+    std::ofstream out{path_};
+    out << "tick,norm\n0,0.5\n5,0.6\n7,0.7\n";
+  }
+  EXPECT_EQ(load_error(path_), "");
+}
+
+TEST_F(TraceIoTest, ValueColumnZeroSkipsTimestampCheck) {
+  // With the value in column 0 there is no timestamp column to validate.
+  {
+    std::ofstream out{path_};
+    out << "norm\n0.5\n0.25\n";
+  }
+  EXPECT_EQ(load_error(path_, 0), "");
+}
+
 TEST_F(TraceIoTest, RejectsEmptyFile) {
   {
     std::ofstream out{path_};

@@ -1,0 +1,169 @@
+#include "vbatt/fault/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "vbatt/energy/site.h"
+
+namespace vbatt::fault {
+namespace {
+
+core::VbGraph small_graph(std::size_t ticks = 96 * 2) {
+  energy::FleetConfig config;
+  config.n_solar = 2;
+  config.n_wind = 2;
+  config.region_km = 500.0;
+  core::VbGraphConfig graph_config;
+  graph_config.cores_per_mw = 5.0;
+  return core::VbGraph{
+      energy::generate_fleet(config, util::TimeAxis{15}, ticks),
+      graph_config};
+}
+
+TEST(FaultSchedule, ChaosIsDeterministicInSeed) {
+  const core::VbGraph graph = small_graph();
+  const ChaosConfig config;
+  const FaultSchedule a = make_chaos_schedule(graph, config, 42);
+  const FaultSchedule b = make_chaos_schedule(graph, config, 42);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].start, b.events[i].start);
+    EXPECT_EQ(a.events[i].end, b.events[i].end);
+    EXPECT_EQ(a.events[i].site, b.events[i].site);
+    EXPECT_DOUBLE_EQ(a.events[i].alpha, b.events[i].alpha);
+  }
+  // A different seed shifts the draw.
+  const FaultSchedule c = make_chaos_schedule(graph, config, 43);
+  EXPECT_FALSE(a.events.size() == c.events.size() &&
+               (a.events.empty() ||
+                (a.events[0].start == c.events[0].start &&
+                 a.events[0].site == c.events[0].site &&
+                 a.events.back().start == c.events.back().start)));
+}
+
+TEST(FaultSchedule, ZeroIntensityIsEmpty) {
+  const core::VbGraph graph = small_graph();
+  ChaosConfig config;
+  config.intensity = 0.0;
+  EXPECT_TRUE(make_chaos_schedule(graph, config, 42).empty());
+}
+
+TEST(FaultSchedule, IntensityScalesEventCount) {
+  const core::VbGraph graph = small_graph();
+  ChaosConfig low;
+  low.intensity = 0.5;
+  ChaosConfig high;
+  high.intensity = 4.0;
+  EXPECT_LT(make_chaos_schedule(graph, low, 42).events.size(),
+            make_chaos_schedule(graph, high, 42).events.size());
+}
+
+TEST(FaultSchedule, ValidateRejectsMalformedEvents) {
+  FaultSchedule s;
+  FaultEvent e;
+  e.kind = FaultKind::site_blackout;
+  e.site = 9;  // out of range for a 4-site graph
+  e.start = 0;
+  e.end = 4;
+  s.events.push_back(e);
+  EXPECT_THROW(s.validate(4, 100), std::runtime_error);
+
+  s.events[0].site = 1;
+  s.events[0].end = 0;  // end <= start
+  EXPECT_THROW(s.validate(4, 100), std::runtime_error);
+
+  s.events[0].end = 4;
+  s.events[0].kind = FaultKind::site_brownout;
+  s.events[0].alpha = 1.5;  // derating must be < 1
+  EXPECT_THROW(s.validate(4, 100), std::runtime_error);
+
+  s.events[0].kind = FaultKind::link_down;
+  s.events[0].peer = 1;  // same as site
+  EXPECT_THROW(s.validate(4, 100), std::runtime_error);
+
+  s.events[0].peer = 2;
+  EXPECT_NO_THROW(s.validate(4, 100));
+}
+
+class ScheduleCsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "vbatt_fault_schedule.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string load_error() {
+    try {
+      load_schedule_csv(path_);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return {};
+  }
+};
+
+TEST_F(ScheduleCsvTest, RoundTrip) {
+  const core::VbGraph graph = small_graph();
+  const FaultSchedule original =
+      make_chaos_schedule(graph, ChaosConfig{}, 7);
+  ASSERT_FALSE(original.empty());
+  save_schedule_csv(original, path_);
+  const FaultSchedule loaded = load_schedule_csv(path_);
+  ASSERT_EQ(loaded.events.size(), original.events.size());
+  for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i].kind, original.events[i].kind);
+    EXPECT_EQ(loaded.events[i].start, original.events[i].start);
+    EXPECT_EQ(loaded.events[i].end, original.events[i].end);
+    EXPECT_EQ(loaded.events[i].site, original.events[i].site);
+    EXPECT_EQ(loaded.events[i].peer, original.events[i].peer);
+    EXPECT_NEAR(loaded.events[i].alpha, original.events[i].alpha, 1e-5);
+    EXPECT_EQ(loaded.events[i].count, original.events[i].count);
+  }
+  EXPECT_NO_THROW(loaded.validate(graph.n_sites(), graph.n_ticks()));
+}
+
+TEST_F(ScheduleCsvTest, RejectsUnknownKindNamingLine) {
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "site_blackout,0,4,1,0,0,0,0\n";
+    out << "meteor_strike,0,4,1,0,0,0,0\n";
+  }
+  const std::string what = load_error();
+  EXPECT_NE(what.find("unknown fault kind"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+}
+
+TEST_F(ScheduleCsvTest, RejectsNonNumericCellNamingColumn) {
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "site_blackout,zero,4,1,0,0,0,0\n";
+  }
+  const std::string what = load_error();
+  EXPECT_NE(what.find("non-numeric"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("column 1"), std::string::npos) << what;
+}
+
+TEST_F(ScheduleCsvTest, RejectsMissingColumns) {
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "site_blackout,0,4,1\n";
+  }
+  EXPECT_NE(load_error().find("expected 8 columns"), std::string::npos);
+}
+
+TEST_F(ScheduleCsvTest, RejectsInvertedWindow) {
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "site_blackout,8,4,1,0,0,0,0\n";
+  }
+  EXPECT_NE(load_error().find("end must exceed start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vbatt::fault

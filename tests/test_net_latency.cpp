@@ -2,8 +2,34 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "vbatt/util/rng.h"
+
 namespace vbatt::net {
 namespace {
+
+/// Property: packed adjacency rows, connected(), neighbors(), and
+/// edge_count() must describe the same graph.
+void expect_rows_match_connected(const LatencyGraph& g) {
+  std::size_t edges = 0;
+  for (std::size_t a = 0; a < g.size(); ++a) {
+    const std::uint64_t* row = g.adjacency_row(a);
+    std::vector<std::size_t> from_rows;
+    for (std::size_t b = 0; b < g.size(); ++b) {
+      const bool bit = (row[b / 64] >> (b % 64)) & 1u;
+      ASSERT_EQ(bit, g.connected(a, b)) << "a=" << a << " b=" << b;
+      ASSERT_EQ(g.connected(a, b), g.connected(b, a));
+      if (bit) {
+        from_rows.push_back(b);
+        if (a < b) ++edges;
+      }
+    }
+    ASSERT_EQ(g.neighbors(a), from_rows);
+    ASSERT_FALSE(g.connected(a, a));
+  }
+  ASSERT_EQ(g.edge_count(), edges);
+}
 
 TEST(RttModel, LinearInDistance) {
   RttModel model;
@@ -38,6 +64,69 @@ TEST(LatencyGraph, Neighbors) {
 
 TEST(LatencyGraph, ValidatesThreshold) {
   EXPECT_THROW(LatencyGraph({}, RttModel{}, 0.0), std::invalid_argument);
+}
+
+TEST(LatencyGraph, EdgeMaskSeversAndRestores) {
+  const std::vector<util::GeoPoint> pts{
+      {0.0, 0.0}, {100.0, 0.0}, {0.0, 100.0}, {5000.0, 5000.0}};
+  LatencyGraph g{pts, RttModel{}, 50.0};
+  const std::size_t before = g.edge_count();
+  ASSERT_TRUE(g.connected(0, 1));
+
+  g.set_edge_up(0, 1, false);
+  EXPECT_FALSE(g.connected(0, 1));
+  EXPECT_FALSE(g.connected(1, 0));
+  EXPECT_TRUE(g.link_exists(0, 1));  // the fiber is still there
+  EXPECT_EQ(g.edge_count(), before - 1);
+  EXPECT_EQ(g.masked_edge_count(), 1u);
+  EXPECT_EQ(g.neighbors(0), (std::vector<std::size_t>{2}));
+
+  g.set_edge_up(0, 1, false);  // idempotent
+  EXPECT_EQ(g.masked_edge_count(), 1u);
+
+  g.set_edge_up(0, 1, true);
+  EXPECT_TRUE(g.connected(0, 1));
+  EXPECT_EQ(g.edge_count(), before);
+  EXPECT_EQ(g.masked_edge_count(), 0u);
+
+  // Restoring or severing a non-link is a no-op, never edge creation.
+  g.set_edge_up(0, 3, true);
+  EXPECT_FALSE(g.connected(0, 3));
+  g.set_edge_up(0, 3, false);
+  EXPECT_EQ(g.masked_edge_count(), 0u);
+  EXPECT_THROW(g.set_edge_up(0, 9, false), std::out_of_range);
+}
+
+TEST(LatencyGraph, PackedRowsMatchConnectedUnderRandomMasks) {
+  // 12 sites scattered so the graph has a mix of edges and non-edges.
+  std::vector<util::GeoPoint> pts;
+  util::Rng rng{util::seed_for(17, "latency-prop")};
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back({rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0)});
+  }
+  LatencyGraph g{pts, RttModel{}, 50.0};
+  expect_rows_match_connected(g);
+
+  // Random flap sequence: sever / restore arbitrary pairs, re-checking the
+  // packed-rows <-> connected() consistency after every step.
+  for (int step = 0; step < 200; ++step) {
+    const auto a = static_cast<std::size_t>(rng.below(12));
+    const auto b = static_cast<std::size_t>(rng.below(12));
+    if (a == b) continue;
+    g.set_edge_up(a, b, rng.chance(0.5));
+    expect_rows_match_connected(g);
+  }
+
+  // Restore everything: must be byte-identical to a fresh build.
+  for (std::size_t a = 0; a < g.size(); ++a) {
+    for (std::size_t b = a + 1; b < g.size(); ++b) g.set_edge_up(a, b, true);
+  }
+  EXPECT_EQ(g.masked_edge_count(), 0u);
+  const LatencyGraph fresh{pts, RttModel{}, 50.0};
+  EXPECT_EQ(g.edge_count(), fresh.edge_count());
+  for (std::size_t a = 0; a < g.size(); ++a) {
+    EXPECT_EQ(g.neighbors(a), fresh.neighbors(a));
+  }
 }
 
 TEST(LatencyGraph, RttSymmetricMatrix) {

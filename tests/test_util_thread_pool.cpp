@@ -74,6 +74,47 @@ TEST(ThreadPool, DrainsQueuedTasksOnDestruction) {
   EXPECT_EQ(ran.load(), 64);
 }
 
+TEST(ThreadPool, SubmitExceptionRethrownOnDrainNotTerminate) {
+  ThreadPool pool{2};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([i] {
+      if (i == 3) throw std::runtime_error{"task failed"};
+    });
+  }
+  EXPECT_THROW(pool.drain(), std::runtime_error);
+  // The error is cleared once reported; the pool stays usable.
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.drain();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, DrainWaitsForAllSubmittedTasks) {
+  ThreadPool pool{3};
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.drain();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, DrainOnSerialPoolReportsInlineFailure) {
+  ThreadPool pool{0};  // tasks run inline on submit
+  pool.submit([] { throw std::logic_error{"inline"}; });  // must not throw here
+  EXPECT_THROW(pool.drain(), std::logic_error);
+  pool.drain();  // idempotent: error already consumed
+}
+
+TEST(ThreadPool, DrainOnIdlePoolIsANoOp) {
+  ThreadPool pool{2};
+  pool.drain();
+  pool.drain();
+}
+
 TEST(ThreadPool, StressManyRoundsStaysConsistent) {
   ThreadPool pool{4};
   for (int round = 0; round < 200; ++round) {

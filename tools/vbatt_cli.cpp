@@ -4,6 +4,8 @@
 //   vbatt fleet     --solar=4 --wind=6 --days=7 [--storms]
 //   vbatt site-sim  --source=wind --days=90 --servers=700
 //   vbatt schedule  --policy=mip --days=7 [--vm-level]
+//                   [--chaos=<intensity> | --chaos-csv=faults.csv]
+//                   [--chaos-seed=7]
 //   vbatt forecast  --source=solar --lead=24
 //
 // Every run is deterministic for a given --seed.
@@ -14,6 +16,7 @@
 #include <numeric>
 #include <string>
 
+#include "vbatt/fault/injector.h"
 #include "vbatt/vbatt.h"
 
 namespace {
@@ -177,9 +180,38 @@ int cmd_schedule(const Args& args) {
   const auto apps =
       workload::generate_apps(app_config, util::TimeAxis{15}, 96 * days);
 
+  // --chaos=<intensity> injects a seeded fault schedule (--chaos-seed);
+  // --chaos-csv=<path> replays one from disk instead. Without either flag
+  // no injector exists and the output is byte-identical to a chaos-free
+  // build.
+  const bool chaos = args.flag("chaos") || args.flag("chaos-csv");
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (chaos) {
+    fault::FaultSchedule schedule;
+    const auto chaos_seed =
+        static_cast<std::uint64_t>(args.number("chaos-seed", 7));
+    if (args.flag("chaos-csv")) {
+      schedule = fault::load_schedule_csv(args.get("chaos-csv", ""));
+      schedule.validate(graph.n_sites(), graph.n_ticks());
+    } else {
+      fault::ChaosConfig chaos_config;
+      chaos_config.intensity = args.number("chaos", 1.0);
+      schedule = fault::make_chaos_schedule(graph, chaos_config, chaos_seed);
+    }
+    injector = std::make_unique<fault::FaultInjector>(
+        graph, std::move(schedule), chaos_seed, /*check_invariants=*/true);
+  }
+  const core::VbGraph& sim_graph = chaos ? injector->graph() : graph;
+  core::FaultConfig fault_config;
+  fault_config.hooks = injector.get();
+
   const std::string policy = args.get("policy", "mip");
   core::SimResult result{graph.n_sites(), graph.n_ticks()};
   if (policy == "replication") {
+    if (chaos) {
+      std::fprintf(stderr, "--chaos is not supported with --policy=replication\n");
+      return 2;
+    }
     result = core::run_replication_simulation(graph, apps, {});
   } else {
     std::unique_ptr<core::Scheduler> scheduler;
@@ -201,8 +233,10 @@ int cmd_schedule(const Args& args) {
     }
     if (args.flag("vm-level")) {
       // The pool fans per-site shrink/energy; output is thread-invariant.
+      core::VmLevelConfig vm_config;
+      vm_config.faults.hooks = injector.get();
       const core::VmLevelResult vm = core::run_vm_level_simulation(
-          graph, apps, *scheduler, {}, &util::ThreadPool::shared());
+          sim_graph, apps, *scheduler, vm_config, &util::ThreadPool::shared());
       result = vm.base;
       std::printf("vm-level: %lld VM migrations, %lld fragmentation "
                   "failures, %lld powered server-ticks\n",
@@ -210,7 +244,8 @@ int cmd_schedule(const Args& args) {
                   static_cast<long long>(vm.fragmentation_failures),
                   static_cast<long long>(vm.powered_server_ticks));
     } else {
-      result = core::run_simulation(graph, apps, *scheduler);
+      result = core::run_simulation(sim_graph, apps, *scheduler, {},
+                                    chaos ? &fault_config : nullptr);
     }
   }
 
@@ -234,6 +269,15 @@ int cmd_schedule(const Args& args) {
               100.0 * availability.three_nines_fraction);
   std::printf("  carbon: %.2f tCO2 avoided vs grid (%.0f%%)\n",
               carbon.avoided_tco2(), 100.0 * carbon.avoided_fraction());
+  if (chaos) {
+    std::printf("  chaos: faulted-site-ticks=%lld retried=%lld "
+                "abandoned=%lld fallbacks=%lld downtime-ticks=%lld\n",
+                static_cast<long long>(result.faulted_site_ticks),
+                static_cast<long long>(result.retried_moves),
+                static_cast<long long>(result.abandoned_moves),
+                static_cast<long long>(result.fallback_activations),
+                static_cast<long long>(result.stable_vm_downtime_ticks));
+  }
   return 0;
 }
 
@@ -261,7 +305,8 @@ int usage() {
                "  trace      generate a power trace CSV\n"
                "  fleet      summarize a generated VB fleet\n"
                "  site-sim   single-site migration simulation (Fig 4)\n"
-               "  schedule   multi-site policy run (Table 1)\n"
+               "  schedule   multi-site policy run (Table 1); --chaos=<x>\n"
+               "             injects a seeded fault schedule\n"
                "  forecast   forecast-accuracy report (Fig 5)\n");
   return 2;
 }
