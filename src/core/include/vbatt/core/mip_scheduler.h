@@ -65,6 +65,12 @@ struct MipSchedulerConfig {
   bool spread_moves_in_bucket = false;
   /// Hard cap on buckets per solve (bounds model size).
   int max_buckets = 32;
+  /// Feed the solver warm starts: each replan seeds an app's MIP with its
+  /// previous round's trajectory, and the MIP-peak stage 2 is seeded with
+  /// the stage-1 optimum. Warm starts are cutoff-only (solve_mip returns
+  /// bit-identical results with or without them), so this is purely a
+  /// performance knob; disabling it is useful for determinism tests.
+  bool warm_start = true;
   solver::MipOptions mip{};
 };
 
@@ -103,11 +109,15 @@ class MipScheduler final : public Scheduler {
 
   /// Solve the per-app MIP over `sites`. `current_site` engaged for live
   /// apps (moving away from it costs bytes); nullopt for new arrivals.
+  /// `previous` (may be null) is the app's last committed trajectory; it is
+  /// re-aligned to the new horizon and fed to the solver as a warm-start
+  /// incumbent.
   std::optional<Trajectory> solve_app(const FleetState& state,
                                       int stable_cores, double stable_mem_gb,
                                       util::Tick end_tick,
                                       const std::vector<std::size_t>& sites,
-                                      std::optional<std::size_t> current_site);
+                                      std::optional<std::size_t> current_site,
+                                      const Trajectory* previous);
 
   /// Commit a trajectory: add loads and planned-move volume to the ledgers
   /// and derive Moves.
@@ -130,6 +140,9 @@ class MipScheduler final : public Scheduler {
   std::vector<std::vector<double>> load_;       // [site][bucket] cores
   std::vector<double> committed_moves_gb_;      // [bucket]
   std::vector<RankedSubgraph> ranked_;
+  /// Last committed trajectory per live app; the next replan feeds it back
+  /// to the solver as a warm-start incumbent. Pruned as apps depart.
+  std::map<std::int64_t, Trajectory> prev_trajectories_;
 };
 
 /// Convenience factories for the paper's four policies (Table 1).

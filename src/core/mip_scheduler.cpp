@@ -99,7 +99,7 @@ void MipScheduler::refresh_capacity(const FleetState& state) {
 std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
     const FleetState& state, int stable_cores, double stable_mem_gb,
     util::Tick end_tick, const std::vector<std::size_t>& sites,
-    std::optional<std::size_t> current_site) {
+    std::optional<std::size_t> current_site, const Trajectory* previous) {
   const int total_buckets = static_cast<int>(committed_moves_gb_.size());
   int b0 = static_cast<int>((state.now - cache_now_) / config_.bucket_ticks);
   b0 = std::clamp(b0, 0, total_buckets - 1);
@@ -170,28 +170,80 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
     }
   }
 
+  // Warm-start incumbent: the previous round's trajectory re-aligned to
+  // this horizon (held site extended past its end), expressed in this
+  // model's variables. The solver validates it and uses it purely as a
+  // cutoff, so feeding it never changes the schedule.
+  solver::MipWarmStart warm;
+  bool have_warm = false;
+  if (config_.warm_start && previous != nullptr && !previous->sites.empty()) {
+    const util::Tick start = cache_now_ + b0 * config_.bucket_ticks;
+    warm.x.assign(model.n_vars(), 0.0);
+    std::vector<std::size_t> warm_col(static_cast<std::size_t>(nb), 0);
+    have_warm = true;
+    for (int k = 0; k < nb && have_warm; ++k) {
+      const util::Tick tick =
+          start + static_cast<util::Tick>(k) * config_.bucket_ticks;
+      auto j = static_cast<std::ptrdiff_t>(
+          (tick - previous->start) / config_.bucket_ticks);
+      j = std::clamp<std::ptrdiff_t>(
+          j, 0, static_cast<std::ptrdiff_t>(previous->sites.size()) - 1);
+      const std::size_t site = previous->sites[static_cast<std::size_t>(j)];
+      const auto found = std::find(sites.begin(), sites.end(), site);
+      if (found == sites.end()) {
+        have_warm = false;  // previous site left the candidate set
+        break;
+      }
+      const auto s = static_cast<std::size_t>(found - sites.begin());
+      warm.x[static_cast<std::size_t>(x[static_cast<std::size_t>(k)][s])] =
+          1.0;
+      warm_col[static_cast<std::size_t>(k)] = s;
+    }
+    if (have_warm) {
+      for (int k = 0; k < nb; ++k) {
+        if (y[static_cast<std::size_t>(k)].empty()) continue;
+        for (std::size_t s = 0; s < n_sites; ++s) {
+          const double here =
+              warm_col[static_cast<std::size_t>(k)] == s ? 1.0 : 0.0;
+          const double before =
+              k > 0 ? (warm_col[static_cast<std::size_t>(k - 1)] == s ? 1.0
+                                                                      : 0.0)
+                    : (sites[s] == *current_site ? 1.0 : 0.0);
+          warm.x[static_cast<std::size_t>(
+              y[static_cast<std::size_t>(k)][s])] =
+              std::max(0.0, here - before);
+        }
+      }
+    }
+  }
+
   ++solve_count_;
-  solver::MipResult primary = solver::solve_mip(model, config_.mip);
+  solver::MipResult primary =
+      solver::solve_mip(model, config_.mip, have_warm ? &warm : nullptr);
   if (primary.status != solver::LpStatus::optimal) return std::nullopt;
 
   solver::MipResult chosen = primary;
   if (config_.optimize_peak) {
-    // Stage 2: cap O1, minimize peak per-bucket move volume.
-    solver::Model stage2 = model;
+    // Stage 2, in place: cap O1, zero the costs, and minimize the peak
+    // per-bucket move volume; every edit is undone after the solve.
+    const std::size_t n_structural = model.n_vars();
     std::vector<std::pair<int, double>> o1_terms;
-    for (std::size_t i = 0; i < stage2.n_vars(); ++i) {
-      const double c = stage2.vars()[i].cost;
+    std::vector<double> primary_costs(n_structural, 0.0);
+    for (std::size_t i = 0; i < n_structural; ++i) {
+      const double c = model.vars()[i].cost;
+      primary_costs[i] = c;
       if (c != 0.0) o1_terms.emplace_back(static_cast<int>(i), c);
     }
-    stage2.add_constraint(std::move(o1_terms), solver::Rel::le,
-                          primary.objective +
-                              std::abs(primary.objective) *
-                                  config_.peak_eps_rel +
-                              1e-6);
-    for (std::size_t i = 0; i < stage2.n_vars(); ++i) {
-      stage2.vars()[i].cost = 0.0;
+    model.add_constraint(std::move(o1_terms), solver::Rel::le,
+                         primary.objective +
+                             std::abs(primary.objective) *
+                                 config_.peak_eps_rel +
+                             1e-6);
+    for (std::size_t i = 0; i < n_structural; ++i) {
+      model.vars()[i].cost = 0.0;
     }
-    const int peak = stage2.add_var("peak", 1.0);
+    const int peak = model.add_var("peak", 1.0);
+    int peak_rows = 0;
     for (int k = 0; k < nb; ++k) {
       if (y[static_cast<std::size_t>(k)].empty()) continue;
       std::vector<std::pair<int, double>> terms;
@@ -199,14 +251,42 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
         terms.emplace_back(y[static_cast<std::size_t>(k)][s], stable_mem_gb);
       }
       terms.emplace_back(peak, -1.0);
-      stage2.add_constraint(
+      model.add_constraint(
           std::move(terms), solver::Rel::le,
           -committed_moves_gb_[static_cast<std::size_t>(b0 + k)]);
+      ++peak_rows;
+    }
+    // Stage-2 warm start: the stage-1 optimum satisfies the O1 cap by
+    // construction; the peak variable takes its implied value.
+    solver::MipWarmStart stage2_warm;
+    if (config_.warm_start) {
+      stage2_warm.x = primary.x;
+      stage2_warm.x.resize(model.n_vars(), 0.0);
+      double peak_value = 0.0;
+      for (int k = 0; k < nb; ++k) {
+        if (y[static_cast<std::size_t>(k)].empty()) continue;
+        double volume = committed_moves_gb_[static_cast<std::size_t>(b0 + k)];
+        for (std::size_t s = 0; s < n_sites; ++s) {
+          volume += stable_mem_gb *
+                    primary.x[static_cast<std::size_t>(
+                        y[static_cast<std::size_t>(k)][s])];
+        }
+        peak_value = std::max(peak_value, volume);
+      }
+      stage2_warm.x[static_cast<std::size_t>(peak)] = peak_value;
     }
     ++solve_count_;
-    solver::MipResult second = solver::solve_mip(stage2, config_.mip);
+    solver::MipResult second = solver::solve_mip(
+        model, config_.mip, config_.warm_start ? &stage2_warm : nullptr);
+    // Restore the stage-1 model: peak rows, peak variable, O1 cap, costs.
+    for (int r = 0; r < peak_rows; ++r) model.pop_constraint();
+    model.pop_var();
+    model.pop_constraint();
+    for (std::size_t i = 0; i < n_structural; ++i) {
+      model.vars()[i].cost = primary_costs[i];
+    }
     if (second.status == solver::LpStatus::optimal) {
-      second.x.resize(model.n_vars());  // drop the peak variable
+      second.x.resize(n_structural);  // drop the peak variable
       chosen = second;
       chosen.objective = model.objective_of(second.x);
     }
@@ -299,7 +379,7 @@ Scheduler::Placement MipScheduler::place(const workload::Application& app,
     ++evaluated;
     const std::optional<Trajectory> trajectory =
         solve_app(state, app.stable_cores(), app.stable_memory_gb(),
-                  end_tick, candidate.sites, std::nullopt);
+                  end_tick, candidate.sites, std::nullopt, nullptr);
     if (trajectory && (!best || trajectory->cost < best->cost)) {
       best = trajectory;
       best_sites = &candidate.sites;
@@ -318,6 +398,7 @@ Scheduler::Placement MipScheduler::place(const workload::Application& app,
   placement.site = best->sites.front();
   placement.scheduled_moves = commit(app.app_id, *best, app.stable_cores(),
                                      app.stable_memory_gb(), std::nullopt);
+  prev_trajectories_[app.app_id] = *best;  // seeds the next replan
   return placement;
 }
 
@@ -335,16 +416,30 @@ std::vector<Move> MipScheduler::replan(const FleetState& state) {
     return a->app.app_id < b->app.app_id;
   });
 
+  // Drop stored trajectories of departed apps.
+  for (auto it = prev_trajectories_.begin();
+       it != prev_trajectories_.end();) {
+    if (state.apps.find(it->first) == state.apps.end()) {
+      it = prev_trajectories_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   std::vector<Move> schedule;
   for (const LiveApp* app : live) {
+    const auto prev_it = prev_trajectories_.find(app->app.app_id);
+    const Trajectory* previous =
+        prev_it != prev_trajectories_.end() ? &prev_it->second : nullptr;
     const std::optional<Trajectory> trajectory = solve_app(
         state, app->app.stable_cores(), app->app.stable_memory_gb(),
-        app->end_tick, app->allowed, app->site);
+        app->end_tick, app->allowed, app->site, previous);
     if (!trajectory) continue;
     std::vector<Move> moves =
         commit(app->app.app_id, *trajectory, app->app.stable_cores(),
                app->app.stable_memory_gb(), app->site);
     schedule.insert(schedule.end(), moves.begin(), moves.end());
+    prev_trajectories_[app->app.app_id] = *trajectory;
   }
   return schedule;
 }

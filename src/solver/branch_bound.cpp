@@ -2,26 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <optional>
 #include <queue>
 #include <stdexcept>
+#include <utility>
+
+#include "vbatt/solver/basis.h"
+#include "vbatt/solver/pinned.h"
+#include "vbatt/solver/presolve.h"
+#include "vbatt/solver/revised.h"
 
 namespace vbatt::solver {
 
 namespace {
 
+constexpr double kBoundTol = 1e-7;
+/// Tolerance for accepting a caller-provided warm solution as feasible.
+constexpr double kWarmTol = 1e-6;
+
 struct Node {
   double bound = 0.0;  // LP objective of the parent relaxation
+  std::uint64_t seq = 0;
   std::vector<double> lb;
   std::vector<double> ub;
+  Basis basis;  // parent's final basis: dual-feasible start for this node
+  int branch_var = -1;
+  bool went_up = false;
+  double frac = 0.0;  // fractional part of the branch variable at the parent
 };
 
 struct NodeOrder {
   bool operator()(const Node& a, const Node& b) const {
-    return a.bound > b.bound;  // min-heap on bound: best-first
+    // Min-heap on (bound, push order): best-first, deterministic ties.
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.seq > b.seq;
   }
 };
 
 /// Index of the most fractional integer variable, or -1 if all integral.
+/// The seed's rule; used until pseudo-costs have observations.
 int most_fractional(const Model& model, const std::vector<double>& x,
                     double tol) {
   int best = -1;
@@ -38,32 +58,241 @@ int most_fractional(const Model& model, const std::vector<double>& x,
   return best;
 }
 
-}  // namespace
+/// Per-variable pseudo-costs: average objective degradation per unit of
+/// fractionality pushed, by branch direction, within one tree.
+struct PseudoCost {
+  double down_sum = 0.0;
+  double up_sum = 0.0;
+  int down_n = 0;
+  int up_n = 0;
+};
 
-MipResult solve_mip(const Model& model, const MipOptions& options) {
+/// Stage-to-stage carry for solve_lexicographic: the root basis of the
+/// previous tree and the presolve row subset it is valid for.
+struct TreeState {
+  Basis basis;
+  std::vector<int> rows;
+};
+
+MipResult solve_mip_impl(const Model& model, const MipOptions& options,
+                         const MipWarmStart* warm, TreeState* tree) {
   MipResult result;
+  const std::size_t n = model.n_vars();
 
   std::vector<double> lb0;
   std::vector<double> ub0;
+  lb0.reserve(n);
+  ub0.reserve(n);
   for (const Variable& v : model.vars()) {
+    if (!std::isfinite(v.lb)) {
+      throw std::invalid_argument{"solve_mip: -inf lower bound"};
+    }
     lb0.push_back(v.lb);
     ub0.push_back(v.ub);
   }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(lb0[i] <= ub0[i])) {
+      ++result.nodes_explored;
+      return result;  // infeasible box
+    }
+  }
 
-  const LpResult root = solve_lp_bounded(model, lb0, ub0);
+  const PresolveResult pre =
+      presolve(model, lb0, ub0, /*integrality=*/true);
+  if (pre.infeasible) {
+    ++result.nodes_explored;
+    result.status = LpStatus::infeasible;
+    return result;
+  }
+
+  const bool box_only = pre.rows.empty();
+  std::optional<RevisedSolver> solver;
+  if (!box_only) solver.emplace(model, pre.rows);
+  const std::int64_t lp_budget =
+      options.max_lp_pivots >= 0
+          ? options.max_lp_pivots
+          : 2000 + 60 * static_cast<std::int64_t>(pre.rows.size() + n);
+
+  // Solve one node's LP. `basis` is in-out: on entry the parent's final
+  // basis (dual-simplex warm start when `allow_dual`), on optimal exit this
+  // node's final basis, handed down to its children.
+  const auto solve_node = [&](const std::vector<double>& nlb,
+                              const std::vector<double>& nub, Basis& basis,
+                              bool allow_dual) -> LpResult {
+    LpResult r;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (nlb[j] > nub[j] + kBoundTol) return r;  // infeasible box
+    }
+    if (box_only) {
+      // Bound-constrained only: each free variable sits at whichever bound
+      // its cost prefers (lower on ties, matching the seed's vertex).
+      r.x = nlb;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (nub[j] - nlb[j] <= kBoundTol) continue;
+        if (model.vars()[j].cost < 0.0) {
+          if (!std::isfinite(nub[j])) {
+            r.status = LpStatus::unbounded;
+            r.x.clear();
+            return r;
+          }
+          r.x[j] = nub[j];
+        }
+      }
+      r.status = LpStatus::optimal;
+      r.objective = model.objective_of(r.x);
+      return r;
+    }
+    LpStatus s;
+    if (allow_dual && !basis.empty()) {
+      s = solver->solve_dual(nlb, nub, basis, lp_budget);
+      r.pivots += solver->pivots();
+      if (s == LpStatus::iteration_limit) {
+        // Warm path stalled: cold primal restart.
+        basis = Basis{};
+        s = solver->solve_primal(nlb, nub, basis, lp_budget);
+        r.pivots += solver->pivots();
+      }
+    } else {
+      s = solver->solve_primal(nlb, nub, basis, lp_budget);
+      r.pivots += solver->pivots();
+    }
+    r.status = s;
+    if (s == LpStatus::optimal) {
+      r.x = solver->x();
+      r.objective = model.objective_of(r.x);
+    }
+    return r;
+  };
+
+  Basis root_basis;
+  if (tree && !tree->basis.empty() && tree->rows == pre.rows) {
+    root_basis = tree->basis;  // primal warm start from the previous stage
+  }
+  const LpResult root =
+      solve_node(pre.lb, pre.ub, root_basis, /*allow_dual=*/false);
+  result.pivots += root.pivots;
   ++result.nodes_explored;
   if (root.status != LpStatus::optimal) {
     result.status = root.status;
     return result;
   }
+  if (tree) {
+    tree->basis = root_basis;
+    tree->rows = pre.rows;
+  }
 
+  bool have_cutoff = false;
+  double cutoff = 0.0;
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-  open.push(Node{root.objective, lb0, ub0});
+  std::uint64_t next_seq = 0;
+  const auto push_child = [&](Node&& node) {
+    const auto bv = static_cast<std::size_t>(node.branch_var);
+    if (node.branch_var >= 0 && node.lb[bv] > node.ub[bv]) return;
+    if (have_cutoff && node.bound > cutoff + options.gap_abs) return;
+    node.seq = next_seq++;
+    open.push(std::move(node));
+  };
+
+  // Validate the warm solution; a valid one becomes a static cutoff that
+  // keeps nodes whose bound already exceeds it out of the heap. Such nodes
+  // are provably never LP-solved by the cold search either (best-first
+  // reaches the optimum through strictly lower bounds first), so warm and
+  // cold runs explore identical node sequences and return identical
+  // results — the cutoff only bounds heap growth and drain work.
+  if (warm && warm->x.size() == n) {
+    std::vector<double> xw = warm->x;
+    bool ok = true;
+    for (std::size_t j = 0; j < n && ok; ++j) {
+      if (model.vars()[j].integer) {
+        const double snapped = std::round(xw[j]);
+        if (std::abs(xw[j] - snapped) > options.int_tol) {
+          ok = false;
+          break;
+        }
+        xw[j] = snapped;
+      }
+      if (xw[j] < pre.lb[j] - kWarmTol || xw[j] > pre.ub[j] + kWarmTol) {
+        ok = false;
+      }
+    }
+    for (std::size_t i = 0; ok && i < model.n_constraints(); ++i) {
+      const Constraint& con = model.constraints()[i];
+      double act = 0.0;
+      for (const auto& [idx, coeff] : con.terms) {
+        act += coeff * xw[static_cast<std::size_t>(idx)];
+      }
+      switch (con.rel) {
+        case Rel::le: ok = act <= con.rhs + kWarmTol; break;
+        case Rel::ge: ok = act >= con.rhs - kWarmTol; break;
+        case Rel::eq: ok = std::abs(act - con.rhs) <= kWarmTol; break;
+      }
+    }
+    if (ok) {
+      have_cutoff = true;
+      cutoff = model.objective_of(xw);
+    }
+  }
+
+
+  std::vector<PseudoCost> pc(n);
+  std::int64_t pc_observations = 0;
+  double pc_total = 0.0;
+  const auto select_branch = [&](const std::vector<double>& x) {
+    if (pc_observations == 0) {
+      return most_fractional(model, x, options.int_tol);
+    }
+    const double global =
+        pc_total / static_cast<double>(pc_observations);
+    int best = -1;
+    double best_score = -1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!model.vars()[j].integer) continue;
+      const double frac = x[j] - std::floor(x[j]);
+      if (std::min(frac, 1.0 - frac) <= options.int_tol) continue;
+      const double down =
+          (pc[j].down_n > 0 ? pc[j].down_sum / pc[j].down_n : global) * frac;
+      const double up = (pc[j].up_n > 0 ? pc[j].up_sum / pc[j].up_n : global) *
+                        (1.0 - frac);
+      const double score =
+          std::max(down, 1e-12) * std::max(up, 1e-12);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(j);
+      }
+    }
+    return best;
+  };
 
   bool have_incumbent = false;
   double incumbent = 0.0;
   std::vector<double> incumbent_x;
   bool exhausted_cleanly = true;
+
+  // Expand the root in place rather than pushing it and re-solving it as
+  // the first popped node (the seed does the latter; the root basis is
+  // already optimal, so that second solve can never learn anything). Root
+  // children carry a bound no larger than any integral optimum, so a valid
+  // warm cutoff never drops them.
+  {
+    const int branch = most_fractional(model, root.x, options.int_tol);
+    if (branch < 0) {
+      have_incumbent = true;
+      incumbent = root.objective;
+      incumbent_x = root.x;
+    } else {
+      const auto bi = static_cast<std::size_t>(branch);
+      const double value = root.x[bi];
+      const double frac = value - std::floor(value);
+      Node down{root.objective, 0,     pre.lb, pre.ub, root_basis,
+                branch,         false, frac};
+      down.ub[bi] = std::floor(value);
+      push_child(std::move(down));
+      Node up{root.objective, 0,    pre.lb, pre.ub, std::move(root_basis),
+              branch,         true, frac};
+      up.lb[bi] = std::ceil(value);
+      push_child(std::move(up));
+    }
+  }
 
   while (!open.empty()) {
     if (result.nodes_explored >= options.max_nodes) {
@@ -75,7 +304,138 @@ MipResult solve_mip(const Model& model, const MipOptions& options) {
     if (have_incumbent && node.bound >= incumbent - options.gap_abs) {
       continue;  // cannot improve
     }
-    const LpResult lp = solve_lp_bounded(model, node.lb, node.ub);
+    LpResult lp = solve_node(node.lb, node.ub, node.basis, true);
+    result.pivots += lp.pivots;
+    ++result.nodes_explored;
+    if (lp.status == LpStatus::unbounded) {
+      result.status = LpStatus::unbounded;
+      return result;
+    }
+    if (lp.status == LpStatus::iteration_limit) {
+      // Node LP ran out of pivots even after the cold retry: drop the node
+      // but record that the tree is no longer exhaustive.
+      exhausted_cleanly = false;
+      continue;
+    }
+    if (lp.status != LpStatus::optimal) continue;  // pruned (infeasible)
+
+    if (node.branch_var >= 0) {
+      const auto bv = static_cast<std::size_t>(node.branch_var);
+      const double gain = std::max(0.0, lp.objective - node.bound);
+      const double step = node.went_up ? 1.0 - node.frac : node.frac;
+      const double rate = gain / std::max(step, 1e-6);
+      if (node.went_up) {
+        pc[bv].up_sum += rate;
+        ++pc[bv].up_n;
+      } else {
+        pc[bv].down_sum += rate;
+        ++pc[bv].down_n;
+      }
+      ++pc_observations;
+      pc_total += rate;
+    }
+
+    if (have_incumbent && lp.objective >= incumbent - options.gap_abs) {
+      continue;
+    }
+    const int branch = select_branch(lp.x);
+    if (branch < 0) {
+      // Integral: new incumbent.
+      have_incumbent = true;
+      incumbent = lp.objective;
+      incumbent_x = std::move(lp.x);
+      continue;
+    }
+    const auto bi = static_cast<std::size_t>(branch);
+    const double value = lp.x[bi];
+    const double frac = value - std::floor(value);
+
+    Node down{lp.objective, 0,      node.lb, node.ub, node.basis,
+              branch,       false,  frac};
+    down.ub[bi] = std::floor(value);
+    push_child(std::move(down));
+
+    Node up{lp.objective,          0,    std::move(node.lb),
+            std::move(node.ub),    std::move(node.basis),
+            branch,                true, frac};
+    up.lb[bi] = std::ceil(value);
+    push_child(std::move(up));
+  }
+
+  if (!have_incumbent) {
+    result.status =
+        exhausted_cleanly ? LpStatus::infeasible : LpStatus::iteration_limit;
+    return result;
+  }
+  result.status = LpStatus::optimal;
+  result.objective = incumbent;
+  result.x = std::move(incumbent_x);
+  // Snap near-integral values exactly.
+  for (std::size_t i = 0; i < result.x.size(); ++i) {
+    if (model.vars()[i].integer) {
+      result.x[i] = std::round(result.x[i]);
+    }
+  }
+  result.proven_optimal = exhausted_cleanly;
+  return result;
+}
+
+/// The seed branch & bound, decision-for-decision, over the pinned LP
+/// engine: best-first on a bound-only priority queue (even its tie order
+/// among equal bounds is part of the pinned behavior — equal-bound pops
+/// follow the heap's structural order, which depends on the exact push
+/// sequence), cold LP solve per node, most-fractional branching. Warm
+/// starts are deliberately ignored: removing a node from the queue — even
+/// one that would never be expanded — changes the heap's tie order and
+/// with it which of several equally-optimal incumbents is found first.
+MipResult solve_mip_pinned(const Model& model, const MipOptions& options) {
+  MipResult result;
+
+  std::vector<double> lb0;
+  std::vector<double> ub0;
+  for (const Variable& v : model.vars()) {
+    lb0.push_back(v.lb);
+    ub0.push_back(v.ub);
+  }
+
+  const LpResult root = solve_lp_pinned(model, lb0, ub0);
+  result.pivots += root.pivots;
+  ++result.nodes_explored;
+  if (root.status != LpStatus::optimal) {
+    result.status = root.status;
+    return result;
+  }
+
+  struct PinnedNode {
+    double bound = 0.0;
+    std::vector<double> lb;
+    std::vector<double> ub;
+  };
+  struct PinnedOrder {
+    bool operator()(const PinnedNode& a, const PinnedNode& b) const {
+      return a.bound > b.bound;  // min-heap on bound: best-first
+    }
+  };
+  std::priority_queue<PinnedNode, std::vector<PinnedNode>, PinnedOrder> open;
+  open.push(PinnedNode{root.objective, lb0, ub0});
+
+  bool have_incumbent = false;
+  double incumbent = 0.0;
+  std::vector<double> incumbent_x;
+  bool exhausted_cleanly = true;
+
+  while (!open.empty()) {
+    if (result.nodes_explored >= options.max_nodes) {
+      exhausted_cleanly = false;
+      break;
+    }
+    PinnedNode node = open.top();
+    open.pop();
+    if (have_incumbent && node.bound >= incumbent - options.gap_abs) {
+      continue;  // cannot improve
+    }
+    const LpResult lp = solve_lp_pinned(model, node.lb, node.ub);
+    result.pivots += lp.pivots;
     ++result.nodes_explored;
     if (lp.status == LpStatus::unbounded) {
       result.status = LpStatus::unbounded;
@@ -96,12 +456,12 @@ MipResult solve_mip(const Model& model, const MipOptions& options) {
     const auto bi = static_cast<std::size_t>(branch);
     const double value = lp.x[bi];
 
-    Node down = node;
+    PinnedNode down = node;
     down.bound = lp.objective;
     down.ub[bi] = std::floor(value);
     if (down.ub[bi] >= down.lb[bi]) open.push(std::move(down));
 
-    Node up = std::move(node);
+    PinnedNode up = std::move(node);
     up.bound = lp.objective;
     up.lb[bi] = std::ceil(value);
     if (up.lb[bi] <= up.ub[bi]) open.push(std::move(up));
@@ -125,28 +485,72 @@ MipResult solve_mip(const Model& model, const MipOptions& options) {
   return result;
 }
 
-MipResult solve_lexicographic(Model model, const std::vector<double>& secondary,
+}  // namespace
+
+MipResult solve_mip(const Model& model, const MipOptions& options,
+                    const MipWarmStart* warm) {
+  if (options.engine == MipEngine::pinned) {
+    return solve_mip_pinned(model, options);
+  }
+  return solve_mip_impl(model, options, warm, nullptr);
+}
+
+MipResult solve_lexicographic(Model& model,
+                              const std::vector<double>& secondary,
                               double eps_rel, double eps_abs,
-                              const MipOptions& options) {
+                              const MipOptions& options,
+                              const MipWarmStart* warm) {
   if (secondary.size() != model.n_vars()) {
     throw std::invalid_argument{"solve_lexicographic: cost size mismatch"};
   }
-  const MipResult first = solve_mip(model, options);
+  const bool pinned = options.engine == MipEngine::pinned;
+  TreeState tree;
+  const MipResult first = pinned
+                              ? solve_mip_pinned(model, options)
+                              : solve_mip_impl(model, options, warm, &tree);
   if (first.status != LpStatus::optimal) return first;
 
-  // Bound the primary objective, then swap in the secondary costs.
+  // Bound the primary objective, then swap in the secondary costs — in
+  // place; both edits are undone before returning.
   std::vector<std::pair<int, double>> terms;
+  std::vector<double> primary_costs;
+  primary_costs.reserve(model.n_vars());
   for (std::size_t i = 0; i < model.n_vars(); ++i) {
     const double c = model.vars()[i].cost;
+    primary_costs.push_back(c);
     if (c != 0.0) terms.emplace_back(static_cast<int>(i), c);
   }
-  const double cap = first.objective +
-                     std::abs(first.objective) * eps_rel + eps_abs;
+  const double cap =
+      first.objective + std::abs(first.objective) * eps_rel + eps_abs;
   model.add_constraint(std::move(terms), Rel::le, cap);
   for (std::size_t i = 0; i < model.n_vars(); ++i) {
     model.vars()[i].cost = secondary[i];
   }
-  MipResult second = solve_mip(model, options);
+
+  // Stage 2 warm-starts from stage 1 (revised engine only): the stage-1
+  // optimum satisfies the cap row by construction (incumbent cutoff), and
+  // the stage-1 root basis extended with the new row's logical stays primal
+  // feasible (root basis warm start), skipping phase 1 outright.
+  MipResult second;
+  if (pinned) {
+    second = solve_mip_pinned(model, options);
+  } else {
+    TreeState tree2;
+    if (!tree.basis.empty()) {
+      tree2.basis = tree.basis;
+      tree2.basis.extend(model.n_vars(), 0, 1);
+      tree2.rows = tree.rows;
+      tree2.rows.push_back(static_cast<int>(model.n_constraints()) - 1);
+    }
+    const MipWarmStart stage2_warm{first.x};
+    second = solve_mip_impl(model, options, &stage2_warm, &tree2);
+  }
+
+  for (std::size_t i = 0; i < model.n_vars(); ++i) {
+    model.vars()[i].cost = primary_costs[i];
+  }
+  model.pop_constraint();
+
   if (second.status != LpStatus::optimal) {
     // Numerical edge: fall back to the stage-1 solution evaluated under
     // the secondary costs rather than failing the caller.

@@ -1,9 +1,20 @@
-// Branch & bound MIP solver over the bundled simplex.
+// Branch & bound MIP solver with two selectable engines.
 //
-// Best-first search on the LP bound, branching on the most fractional
-// integer variable via bound tightening (which the simplex exploits by
-// eliminating fixed variables). The scheduling MIPs have assignment
-// structure with near-integral relaxations, so trees stay small.
+// MipEngine::pinned (default) reproduces the seed solver's search decision
+// for decision — cold pinned-tableau LP per node (see pinned.h),
+// bound-only priority queue, most-fractional branching — so the returned
+// solution is byte-stable against the frozen reference across solver
+// generations. The scheduling MIPs are degenerate enough that "any optimal
+// vertex" is not reproducible; "the seed's optimal vertex" is.
+//
+// MipEngine::revised is the fast path: best-first search on a
+// deterministic (bound, push order) heap. One RevisedSolver is built per
+// tree from the root presolve; each child re-solves from its parent's
+// basis with the dual simplex (a single tightened bound leaves the parent
+// basis dual-feasible), falling back to a cold primal solve if the dual
+// path stalls. Branching uses pseudo-costs once the tree has produced
+// observations and the most-fractional rule before that. Warm-start
+// incumbents prune the heap without changing the result.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +25,17 @@
 
 namespace vbatt::solver {
 
+enum class MipEngine {
+  /// Seed-equivalent search over the pinned LP engine: byte-stable
+  /// solutions, warm starts ignored (see MipWarmStart).
+  pinned,
+  /// Revised simplex + dual-simplex warm-started B&B with presolve,
+  /// pseudo-cost branching, and incumbent cutoffs. Objectives match the
+  /// pinned engine to 1e-6; the chosen vertex may differ on degenerate
+  /// (alternative-optima) models.
+  revised,
+};
+
 struct MipOptions {
   /// Node budget; on exhaustion the incumbent (if any) is returned with
   /// proven_optimal = false.
@@ -22,6 +44,34 @@ struct MipOptions {
   double int_tol = 1e-6;
   /// Stop when bound and incumbent are within this absolute gap.
   double gap_abs = 1e-6;
+  /// Pivot budget per node LP (revised engine); < 0 picks an automatic
+  /// budget scaled to the model size. A child LP that exhausts it is
+  /// dropped and the result is marked not proven optimal, so degenerate
+  /// models surface as failed or unproven solves instead of hangs. The
+  /// pinned engine keeps the seed's own fixed size-scaled budget so its
+  /// solves stay decision-identical (they are equally hang-proof).
+  std::int64_t max_lp_pivots = -1;
+  /// Which search/LP engine to use. Defaults to the byte-stable pinned
+  /// engine; opt into MipEngine::revised for speed when exact vertex
+  /// reproducibility is not required.
+  MipEngine engine = MipEngine::pinned;
+};
+
+struct MipWarmStart {
+  /// Candidate integral solution in model variable space, e.g. the
+  /// previous replanning round's schedule.
+  ///
+  /// Revised engine: validated against bounds, integrality, and every
+  /// constraint; a valid vector acts purely as a static cutoff that keeps
+  /// provably useless nodes out of the open heap. solve_mip returns
+  /// exactly what the cold solve returns (this vector is never the
+  /// returned solution), so warm and cold runs are bit-identical.
+  ///
+  /// Pinned engine: ignored. Pruning the seed's bound-only priority queue
+  /// would perturb its tie order among equal-bound nodes and change which
+  /// of several equally-optimal incumbents is found first, breaking
+  /// byte-stability.
+  std::vector<double> x;
 };
 
 struct MipResult {
@@ -29,18 +79,30 @@ struct MipResult {
   double objective = 0.0;
   std::vector<double> x;
   int nodes_explored = 0;
+  /// Simplex pivots summed over every node LP (incl. the root).
+  std::int64_t pivots = 0;
   bool proven_optimal = false;
 };
 
 /// Solve `model` honoring integrality flags.
-MipResult solve_mip(const Model& model, const MipOptions& options = {});
+MipResult solve_mip(const Model& model, const MipOptions& options = {},
+                    const MipWarmStart* warm = nullptr);
 
 /// Lexicographic bi-objective solve: minimize the model's costs first; then
 /// minimize `secondary` costs subject to primary ≤ opt * (1 + eps_rel) +
 /// eps_abs. Returns the second-stage result (its `objective` is the
 /// secondary objective value).
-MipResult solve_lexicographic(Model model, const std::vector<double>& secondary,
+///
+/// Works in place: stage 2 appends the primary-cap row and swaps the
+/// costs, then restores `model` exactly before returning (no model copy).
+/// With the revised engine, stage 2 warm-starts from stage 1: its optimum
+/// seeds the incumbent cutoff and its root basis primes the stage-2 root
+/// LP. The pinned engine re-solves stage 2 cold, matching the seed.
+/// `warm` seeds stage 1, same semantics as solve_mip.
+MipResult solve_lexicographic(Model& model,
+                              const std::vector<double>& secondary,
                               double eps_rel = 0.01, double eps_abs = 1e-6,
-                              const MipOptions& options = {});
+                              const MipOptions& options = {},
+                              const MipWarmStart* warm = nullptr);
 
 }  // namespace vbatt::solver

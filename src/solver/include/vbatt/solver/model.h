@@ -61,6 +61,32 @@ class Model {
     constraints_.push_back(Constraint{std::move(terms), rel, rhs});
   }
 
+  /// Remove the most recently added constraint. Lets callers append a
+  /// temporary row (e.g. a lexicographic objective cap), solve, and restore
+  /// the model without copying it.
+  void pop_constraint() {
+    if (constraints_.empty()) {
+      throw std::logic_error{"pop_constraint: no constraints"};
+    }
+    constraints_.pop_back();
+  }
+
+  /// Remove the most recently added variable. The caller must first pop any
+  /// constraints that reference it.
+  void pop_var() {
+    if (vars_.empty()) throw std::logic_error{"pop_var: no variables"};
+    const int idx = static_cast<int>(vars_.size()) - 1;
+    for (const Constraint& con : constraints_) {
+      for (const auto& [i, coeff] : con.terms) {
+        (void)coeff;
+        if (i == idx) {
+          throw std::logic_error{"pop_var: variable still referenced"};
+        }
+      }
+    }
+    vars_.pop_back();
+  }
+
   std::size_t n_vars() const noexcept { return vars_.size(); }
   std::size_t n_constraints() const noexcept { return constraints_.size(); }
   const std::vector<Variable>& vars() const noexcept { return vars_; }

@@ -1,0 +1,36 @@
+// The pinned LP engine: the seed dense-tableau simplex re-implemented with
+// sparsity-aware pivoting, kept *decision-equivalent* to the frozen oracle
+// in reference.h.
+//
+// Why it exists: the scheduling MIPs are massively degenerate (most site
+// columns cost exactly 0), so which optimal vertex a simplex returns is
+// decided by tie-breaks — and the seed's tie-breaks hinge on the exact
+// floating-point values its tableau accumulates. Any engine with different
+// arithmetic (e.g. the bounded-variable revised simplex in revised.h)
+// legally returns a *different* optimal vertex, which would change every
+// schedule downstream. This engine therefore performs the seed's pivot
+// sequence with bit-identical arithmetic — same formulation (explicit
+// upper-bound rows, artificials), same pricing, same ratio test — and only
+// skips work that provably cannot change any stored value: multiplications
+// by exact zeros and divisions by an exactly-1.0 pivot. `solve_mip` uses it
+// by default (MipEngine::pinned) so solutions stay byte-stable across
+// solver generations; the revised engine is the opt-in fast path.
+//
+// test_solver_revised.cpp pins bitwise equality (status, x, objective)
+// against reference::solve_lp_bounded on fuzzed models.
+#pragma once
+
+#include <vector>
+
+#include "vbatt/solver/model.h"
+#include "vbatt/solver/simplex.h"
+
+namespace vbatt::solver {
+
+/// Seed-equivalent bounded LP solve. Decision- and output-identical to
+/// reference::solve_lp_bounded, down to the pivot count (the oracle counts
+/// its pivots too, as pure instrumentation, so tests can pin equality).
+LpResult solve_lp_pinned(const Model& model, const std::vector<double>& lb,
+                         const std::vector<double>& ub);
+
+}  // namespace vbatt::solver

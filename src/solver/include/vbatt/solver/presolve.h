@@ -1,0 +1,54 @@
+// Presolve for the scheduling LPs/MIPs: cheap reductions applied once per
+// solve (and once per branch & bound tree, at the root bounds) before the
+// revised simplex sees the model.
+//
+// Rules (all solution-set preserving; postsolve is pure value fill-in):
+//  * fixed-variable substitution  — ub - lb <= tol folds the variable into
+//    the row rhs (branch & bound children fix many binaries, so the seed
+//    engine already relied on this; presolve extends it to the rules
+//    below),
+//  * empty-row elimination        — rows with no surviving terms are
+//    feasibility-checked and dropped,
+//  * singleton-row elimination    — a*x {<=,>=,=} b tightens x's bound and
+//    drops the row,
+//  * bound tightening             — per-row activity bounds imply tighter
+//    variable bounds; integer bounds are rounded. Runs to a small
+//    fixpoint.
+//
+// Tightening can fix variables, which can empty rows, which is why the
+// rules iterate. A model can presolve away entirely (`solved`), in which
+// case `x` already holds the unique solution.
+#pragma once
+
+#include <vector>
+
+#include "vbatt/solver/model.h"
+
+namespace vbatt::solver {
+
+struct PresolveResult {
+  /// Presolve proved the box/rows inconsistent.
+  bool infeasible = false;
+  /// Every variable got fixed and every row discharged; `x` is the answer.
+  bool solved = false;
+
+  /// Reduced model (original variable indices are kept — eliminated
+  /// variables become fixed [v,v] boxes in `lb`/`ub`, so no index
+  /// remapping is needed downstream).
+  std::vector<double> lb;
+  std::vector<double> ub;
+  /// Rows that survived, as indices into model.constraints().
+  std::vector<int> rows;
+
+  /// Values for eliminated variables (and lower bounds for the rest);
+  /// postsolve overwrites kept entries with the solver's solution.
+  std::vector<double> x;
+};
+
+/// Run the reductions on (model, lb, ub). `integrality` rounds tightened
+/// bounds of integer-flagged variables (branch & bound); plain LP solves
+/// pass false.
+PresolveResult presolve(const Model& model, const std::vector<double>& lb,
+                        const std::vector<double>& ub, bool integrality);
+
+}  // namespace vbatt::solver

@@ -1,12 +1,16 @@
-// Dense two-phase primal simplex.
+// LP entry points, backed by the revised simplex with implicit bounds
+// (see revised.h). The seed dense-tableau implementation lives on as the
+// cross-check oracle in reference.h.
 //
 // Scope: the scheduling LPs in this repository (≤ a few thousand
-// rows/columns, dense-ish assignment structure). Variables may have general
-// finite bounds; lower bounds are shifted out, finite upper bounds become
-// explicit rows. Degeneracy is handled by switching from Dantzig pricing to
-// Bland's rule after an iteration budget.
+// rows/columns). Variables may have general finite bounds; lower bounds
+// must be finite, upper bounds may be +inf. Degeneracy is handled by
+// switching from Dantzig pricing to Bland's rule after an iteration
+// budget; every solve is additionally capped by a pivot budget so a
+// degenerate model surfaces as a failed solve instead of a stall.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "vbatt/solver/model.h"
@@ -15,19 +19,28 @@ namespace vbatt::solver {
 
 enum class LpStatus { optimal, infeasible, unbounded, iteration_limit };
 
+struct LpOptions {
+  /// Hard pivot budget per solve; < 0 picks an automatic budget scaled to
+  /// the model size. Exhaustion returns LpStatus::iteration_limit.
+  std::int64_t max_pivots = -1;
+};
+
 struct LpResult {
   LpStatus status = LpStatus::infeasible;
   double objective = 0.0;
   /// Values for the model's structural variables (original space).
   std::vector<double> x;
+  /// Simplex pivots spent (phase 1 + phase 2, bound flips included).
+  std::int64_t pivots = 0;
 };
 
 /// Solve the LP relaxation of `model` (integrality flags ignored).
-LpResult solve_lp(const Model& model);
+LpResult solve_lp(const Model& model, const LpOptions& options = {});
 
 /// Solve with per-variable bound overrides (used by branch & bound). Both
 /// vectors must have model.n_vars() entries.
 LpResult solve_lp_bounded(const Model& model, const std::vector<double>& lb,
-                          const std::vector<double>& ub);
+                          const std::vector<double>& ub,
+                          const LpOptions& options = {});
 
 }  // namespace vbatt::solver

@@ -1,0 +1,203 @@
+#include "vbatt/solver/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbatt::solver {
+
+namespace {
+
+constexpr double kFeasTol = 1e-7;
+/// Minimum improvement for a tightened bound to be applied; keeps the pass
+/// from churning on round-off and guarantees the fixpoint terminates.
+constexpr double kTightenTol = 1e-7;
+constexpr int kMaxPasses = 16;
+
+bool fixed(double lo, double up) { return up - lo <= kFeasTol; }
+
+}  // namespace
+
+PresolveResult presolve(const Model& model, const std::vector<double>& lb,
+                        const std::vector<double>& ub, bool integrality) {
+  const std::size_t n = model.n_vars();
+  const std::size_t m = model.n_constraints();
+  PresolveResult out;
+  out.lb = lb;
+  out.ub = ub;
+
+  std::vector<char> alive(m, 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (out.lb[j] > out.ub[j] + kFeasTol) {
+      out.infeasible = true;
+      return out;
+    }
+  }
+
+  bool changed = true;
+  for (int pass = 0; pass < kMaxPasses && changed; ++pass) {
+    changed = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!alive[i]) continue;
+      const Constraint& con = model.constraints()[i];
+
+      // Fold fixed variables into the rhs; collect the free terms.
+      double rhs = con.rhs;
+      std::size_t n_free = 0;
+      int single_var = -1;
+      double single_coeff = 0.0;
+      for (const auto& [idx, coeff] : con.terms) {
+        const auto j = static_cast<std::size_t>(idx);
+        if (coeff == 0.0) continue;
+        if (fixed(out.lb[j], out.ub[j])) {
+          rhs -= coeff * out.lb[j];
+        } else {
+          ++n_free;
+          single_var = idx;
+          single_coeff = coeff;
+        }
+      }
+
+      if (n_free == 0) {
+        // Empty row: pure feasibility check, then drop.
+        const bool ok = con.rel == Rel::le   ? rhs >= -kFeasTol
+                        : con.rel == Rel::ge ? rhs <= kFeasTol
+                                             : std::abs(rhs) <= kFeasTol;
+        if (!ok) {
+          out.infeasible = true;
+          return out;
+        }
+        alive[i] = 0;
+        changed = true;
+        continue;
+      }
+
+      if (n_free == 1) {
+        // Singleton row: a * x {<=,>=,=} rhs is just a bound on x.
+        const auto j = static_cast<std::size_t>(single_var);
+        const double v = rhs / single_coeff;
+        const bool upper = (con.rel == Rel::le) == (single_coeff > 0.0);
+        double new_lo = out.lb[j];
+        double new_up = out.ub[j];
+        if (con.rel == Rel::eq) {
+          new_lo = std::max(new_lo, v);
+          new_up = std::min(new_up, v);
+        } else if (upper) {
+          new_up = std::min(new_up, v);
+        } else {
+          new_lo = std::max(new_lo, v);
+        }
+        if (integrality && model.vars()[j].integer) {
+          new_lo = std::ceil(new_lo - kFeasTol);
+          new_up = std::floor(new_up + kFeasTol);
+        }
+        if (new_lo > new_up + kFeasTol) {
+          out.infeasible = true;
+          return out;
+        }
+        out.lb[j] = new_lo;
+        out.ub[j] = std::max(new_up, new_lo);
+        alive[i] = 0;
+        changed = true;
+        continue;
+      }
+
+      // Bound tightening from row activity bounds over the free terms
+      // (fixed variables are already folded into rhs). Infinite partial
+      // activities disable the corresponding direction.
+      double min_act = 0.0;
+      double max_act = 0.0;
+      bool min_finite = true;
+      bool max_finite = true;
+      for (const auto& [idx, coeff] : con.terms) {
+        const auto j = static_cast<std::size_t>(idx);
+        if (coeff == 0.0 || fixed(out.lb[j], out.ub[j])) continue;
+        const double at_min = coeff > 0.0 ? out.lb[j] : out.ub[j];
+        const double at_max = coeff > 0.0 ? out.ub[j] : out.lb[j];
+        if (std::isfinite(at_min)) {
+          min_act += coeff * at_min;
+        } else {
+          min_finite = false;
+        }
+        if (std::isfinite(at_max)) {
+          max_act += coeff * at_max;
+        } else {
+          max_finite = false;
+        }
+      }
+      for (const auto& [idx, coeff] : con.terms) {
+        const auto j = static_cast<std::size_t>(idx);
+        if (coeff == 0.0 || fixed(out.lb[j], out.ub[j])) continue;
+        const double own_min = coeff > 0.0 ? out.lb[j] : out.ub[j];
+        const double own_max = coeff > 0.0 ? out.ub[j] : out.lb[j];
+        // Upper side (<= or =): coeff*x <= rhs - min_act_others.
+        if (con.rel != Rel::ge && min_finite && std::isfinite(own_min)) {
+          const double room = rhs - (min_act - coeff * own_min);
+          const double implied = room / coeff;
+          if (coeff > 0.0) {
+            double cap = implied;
+            if (integrality && model.vars()[j].integer) {
+              cap = std::floor(cap + kFeasTol);
+            }
+            if (cap < out.ub[j] - kTightenTol) {
+              out.ub[j] = cap;
+              changed = true;
+            }
+          } else {
+            double floor_v = implied;
+            if (integrality && model.vars()[j].integer) {
+              floor_v = std::ceil(floor_v - kFeasTol);
+            }
+            if (floor_v > out.lb[j] + kTightenTol) {
+              out.lb[j] = floor_v;
+              changed = true;
+            }
+          }
+        }
+        // Lower side (>= or =): coeff*x >= rhs - max_act_others.
+        if (con.rel != Rel::le && max_finite && std::isfinite(own_max)) {
+          const double room = rhs - (max_act - coeff * own_max);
+          const double implied = room / coeff;
+          if (coeff > 0.0) {
+            double floor_v = implied;
+            if (integrality && model.vars()[j].integer) {
+              floor_v = std::ceil(floor_v - kFeasTol);
+            }
+            if (floor_v > out.lb[j] + kTightenTol) {
+              out.lb[j] = floor_v;
+              changed = true;
+            }
+          } else {
+            double cap = implied;
+            if (integrality && model.vars()[j].integer) {
+              cap = std::floor(cap + kFeasTol);
+            }
+            if (cap < out.ub[j] - kTightenTol) {
+              out.ub[j] = cap;
+              changed = true;
+            }
+          }
+        }
+        if (out.lb[j] > out.ub[j] + kFeasTol) {
+          out.infeasible = true;
+          return out;
+        }
+      }
+    }
+  }
+
+  out.rows.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (alive[i]) out.rows.push_back(static_cast<int>(i));
+  }
+
+  out.x.assign(n, 0.0);
+  bool all_fixed = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    out.x[j] = std::isfinite(out.lb[j]) ? out.lb[j] : 0.0;
+    if (!fixed(out.lb[j], out.ub[j])) all_fixed = false;
+  }
+  out.solved = all_fixed && out.rows.empty();
+  return out;
+}
+
+}  // namespace vbatt::solver

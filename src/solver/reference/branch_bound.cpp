@@ -1,0 +1,135 @@
+// Seed best-first branch & bound, frozen as the reference oracle: cold
+// tableau LP solve per node, most-fractional branching, no incumbent input
+// and no warm starts. Kept byte-for-byte equivalent to the seed so the
+// revised engine's objectives (and, on the scheduling models, solutions)
+// can be diffed against it forever.
+#include "vbatt/solver/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace vbatt::solver::reference {
+
+namespace {
+
+struct Node {
+  double bound = 0.0;  // LP objective of the parent relaxation
+  std::vector<double> lb;
+  std::vector<double> ub;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.bound > b.bound;  // min-heap on bound: best-first
+  }
+};
+
+/// Index of the most fractional integer variable, or -1 if all integral.
+int most_fractional(const Model& model, const std::vector<double>& x,
+                    double tol) {
+  int best = -1;
+  double best_dist = tol;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!model.vars()[i].integer) continue;
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipResult solve_mip(const Model& model, const MipOptions& options) {
+  MipResult result;
+
+  std::vector<double> lb0;
+  std::vector<double> ub0;
+  for (const Variable& v : model.vars()) {
+    lb0.push_back(v.lb);
+    ub0.push_back(v.ub);
+  }
+
+  const LpResult root = reference::solve_lp_bounded(model, lb0, ub0);
+  ++result.nodes_explored;
+  result.pivots += root.pivots;
+  if (root.status != LpStatus::optimal) {
+    result.status = root.status;
+    return result;
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{root.objective, lb0, ub0});
+
+  bool have_incumbent = false;
+  double incumbent = 0.0;
+  std::vector<double> incumbent_x;
+  bool exhausted_cleanly = true;
+
+  while (!open.empty()) {
+    if (result.nodes_explored >= options.max_nodes) {
+      exhausted_cleanly = false;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (have_incumbent && node.bound >= incumbent - options.gap_abs) {
+      continue;  // cannot improve
+    }
+    const LpResult lp = reference::solve_lp_bounded(model, node.lb, node.ub);
+    ++result.nodes_explored;
+    result.pivots += lp.pivots;
+    if (lp.status == LpStatus::unbounded) {
+      result.status = LpStatus::unbounded;
+      return result;
+    }
+    if (lp.status != LpStatus::optimal) continue;  // pruned (infeasible)
+    if (have_incumbent && lp.objective >= incumbent - options.gap_abs) {
+      continue;
+    }
+    const int branch = most_fractional(model, lp.x, options.int_tol);
+    if (branch < 0) {
+      // Integral: new incumbent.
+      have_incumbent = true;
+      incumbent = lp.objective;
+      incumbent_x = lp.x;
+      continue;
+    }
+    const auto bi = static_cast<std::size_t>(branch);
+    const double value = lp.x[bi];
+
+    Node down = node;
+    down.bound = lp.objective;
+    down.ub[bi] = std::floor(value);
+    if (down.ub[bi] >= down.lb[bi]) open.push(std::move(down));
+
+    Node up = std::move(node);
+    up.bound = lp.objective;
+    up.lb[bi] = std::ceil(value);
+    if (up.lb[bi] <= up.ub[bi]) open.push(std::move(up));
+  }
+
+  if (!have_incumbent) {
+    result.status =
+        exhausted_cleanly ? LpStatus::infeasible : LpStatus::iteration_limit;
+    return result;
+  }
+  result.status = LpStatus::optimal;
+  result.objective = incumbent;
+  result.x = std::move(incumbent_x);
+  // Snap near-integral values exactly.
+  for (std::size_t i = 0; i < result.x.size(); ++i) {
+    if (model.vars()[i].integer) {
+      result.x[i] = std::round(result.x[i]);
+    }
+  }
+  result.proven_optimal = exhausted_cleanly;
+  return result;
+}
+
+}  // namespace vbatt::solver::reference

@@ -1,97 +1,46 @@
 #include "vbatt/solver/simplex.h"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "vbatt/solver/presolve.h"
+#include "vbatt/solver/revised.h"
 
 namespace vbatt::solver {
 
 namespace {
 
-constexpr double kPivotTol = 1e-9;
 constexpr double kFeasTol = 1e-7;
 
-/// Dense tableau state for one solve.
-struct Tableau {
-  std::size_t m = 0;        // rows
-  std::size_t n = 0;        // columns excluding rhs
-  std::size_t art_begin = 0;  // first artificial column
-  std::vector<std::vector<double>> a;  // m rows of n+1 (rhs last)
-  std::vector<double> phase1;          // n+1 reduced-cost row
-  std::vector<double> phase2;          // n+1 reduced-cost row
-  std::vector<int> basis;              // basis variable per row
+std::int64_t auto_budget(std::size_t rows, std::size_t vars) {
+  return 2000 + 60 * static_cast<std::int64_t>(rows + vars);
+}
 
-  void pivot(std::size_t row, std::size_t col) {
-    std::vector<double>& pr = a[row];
-    const double piv = pr[col];
-    for (double& v : pr) v /= piv;
-    for (std::size_t i = 0; i < m; ++i) {
-      if (i == row) continue;
-      const double factor = a[i][col];
-      if (factor == 0.0) continue;
-      std::vector<double>& ri = a[i];
-      for (std::size_t j = 0; j <= n; ++j) ri[j] -= factor * pr[j];
-    }
-    for (std::vector<double>* cost : {&phase1, &phase2}) {
-      const double factor = (*cost)[col];
-      if (factor == 0.0) continue;
-      for (std::size_t j = 0; j <= n; ++j) (*cost)[j] -= factor * pr[j];
-    }
-    basis[row] = static_cast<int>(col);
-  }
-};
-
-/// Run the simplex loop on one phase. `allow_artificials` permits artificial
-/// columns to enter (phase 1 only). Returns optimal / unbounded /
-/// iteration_limit.
-LpStatus iterate(Tableau& t, std::vector<double>& cost,
-                 bool allow_artificials, std::size_t max_iters) {
-  std::size_t iters = 0;
-  const std::size_t bland_after = max_iters / 2;
-  while (true) {
-    if (++iters > max_iters) return LpStatus::iteration_limit;
-    const bool bland = iters > bland_after;
-
-    // Entering column.
-    std::size_t enter = t.n;
-    double best = -kFeasTol;
-    const std::size_t limit = allow_artificials ? t.n : t.art_begin;
-    for (std::size_t j = 0; j < limit; ++j) {
-      const double c = cost[j];
-      if (c < best) {
-        enter = j;
-        if (bland) break;  // Bland: first improving index
-        best = c;
-      } else if (bland && c < -kFeasTol) {
-        enter = j;
-        break;
+/// LP with no surviving rows: every free variable sits at whichever bound
+/// its own cost prefers (lower on ties, matching the seed's vertex).
+void solve_box_only(const Model& model, const PresolveResult& pre,
+                    LpResult& result) {
+  result.x = pre.x;
+  for (std::size_t j = 0; j < result.x.size(); ++j) {
+    if (pre.ub[j] - pre.lb[j] <= kFeasTol) continue;
+    if (model.vars()[j].cost < 0.0) {
+      if (!std::isfinite(pre.ub[j])) {
+        result.status = LpStatus::unbounded;
+        result.x.clear();
+        return;
       }
+      result.x[j] = pre.ub[j];
     }
-    if (enter == t.n) return LpStatus::optimal;
-
-    // Ratio test; ties broken by smallest basis index (anti-cycling aid).
-    std::size_t leave = t.m;
-    double best_ratio = 0.0;
-    for (std::size_t i = 0; i < t.m; ++i) {
-      const double aij = t.a[i][enter];
-      if (aij <= kPivotTol) continue;
-      const double ratio = t.a[i][t.n] / aij;
-      if (leave == t.m || ratio < best_ratio - kPivotTol ||
-          (std::abs(ratio - best_ratio) <= kPivotTol &&
-           t.basis[i] < t.basis[leave])) {
-        leave = i;
-        best_ratio = ratio;
-      }
-    }
-    if (leave == t.m) return LpStatus::unbounded;
-    t.pivot(leave, enter);
   }
+  result.status = LpStatus::optimal;
+  result.objective = model.objective_of(result.x);
 }
 
 }  // namespace
 
 LpResult solve_lp_bounded(const Model& model, const std::vector<double>& lb,
-                          const std::vector<double>& ub) {
+                          const std::vector<double>& ub,
+                          const LpOptions& options) {
   const std::size_t nv = model.n_vars();
   if (lb.size() != nv || ub.size() != nv) {
     throw std::invalid_argument{"solve_lp_bounded: bound size mismatch"};
@@ -104,177 +53,34 @@ LpResult solve_lp_bounded(const Model& model, const std::vector<double>& lb,
     }
   }
 
-  // Active variables are those not fixed by their bounds; fixed ones are
-  // substituted as constants. Shift actives so their lower bound is zero.
-  std::vector<int> active;       // model index of each active column
-  std::vector<int> col_of(nv, -1);
-  for (std::size_t i = 0; i < nv; ++i) {
-    if (ub[i] - lb[i] > kFeasTol) {
-      col_of[i] = static_cast<int>(active.size());
-      active.push_back(static_cast<int>(i));
-    }
+  const PresolveResult pre = presolve(model, lb, ub, /*integrality=*/false);
+  if (pre.infeasible) return result;
+  if (pre.solved) {
+    result.status = LpStatus::optimal;
+    result.x = pre.x;
+    result.objective = model.objective_of(result.x);
+    return result;
   }
-  const std::size_t ns = active.size();
-
-  // Gather rows: model constraints plus finite upper-bound rows.
-  struct Row {
-    std::vector<double> coeff;  // ns structural coefficients
-    Rel rel;
-    double rhs;
-  };
-  std::vector<Row> rows;
-  rows.reserve(model.n_constraints() + ns);
-  for (const Constraint& con : model.constraints()) {
-    Row row{std::vector<double>(ns, 0.0), con.rel, con.rhs};
-    for (const auto& [idx, coeff] : con.terms) {
-      row.rhs -= coeff * lb[static_cast<std::size_t>(idx)];
-      if (col_of[static_cast<std::size_t>(idx)] >= 0) {
-        row.coeff[static_cast<std::size_t>(
-            col_of[static_cast<std::size_t>(idx)])] += coeff;
-      }
-    }
-    rows.push_back(std::move(row));
-  }
-  for (std::size_t k = 0; k < ns; ++k) {
-    const auto i = static_cast<std::size_t>(active[k]);
-    if (std::isfinite(ub[i])) {
-      Row row{std::vector<double>(ns, 0.0), Rel::le, ub[i] - lb[i]};
-      row.coeff[k] = 1.0;
-      rows.push_back(std::move(row));
-    }
-  }
-
-  // Quick validity check for fixed-variable-only rows.
-  for (const Row& row : rows) {
-    bool any = false;
-    for (const double c : row.coeff) {
-      if (c != 0.0) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) {
-      const bool ok = (row.rel == Rel::le && row.rhs >= -kFeasTol) ||
-                      (row.rel == Rel::ge && row.rhs <= kFeasTol) ||
-                      (row.rel == Rel::eq && std::abs(row.rhs) <= kFeasTol);
-      if (!ok) return result;  // infeasible
-    }
-  }
-
-  const std::size_t m = rows.size();
-
-  // Column layout: [structural | slack/surplus | artificial].
-  std::size_t n_slack = 0;
-  for (const Row& row : rows) {
-    if (row.rel != Rel::eq) ++n_slack;
-  }
-  Tableau t;
-  t.m = m;
-  t.art_begin = ns + n_slack;
-  t.n = t.art_begin + m;  // one artificial column reserved per row (not all used)
-  t.a.assign(m, std::vector<double>(t.n + 1, 0.0));
-  t.basis.assign(m, -1);
-  t.phase1.assign(t.n + 1, 0.0);
-  t.phase2.assign(t.n + 1, 0.0);
-
-  std::size_t slack_col = ns;
-  for (std::size_t i = 0; i < m; ++i) {
-    Row row = rows[i];
-    // Normalize to nonnegative rhs.
-    if (row.rhs < 0.0) {
-      for (double& c : row.coeff) c = -c;
-      row.rhs = -row.rhs;
-      row.rel = row.rel == Rel::le ? Rel::ge
-                : row.rel == Rel::ge ? Rel::le
-                                     : Rel::eq;
-    }
-    for (std::size_t j = 0; j < ns; ++j) t.a[i][j] = row.coeff[j];
-    t.a[i][t.n] = row.rhs;
-
-    if (row.rel == Rel::le) {
-      t.a[i][slack_col] = 1.0;
-      t.basis[i] = static_cast<int>(slack_col);
-      ++slack_col;
-    } else {
-      if (row.rel == Rel::ge) {
-        t.a[i][slack_col] = -1.0;
-        ++slack_col;
-      }
-      const std::size_t art = t.art_begin + i;
-      t.a[i][art] = 1.0;
-      t.basis[i] = static_cast<int>(art);
-      // Phase-1 objective: minimize this artificial → price out its row.
-      for (std::size_t j = 0; j <= t.n; ++j) t.phase1[j] -= t.a[i][j];
-      t.phase1[art] += 1.0;  // cost of the artificial itself
-    }
-  }
-
-  // Phase-2 costs (structural only), priced out against the initial basis
-  // lazily: initial basis is slacks/artificials with zero phase-2 cost, so
-  // the raw cost row is already correct.
-  for (std::size_t k = 0; k < ns; ++k) {
-    t.phase2[k] = model.vars()[static_cast<std::size_t>(active[k])].cost;
-  }
-
-  const std::size_t max_iters = 2000 + 60 * (m + t.n);
-
-  // Phase 1 (skip when no artificials are in the basis).
-  bool need_phase1 = false;
-  for (std::size_t i = 0; i < m; ++i) {
-    if (static_cast<std::size_t>(t.basis[i]) >= t.art_begin) {
-      need_phase1 = true;
-      break;
-    }
-  }
-  if (need_phase1) {
-    const LpStatus s1 = iterate(t, t.phase1, /*allow_artificials=*/true,
-                                max_iters);
-    if (s1 == LpStatus::iteration_limit) {
-      result.status = s1;
-      return result;
-    }
-    // Residual infeasibility?
-    if (-t.phase1[t.n] > 1e-6) {
-      result.status = LpStatus::infeasible;
-      return result;
-    }
-    // Drive lingering zero-valued artificials out of the basis.
-    for (std::size_t i = 0; i < m; ++i) {
-      if (static_cast<std::size_t>(t.basis[i]) < t.art_begin) continue;
-      std::size_t col = t.n;
-      for (std::size_t j = 0; j < t.art_begin; ++j) {
-        if (std::abs(t.a[i][j]) > kPivotTol) {
-          col = j;
-          break;
-        }
-      }
-      if (col != t.n) t.pivot(i, col);
-      // Otherwise the row is redundant; the artificial stays basic at zero
-      // and is barred from re-entering in phase 2.
-    }
-  }
-
-  const LpStatus s2 =
-      iterate(t, t.phase2, /*allow_artificials=*/false, max_iters);
-  if (s2 != LpStatus::optimal) {
-    result.status = s2;
+  if (pre.rows.empty()) {
+    solve_box_only(model, pre, result);
     return result;
   }
 
-  result.status = LpStatus::optimal;
-  result.x.assign(nv, 0.0);
-  for (std::size_t i = 0; i < nv; ++i) result.x[i] = lb[i];
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto b = static_cast<std::size_t>(t.basis[i]);
-    if (b < ns) {
-      result.x[static_cast<std::size_t>(active[b])] += t.a[i][t.n];
-    }
+  RevisedSolver solver{model, pre.rows};
+  Basis basis;
+  const std::int64_t budget = options.max_pivots >= 0
+                                  ? options.max_pivots
+                                  : auto_budget(pre.rows.size(), nv);
+  result.status = solver.solve_primal(pre.lb, pre.ub, basis, budget);
+  result.pivots = solver.pivots();
+  if (result.status == LpStatus::optimal) {
+    result.x = solver.x();
+    result.objective = model.objective_of(result.x);
   }
-  result.objective = model.objective_of(result.x);
   return result;
 }
 
-LpResult solve_lp(const Model& model) {
+LpResult solve_lp(const Model& model, const LpOptions& options) {
   std::vector<double> lb;
   std::vector<double> ub;
   lb.reserve(model.n_vars());
@@ -283,7 +89,7 @@ LpResult solve_lp(const Model& model) {
     lb.push_back(v.lb);
     ub.push_back(v.ub);
   }
-  return solve_lp_bounded(model, lb, ub);
+  return solve_lp_bounded(model, lb, ub, options);
 }
 
 }  // namespace vbatt::solver
