@@ -178,6 +178,18 @@ VmLevelResult run_vm_level_simulation(
     ++paused_core_counts[app.app.shape.cores];
     paused_apps.insert(app_id);
   };
+  // degradable_ids holds exactly the *resident* degradable VMs of an app —
+  // paused VMs are counted in paused_degradable, never listed. A VM that
+  // leaves a server (eviction, failed move) must therefore leave the list
+  // too, or the active-tick accounting double-counts it after resume.
+  const auto drop_degradable_id = [&](TrackedApp& app, std::int64_t vm_id) {
+    const auto it =
+        std::find(app.degradable_ids.begin(), app.degradable_ids.end(), vm_id);
+    if (it != app.degradable_ids.end()) {
+      app.degradable_ids.erase(it);
+      --fleet_degradable_ids;
+    }
+  };
 
   const double hours_per_tick = graph.axis().minutes_per_tick() / 60.0;
   const util::Tick replan_period = scheduler.replan_period_ticks();
@@ -224,7 +236,10 @@ VmLevelResult run_vm_level_simulation(
             } else {
               state.degradable_cores[s] -= vm.shape.cores;
               const auto it = live.find(vm.app_id);
-              if (it != live.end()) pause_degradable(vm.app_id, it->second);
+              if (it != live.end()) {
+                drop_degradable_id(it->second, vm.vm_id);
+                pause_degradable(vm.app_id, it->second);
+              }
             }
           }
         };
@@ -326,7 +341,6 @@ VmLevelResult run_vm_level_simulation(
           tracked.stable_ids.push_back(vm.vm_id);
         } else {
           ++tracked.paused_degradable;
-          tracked.degradable_ids.push_back(vm.vm_id);
         }
       }
       if (!placement.scheduled_moves.empty()) {
@@ -398,12 +412,20 @@ VmLevelResult run_vm_level_simulation(
           displaced_add(vm->app_id, vm->shape.cores);
         }
       }
+      std::vector<std::int64_t> kept_degradable;
+      kept_degradable.reserve(app.degradable_ids.size());
       for (const std::int64_t id : app.degradable_ids) {
         const auto vm = remove_vm(id, from);
-        if (!vm) continue;
-        if (!place_vm(*vm, move.to_site)) pause_degradable(app_id, app);
+        if (!vm || place_vm(*vm, move.to_site)) {
+          kept_degradable.push_back(id);
+        } else {
+          pause_degradable(app_id, app);
+        }
         // Degradable respawn: no WAN traffic.
       }
+      fleet_degradable_ids -= static_cast<std::int64_t>(
+          app.degradable_ids.size() - kept_degradable.size());
+      app.degradable_ids = std::move(kept_degradable);
       if (moved_any) ++result.base.planned_migrations;
     };
     if (const auto due = due_moves.find(t); due != due_moves.end()) {
@@ -492,6 +514,13 @@ VmLevelResult run_vm_level_simulation(
       // already retired from the aggregates when their app departed.
       result.base.displaced_stable_core_ticks += displaced_cores_total;
       displaced_this_tick = displaced_cores_total;
+      // Per-app attribution: iteration order doesn't matter, += into the
+      // ordered result map touches each app exactly once.
+      for (const auto& [app_id, count] : displaced_count_by_app) {
+        result.base.displaced_by_app[app_id] +=
+            static_cast<std::int64_t>(count) *
+            live.at(app_id).app.shape.cores;
+      }
     } else {
       for (std::size_t d = displaced.size(); d-- > 0;) {
         DisplacedVm entry = displaced.front();
@@ -520,6 +549,8 @@ VmLevelResult run_vm_level_simulation(
         }
         if (!placed) {
           result.base.displaced_stable_core_ticks += entry.vm.shape.cores;
+          result.base.displaced_by_app[entry.vm.app_id] +=
+              entry.vm.shape.cores;
           displaced_this_tick += entry.vm.shape.cores;
           displaced.push_back(entry);
         }
@@ -565,8 +596,7 @@ VmLevelResult run_vm_level_simulation(
                                       : std::next(it);
     }
     result.base.paused_degradable_vm_ticks += fleet_paused;
-    result.base.degradable_active_vm_ticks +=
-        fleet_degradable_ids - fleet_paused;
+    result.base.degradable_active_vm_ticks += fleet_degradable_ids;
 
     // 8. Energy: only servers actually hosting VMs are powered. The site
     // counters make each term O(1); the per-site terms fan across the

@@ -5,7 +5,9 @@
 // specification of each policy's exact semantics — including tie-breaks —
 // and (b) as the oracle for the property tests and the scale bench: every
 // indexed choose on Site must return the identical server id these scans
-// return, on any reachable site state.
+// return, on any reachable site state. Failed servers stay in servers()
+// with their free capacity intact but are never placement candidates, so
+// every scan checks server_failed(i) first.
 #pragma once
 
 #include <optional>
@@ -19,7 +21,7 @@ inline std::optional<int> first_fit(const Site& site,
                                     const workload::VmShape& shape) {
   const auto& servers = site.servers();
   for (std::size_t i = 0; i < servers.size(); ++i) {
-    if (servers[i].free_cores >= shape.cores &&
+    if (!site.server_failed(i) && servers[i].free_cores >= shape.cores &&
         servers[i].free_memory_gb >= shape.memory_gb) {
       return static_cast<int>(i);
     }
@@ -40,7 +42,8 @@ inline std::optional<int> best_fit(const Site& site,
   bool best_used = false;
   for (std::size_t i = 0; i < servers.size(); ++i) {
     const ServerState& s = servers[i];
-    if (s.free_cores < shape.cores || s.free_memory_gb < shape.memory_gb) {
+    if (site.server_failed(i) || s.free_cores < shape.cores ||
+        s.free_memory_gb < shape.memory_gb) {
       continue;
     }
     const bool used = s.vm_count > 0;
@@ -63,7 +66,8 @@ inline std::optional<int> worst_fit(const Site& site,
   int best_free = -1;
   for (std::size_t i = 0; i < servers.size(); ++i) {
     const ServerState& s = servers[i];
-    if (s.free_cores < shape.cores || s.free_memory_gb < shape.memory_gb) {
+    if (site.server_failed(i) || s.free_cores < shape.cores ||
+        s.free_memory_gb < shape.memory_gb) {
       continue;
     }
     if (s.free_cores > best_free) {
@@ -83,7 +87,8 @@ inline std::optional<int> protean(const Site& site,
   double best_free_mem = 0.0;
   for (std::size_t i = 0; i < servers.size(); ++i) {
     const ServerState& s = servers[i];
-    if (s.free_cores < shape.cores || s.free_memory_gb < shape.memory_gb) {
+    if (site.server_failed(i) || s.free_cores < shape.cores ||
+        s.free_memory_gb < shape.memory_gb) {
       continue;
     }
     const bool better =

@@ -149,6 +149,11 @@ class Site {
   /// Servers currently offline due to fail_servers.
   int failed_servers() const noexcept { return failed_servers_; }
 
+  /// Whether server `i` is offline (invisible to every choose_* query).
+  bool server_failed(std::size_t i) const noexcept {
+    return failed_[i] != 0;
+  }
+
   /// Cores on servers currently in service (total minus failed capacity);
   /// the capacity ceiling fault-aware callers should plan against.
   int online_cores() const noexcept {

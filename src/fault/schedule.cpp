@@ -1,6 +1,7 @@
 #include "vbatt/fault/schedule.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -49,6 +50,14 @@ FaultKind parse_kind(const std::string& cell, std::size_t line_no) {
     if (cell == to_string(kind)) return kind;
   }
   reject("unknown fault kind '" + cell + "'", line_no, 0);
+}
+
+/// Shortest decimal string that parses back to exactly `value` — keeps
+/// the CSV round-trip bit-exact for alpha/sigma without fixed precision.
+std::string shortest_double(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string{buf, end};
 }
 
 /// Sort key making generation order irrelevant to the emitted schedule.
@@ -230,8 +239,8 @@ void save_schedule_csv(const FaultSchedule& schedule,
   out << "kind,start,end,site,peer,alpha,sigma,count\n";
   for (const FaultEvent& e : schedule.events) {
     out << to_string(e.kind) << ',' << e.start << ',' << e.end << ','
-        << e.site << ',' << e.peer << ',' << e.alpha << ',' << e.sigma
-        << ',' << e.count << '\n';
+        << e.site << ',' << e.peer << ',' << shortest_double(e.alpha) << ','
+        << shortest_double(e.sigma) << ',' << e.count << '\n';
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 namespace vbatt::solver {
 
@@ -38,7 +39,19 @@ RevisedSolver::RevisedSolver(const Model& model, const std::vector<int>& rows)
   for (std::size_t i = 0; i < m_; ++i) {
     const Constraint& con =
         model.constraints()[static_cast<std::size_t>(rows[i])];
+    // Coalesce repeated variable indices within a row (the Model allows
+    // them; the dense tableau sums them). A column must hold at most one
+    // entry per row or the pivot-element lookup reads a partial
+    // coefficient.
+    std::vector<int> order;
+    std::unordered_map<int, double> merged;
     for (const auto& [idx, coeff] : con.terms) {
+      const auto [it, fresh] = merged.emplace(idx, 0.0);
+      if (fresh) order.push_back(idx);
+      it->second += coeff;
+    }
+    for (const int idx : order) {
+      const double coeff = merged.at(idx);
       if (coeff != 0.0) {
         cols_[static_cast<std::size_t>(idx)].emplace_back(
             static_cast<int>(i), coeff);

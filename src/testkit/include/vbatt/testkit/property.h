@@ -1,0 +1,84 @@
+// Property combinators: generate → eval → (on failure) shrink.
+//
+// A Property owns two functions. `generate(Rng&)` draws a random Spec —
+// and only a Spec; all heavyweight construction happens inside `eval`,
+// which re-derives everything from the Spec so that replay and shrinking
+// are exact. `eval(Spec)` returns ok or a violation message. The shrinker
+// never needs property-specific code: it edits the integer keys listed in
+// `shrink_keys` (halve toward the floor, then decrement) and keeps any
+// edit under which eval still fails.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vbatt/testkit/spec.h"
+#include "vbatt/util/rng.h"
+
+namespace vbatt::testkit {
+
+struct CaseResult {
+  bool ok = true;
+  std::string message;  // violation description when !ok
+
+  static CaseResult pass() { return {}; }
+  static CaseResult fail(std::string msg) { return {false, std::move(msg)}; }
+};
+
+/// Integer spec key the shrinker may reduce, and the smallest value that
+/// still makes sense for it (e.g. sites can't shrink below 1).
+struct ShrinkKey {
+  std::string key;
+  std::int64_t floor = 0;
+};
+
+struct Property {
+  std::string suite;  // e.g. "dcsim"
+  std::string name;   // e.g. "placement_diff"
+  std::function<Spec(util::Rng&)> generate;
+  std::function<CaseResult(const Spec&)> eval;
+  std::vector<ShrinkKey> shrink_keys;
+
+  std::string full_name() const { return suite + "." + name; }
+};
+
+struct Failure {
+  std::string property;
+  std::uint64_t case_index = 0;
+  Spec original;
+  Spec minimized;
+  std::string message;       // eval message for the *minimized* spec
+  int shrink_steps = 0;      // accepted shrink edits
+};
+
+struct PropertyReport {
+  std::string property;
+  std::uint64_t cases_run = 0;
+  std::vector<Failure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+struct CheckOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t cases = 100;
+  bool shrink = true;
+  std::uint64_t max_failures = 1;  // stop the property after this many
+};
+
+/// Run `opts.cases` cases. Case i draws from
+/// Rng(seed_for(opts.seed, property.full_name(), i)), so case i is
+/// independent of every other case and of every other property.
+PropertyReport check(const Property& property, const CheckOptions& opts);
+
+/// Greedily minimize `spec` while `eval` keeps failing. Returns the
+/// minimized spec and the number of accepted edits.
+std::pair<Spec, int> shrink(const Property& property, Spec spec);
+
+/// Re-evaluate a previously printed spec. The property is looked up in
+/// `registry` via the spec's `prop` key. Throws std::invalid_argument on
+/// an unknown property name.
+CaseResult replay(const std::vector<Property>& registry, const Spec& spec);
+
+}  // namespace vbatt::testkit

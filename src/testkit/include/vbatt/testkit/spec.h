@@ -1,0 +1,62 @@
+// Compact replayable generator specs.
+//
+// Every fuzz case is described by a Spec: an ordered list of `key=value`
+// pairs joined by ';' (e.g. "prop=dcsim.placement_diff;seed=77;servers=9;
+// ops=40"). The generators derive *all* randomness from the spec through
+// util::seed_for child streams, so a spec is a complete, portable repro:
+// `vbatt_fuzz --replay=<spec>` re-runs the exact case, and the shrinker
+// minimizes failing cases by editing spec values, never by replaying RNG
+// tapes. Values are integers or plain tokens — integers so the shrinker
+// can halve them, tokens for categorical choices (trace=square).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vbatt::testkit {
+
+class Spec {
+ public:
+  Spec() = default;
+
+  /// Parse "k1=v1;k2=v2". Throws std::invalid_argument naming the bad pair
+  /// on malformed input (empty key, missing '=', duplicate key, characters
+  /// outside [A-Za-z0-9_.+-]).
+  static Spec parse(std::string_view text);
+
+  /// Canonical form: pairs in insertion order, `key=value` joined by ';'.
+  /// parse(to_string()) round-trips exactly.
+  std::string to_string() const;
+
+  bool has(std::string_view key) const;
+
+  /// Integer value of `key`, or `fallback` when absent. Throws on a
+  /// non-integer value (specs are typed by convention, not by schema).
+  std::int64_t get(std::string_view key, std::int64_t fallback) const;
+
+  /// Token value of `key`, or `fallback` when absent.
+  std::string get(std::string_view key, const std::string& fallback) const;
+
+  /// Set (insert or overwrite, keeping the original position).
+  void set(std::string_view key, std::int64_t value);
+  void set(std::string_view key, std::string value);
+
+  /// Seed for the named child stream: seed_for(get("seed"), name, index).
+  /// Keeps every generated component on its own stream so shrinking one
+  /// spec key never perturbs the others.
+  std::uint64_t child_seed(std::string_view name, std::uint64_t index = 0) const;
+
+  const std::vector<std::pair<std::string, std::string>>& pairs() const noexcept {
+    return pairs_;
+  }
+
+  friend bool operator==(const Spec&, const Spec&) = default;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+}  // namespace vbatt::testkit

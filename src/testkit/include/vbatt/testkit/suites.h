@@ -1,0 +1,27 @@
+// The built-in property registry.
+//
+// Five suites, each an oracle inventory entry (docs/TESTING.md):
+//   sim     conservation laws on VmLevelResult, thread-count invariance,
+//           empty-chaos identity, and the event-driven engine vs the
+//           frozen seed engine (vm_reference.h)
+//   dcsim   indexed Site::choose_* vs the retained linear scans
+//           (scan_reference.h) on random reachable site states
+//   solver  pinned engine vs frozen seed solver (bitwise), revised engine
+//           vs seed (objective + feasibility audit), MIP dominance over
+//           sampled feasible points, solve_lexicographic in-place restore
+//   fault   schedule CSV round-trip + malformed-CSV diagnostics, chaos
+//           generator determinism, InvariantChecker-armed chaos runs
+//   energy  trace/forecast range invariants, stable-share superadditivity
+//           under aggregation
+#pragma once
+
+#include <vector>
+
+#include "vbatt/testkit/property.h"
+
+namespace vbatt::testkit {
+
+/// All built-in properties, in stable registration order.
+std::vector<Property> all_properties();
+
+}  // namespace vbatt::testkit

@@ -1,0 +1,97 @@
+#include "vbatt/testkit/property.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vbatt::testkit {
+namespace {
+
+// eval() wrapper: any exception escaping a property is itself a failure
+// (the message names the exception), never a crash of the harness.
+CaseResult safe_eval(const Property& property, const Spec& spec) {
+  try {
+    return property.eval(spec);
+  } catch (const std::exception& e) {
+    return CaseResult::fail(std::string("uncaught exception: ") + e.what());
+  }
+}
+
+}  // namespace
+
+std::pair<Spec, int> shrink(const Property& property, Spec spec) {
+  int steps = 0;
+  // Fixpoint loop: keep passing over the keys until no edit is accepted.
+  // Each candidate edit is kept only if eval still fails. Capped so a
+  // flaky (non-deterministic) eval can't loop forever; in practice specs
+  // have < 10 integer keys and converge in a handful of passes.
+  constexpr int kMaxSteps = 200;
+  bool progressed = true;
+  while (progressed && steps < kMaxSteps) {
+    progressed = false;
+    for (const ShrinkKey& sk : property.shrink_keys) {
+      if (!spec.has(sk.key)) continue;
+      std::int64_t cur = spec.get(sk.key, std::int64_t{0});
+      while (cur > sk.floor && steps < kMaxSteps) {
+        // Try the floor first (biggest jump), then halfway, then one less.
+        const std::int64_t candidates[] = {sk.floor, sk.floor + (cur - sk.floor) / 2,
+                                           cur - 1};
+        std::int64_t accepted = cur;
+        for (std::int64_t cand : candidates) {
+          if (cand >= cur || cand < sk.floor) continue;
+          Spec trial = spec;
+          trial.set(sk.key, cand);
+          if (!safe_eval(property, trial).ok) {
+            accepted = cand;
+            break;
+          }
+        }
+        if (accepted == cur) break;
+        spec.set(sk.key, accepted);
+        cur = accepted;
+        ++steps;
+        progressed = true;
+      }
+    }
+  }
+  return {std::move(spec), steps};
+}
+
+PropertyReport check(const Property& property, const CheckOptions& opts) {
+  PropertyReport report;
+  report.property = property.full_name();
+  for (std::uint64_t i = 0; i < opts.cases; ++i) {
+    util::Rng rng(util::seed_for(opts.seed, property.full_name(), i));
+    Spec spec = property.generate(rng);
+    spec.set("prop", property.full_name());
+    ++report.cases_run;
+    CaseResult result = safe_eval(property, spec);
+    if (result.ok) continue;
+    Failure failure;
+    failure.property = property.full_name();
+    failure.case_index = i;
+    failure.original = spec;
+    if (opts.shrink) {
+      auto [minimized, steps] = shrink(property, spec);
+      failure.minimized = std::move(minimized);
+      failure.shrink_steps = steps;
+      failure.message = safe_eval(property, failure.minimized).message;
+      if (failure.message.empty()) failure.message = result.message;
+    } else {
+      failure.minimized = spec;
+      failure.message = result.message;
+    }
+    report.failures.push_back(std::move(failure));
+    if (report.failures.size() >= opts.max_failures) break;
+  }
+  return report;
+}
+
+CaseResult replay(const std::vector<Property>& registry, const Spec& spec) {
+  const std::string prop = spec.get("prop", std::string{});
+  for (const Property& property : registry)
+    if (property.full_name() == prop) return property.eval(spec);
+  throw std::invalid_argument("replay: unknown property \"" + prop +
+                              "\" (spec must carry prop=<suite.name>)");
+}
+
+}  // namespace vbatt::testkit

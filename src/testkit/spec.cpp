@@ -1,0 +1,107 @@
+#include "vbatt/testkit/spec.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "vbatt/util/rng.h"
+
+namespace vbatt::testkit {
+namespace {
+
+bool valid_char(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '+' || c == '-';
+}
+
+bool valid_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!valid_char(c)) return false;
+  return true;
+}
+
+[[noreturn]] void bad(std::string_view what, std::string_view pair) {
+  throw std::invalid_argument("Spec::parse: " + std::string(what) + " in \"" +
+                              std::string(pair) + "\"");
+}
+
+}  // namespace
+
+Spec Spec::parse(std::string_view text) {
+  Spec spec;
+  while (!text.empty()) {
+    const std::size_t semi = text.find(';');
+    const std::string_view pair =
+        semi == std::string_view::npos ? text : text.substr(0, semi);
+    text = semi == std::string_view::npos ? std::string_view{}
+                                          : text.substr(semi + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) bad("missing '='", pair);
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    if (!valid_token(key)) bad("bad key", pair);
+    if (!valid_token(value)) bad("bad value", pair);
+    if (spec.has(key)) bad("duplicate key", pair);
+    spec.pairs_.emplace_back(std::string(key), std::string(value));
+  }
+  return spec;
+}
+
+std::string Spec::to_string() const {
+  std::string out;
+  for (const auto& [key, value] : pairs_) {
+    if (!out.empty()) out += ';';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+bool Spec::has(std::string_view key) const {
+  for (const auto& [k, v] : pairs_)
+    if (k == key) return true;
+  return false;
+}
+
+std::int64_t Spec::get(std::string_view key, std::int64_t fallback) const {
+  for (const auto& [k, v] : pairs_) {
+    if (k != key) continue;
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(v.data(), v.data() + v.size(), value);
+    if (ec != std::errc{} || ptr != v.data() + v.size())
+      throw std::invalid_argument("Spec: non-integer value for key \"" +
+                                  std::string(key) + "\": \"" + v + "\"");
+    return value;
+  }
+  return fallback;
+}
+
+std::string Spec::get(std::string_view key, const std::string& fallback) const {
+  for (const auto& [k, v] : pairs_)
+    if (k == key) return v;
+  return fallback;
+}
+
+void Spec::set(std::string_view key, std::int64_t value) {
+  set(key, std::to_string(value));
+}
+
+void Spec::set(std::string_view key, std::string value) {
+  for (auto& [k, v] : pairs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  pairs_.emplace_back(std::string(key), std::move(value));
+}
+
+std::uint64_t Spec::child_seed(std::string_view name,
+                               std::uint64_t index) const {
+  const auto root = static_cast<std::uint64_t>(get("seed", std::int64_t{0}));
+  return util::seed_for(root, name, index);
+}
+
+}  // namespace vbatt::testkit

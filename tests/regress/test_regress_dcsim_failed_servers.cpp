@@ -1,0 +1,50 @@
+// Directed regression: scan_reference ignored failed servers. A failed
+// server keeps its (fully free) ServerState entry in Site::servers() but
+// leaves the bucket index, so after fail_servers the linear-scan oracle
+// offered servers the indexed choose_* correctly refused.
+// Minimized by: vbatt_fuzz --suite=dcsim --cases=25 --seed=1
+#include <gtest/gtest.h>
+
+#include "vbatt/dcsim/scan_reference.h"
+#include "vbatt/dcsim/site.h"
+#include "vbatt/testkit/property.h"
+#include "vbatt/testkit/spec.h"
+#include "vbatt/testkit/suites.h"
+
+namespace vbatt::testkit {
+namespace {
+
+constexpr const char* kSpec =
+    "seed=4951804853814196349;servers=1;ops=4;prop=dcsim.placement_diff";
+
+TEST(DcsimFailedServersRegress, ReplaySpecHolds) {
+  const CaseResult result = replay(all_properties(), Spec::parse(kSpec));
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(DcsimFailedServersRegress, ScanSkipsFailedServers) {
+  dcsim::SiteConfig config;
+  config.n_servers = 2;
+  config.server = {8, 32.0};
+  dcsim::Site site{config};
+  (void)site.fail_servers(1);  // server 0 offline, server 1 healthy
+
+  const workload::VmShape probe{4, 16.0};
+  EXPECT_EQ(dcsim::scan_reference::first_fit(site, probe),
+            site.choose_first_fit(probe));
+  EXPECT_EQ(dcsim::scan_reference::best_fit(site, probe),
+            site.choose_best_fit(probe));
+  EXPECT_EQ(dcsim::scan_reference::worst_fit(site, probe),
+            site.choose_worst_fit(probe));
+  EXPECT_EQ(dcsim::scan_reference::protean(site, probe),
+            site.choose_protean(probe));
+  EXPECT_EQ(dcsim::scan_reference::first_fit(site, probe), 1);
+
+  // With every server failed, both sides must refuse.
+  (void)site.fail_servers(1);
+  EXPECT_EQ(dcsim::scan_reference::first_fit(site, probe), std::nullopt);
+  EXPECT_EQ(site.choose_first_fit(probe), std::nullopt);
+}
+
+}  // namespace
+}  // namespace vbatt::testkit

@@ -1,0 +1,49 @@
+// Directed regression: save_schedule_csv printed alpha/sigma with the
+// default six-significant-digit ostream precision, so a save→load cycle
+// silently perturbed fractional fault parameters. The writer now emits
+// the shortest decimal that parses back to the exact double.
+// Minimized by: vbatt_fuzz --suite=fault --cases=25 --seed=1
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+#include <filesystem>
+
+#include "vbatt/fault/schedule.h"
+#include "vbatt/testkit/property.h"
+#include "vbatt/testkit/spec.h"
+#include "vbatt/testkit/suites.h"
+
+namespace vbatt::testkit {
+namespace {
+
+constexpr const char* kSpec =
+    "seed=5635179646200152957;events=1;prop=fault.csv_roundtrip";
+
+TEST(FaultCsvRoundTripRegress, ReplaySpecHolds) {
+  const CaseResult result = replay(all_properties(), Spec::parse(kSpec));
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(FaultCsvRoundTripRegress, NonTerminatingFractionSurvives) {
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::site_brownout;
+  e.start = 0;
+  e.end = 4;
+  e.site = 0;
+  e.alpha = 1.0 / 3.0;  // no finite decimal expansion
+  fault::FaultSchedule schedule;
+  schedule.events.push_back(e);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("vbatt_regress_csv_" + std::to_string(::getpid()) + ".csv");
+  fault::save_schedule_csv(schedule, path.string());
+  const fault::FaultSchedule loaded =
+      fault::load_schedule_csv(path.string());
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.events.size(), 1u);
+  EXPECT_EQ(loaded.events[0].alpha, e.alpha);  // bitwise
+}
+
+}  // namespace
+}  // namespace vbatt::testkit

@@ -1,161 +1,130 @@
-// Config-fuzz property tests: random-but-valid configurations must never
-// produce out-of-range traces, invalid forecasts, or non-terminating
-// solves. These guard the public API against edge configurations no
-// curated scenario exercises.
+// Config-fuzz property tests, built on the vbatt::testkit generators:
+// random-but-valid configurations must never produce out-of-range traces,
+// invalid schedules, or non-terminating solves. The full adversarial
+// suite lives in the vbatt_fuzz tool (vbatt_fuzz_all ctest target); this
+// binary runs every registered property at gtest scale so a plain ctest
+// invocation exercises the whole oracle inventory even when the tool
+// target is skipped.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
-#include "vbatt/energy/forecast.h"
-#include "vbatt/energy/solar.h"
-#include "vbatt/energy/wind.h"
-#include "vbatt/solver/branch_bound.h"
+#include "vbatt/solver/reference.h"
+#include "vbatt/testkit/generators.h"
+#include "vbatt/testkit/property.h"
+#include "vbatt/testkit/spec.h"
+#include "vbatt/testkit/suites.h"
 #include "vbatt/util/rng.h"
 
-namespace vbatt {
+namespace vbatt::testkit {
 namespace {
 
-class FuzzEnergy : public ::testing::TestWithParam<int> {};
+// --- generator-level invariants -----------------------------------------
 
-TEST_P(FuzzEnergy, SolarAlwaysInUnitRange) {
-  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 101 + 5};
-  energy::SolarConfig config;
-  config.seed = rng.next();
-  config.start_day_of_year = static_cast<int>(rng.below(365));
-  config.noon_hour = rng.uniform(10.0, 15.0);
-  config.day_length_mean_hours = rng.uniform(9.0, 14.0);
-  config.day_length_swing_hours = rng.uniform(0.0, 5.0);
-  config.amplitude_base = rng.uniform(0.3, 0.7);
-  config.amplitude_swing = rng.uniform(0.0, 0.3);
-  config.clearness_variable = rng.uniform(0.3, 0.8);
-  config.cloud_sigma_variable = rng.uniform(0.0, 0.5);
-  if (config.day_length_mean_hours - config.day_length_swing_hours <= 0.5) {
-    config.day_length_swing_hours = config.day_length_mean_hours - 1.0;
+class FuzzGenerators : public ::testing::TestWithParam<int> {
+ protected:
+  Spec scenario_spec() {
+    util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 101 + 5};
+    Spec spec;
+    spec.set("seed", static_cast<std::int64_t>(rng.next() >> 1));
+    gen_graph_keys(spec, rng);
+    gen_app_keys(spec, rng);
+    return spec;
   }
-  const auto trace =
-      energy::SolarModel{config}.generate(util::TimeAxis{15}, 96 * 40);
-  for (const double v : trace.normalized_series()) {
-    ASSERT_GE(v, 0.0);
-    ASSERT_LE(v, 1.0);
-    ASSERT_TRUE(std::isfinite(v));
+};
+
+TEST_P(FuzzGenerators, SpecRoundTripsThroughItsString) {
+  const Spec spec = scenario_spec();
+  EXPECT_EQ(Spec::parse(spec.to_string()), spec);
+}
+
+TEST_P(FuzzGenerators, GraphsStayPhysical) {
+  const Spec spec = scenario_spec();
+  const core::VbGraph graph = make_graph(spec);
+  ASSERT_GT(graph.n_sites(), 0u);
+  ASSERT_GT(graph.n_ticks(), 0u);
+  for (std::size_t s = 0; s < graph.n_sites(); ++s) {
+    const int capacity = graph.site(s).capacity_cores;
+    for (util::Tick t = 0;
+         t < static_cast<util::Tick>(graph.n_ticks()); ++t) {
+      const int avail = graph.available_cores(s, t);
+      ASSERT_GE(avail, 0);
+      ASSERT_LE(avail, capacity);
+    }
   }
 }
 
-TEST_P(FuzzEnergy, WindAlwaysInUnitRange) {
+TEST_P(FuzzGenerators, AppsFitTheirDeclaredWindow) {
+  const Spec spec = scenario_spec();
+  const Scenario sc = make_scenario(spec);
+  const auto n_ticks = static_cast<util::Tick>(sc.graph.n_ticks());
+  for (const workload::Application& app : sc.apps) {
+    ASSERT_GE(app.arrival, 0);
+    ASSERT_LT(app.arrival, n_ticks);
+    ASSERT_GE(app.n_stable + app.n_degradable, 1);
+    ASSERT_GT(app.shape.cores, 0);
+  }
+}
+
+TEST_P(FuzzGenerators, FaultEventsValidate) {
   util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 211 + 3};
-  energy::WindConfig config;
-  config.seed = rng.next();
-  config.start_day_of_year = static_cast<int>(rng.below(365));
-  config.base_speed = rng.uniform(3.0, 14.0);
-  config.seasonal_swing_speed = rng.uniform(0.0, 3.0);
-  config.front_loading_speed = rng.uniform(-4.0, 4.0);
-  config.diurnal_amplitude_speed = rng.uniform(0.0, 2.5);
-  config.gust_sigma = rng.uniform(0.0, 2.0);
-  config.storm_mean_gap_days = rng.chance(0.5) ? rng.uniform(1.0, 10.0) : 0.0;
-  const auto trace =
-      energy::WindModel{config}.generate(util::TimeAxis{15}, 96 * 40);
-  for (const double v : trace.normalized_series()) {
-    ASSERT_GE(v, 0.0);
-    ASSERT_LE(v, 1.0);
-    ASSERT_TRUE(std::isfinite(v));
-  }
+  Spec spec;
+  spec.set("seed", static_cast<std::int64_t>(rng.next() >> 1));
+  spec.set("events", 1 + static_cast<std::int64_t>(rng.below(24)));
+  const fault::FaultSchedule schedule = make_fault_events(spec);
+  // The generator draws sites < 8 and ticks < 192 (+32 max span).
+  ASSERT_NO_THROW(schedule.validate(8, 224));
 }
 
-TEST_P(FuzzEnergy, ForecastsValidForRandomConfigs) {
+TEST_P(FuzzGenerators, ModelsSolveDeterministically) {
   util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 307 + 11};
-  energy::WindConfig wind_config;
-  wind_config.seed = rng.next();
-  const auto trace =
-      energy::WindModel{wind_config}.generate(util::TimeAxis{15}, 96 * 30);
+  Spec spec;
+  spec.set("seed", static_cast<std::int64_t>(rng.next() >> 1));
+  spec.set("vars", 1 + static_cast<std::int64_t>(rng.below(10)));
+  spec.set("rows", static_cast<std::int64_t>(rng.below(10)));
+  spec.set("ints", static_cast<std::int64_t>(rng.below(5)));
+  const solver::Model model = make_model(spec);
+  const solver::MipResult a = solver::reference::solve_mip(model);
+  const solver::MipResult b = solver::reference::solve_mip(model);
+  ASSERT_NE(a.status, solver::LpStatus::iteration_limit);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.x, b.x);
+}
 
-  energy::ForecastConfig config;
-  config.window_per_lead = rng.uniform(0.05, 1.0);
-  config.beta_max_wind = rng.uniform(0.0, 1.0);
-  config.sigma0_wind = rng.uniform(0.0, 0.3);
-  config.sigma1_wind = rng.uniform(0.0, 0.4);
-  config.noise_decay_hours = rng.uniform(0.5, 24.0);
-  config.seed = rng.next();
-  const energy::Forecaster forecaster{config};
-  const double lead = rng.uniform(0.0, 200.0);
-  const auto forecast = forecaster.forecast(trace, lead);
-  ASSERT_EQ(forecast.size(), trace.size());
-  for (const double v : forecast) {
-    ASSERT_GE(v, 0.0);
-    ASSERT_LE(v, 1.0);
-    ASSERT_TRUE(std::isfinite(v));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGenerators, ::testing::Range(0, 40));
+
+// --- the full property registry at gtest scale ---------------------------
+
+class FuzzProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzProperties, Holds) {
+  const std::vector<Property> registry = all_properties();
+  const auto index = static_cast<std::size_t>(GetParam());
+  ASSERT_LT(index, registry.size());
+  CheckOptions opts;
+  opts.seed = 2;  // distinct stream from the vbatt_fuzz_all ctest run
+  opts.cases = 40;
+  const PropertyReport report = check(registry[index], opts);
+  for (const Failure& failure : report.failures) {
+    ADD_FAILURE() << failure.property << " case " << failure.case_index
+                  << ": " << failure.message << "\n  replay spec: "
+                  << failure.minimized.to_string();
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEnergy, ::testing::Range(0, 10));
-
-class FuzzSolver : public ::testing::TestWithParam<int> {};
-
-TEST_P(FuzzSolver, MixedSenseLpsTerminate) {
-  // Random LPs mixing <=, >= and == rows with random bounds: the solver
-  // must always terminate with a definite status, and any "optimal" point
-  // must satisfy every row.
-  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 997 + 29};
-  const int n = 2 + static_cast<int>(rng.below(6));
-  const int m = 1 + static_cast<int>(rng.below(5));
-
-  solver::Model model;
-  std::vector<double> lb(static_cast<std::size_t>(n));
-  std::vector<double> ub(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    lb[static_cast<std::size_t>(i)] = rng.uniform(0.0, 2.0);
-    ub[static_cast<std::size_t>(i)] =
-        lb[static_cast<std::size_t>(i)] + rng.uniform(0.0, 8.0);
-    (void)model.add_var("x", rng.uniform(-3.0, 3.0),
-                        lb[static_cast<std::size_t>(i)],
-                        ub[static_cast<std::size_t>(i)]);
-  }
-  struct Row {
-    std::vector<double> coeff;
-    solver::Rel rel;
-    double rhs;
-  };
-  std::vector<Row> rows;
-  for (int r = 0; r < m; ++r) {
-    Row row;
-    std::vector<std::pair<int, double>> terms;
-    for (int i = 0; i < n; ++i) {
-      const double c = rng.uniform(-2.0, 2.0);
-      row.coeff.push_back(c);
-      terms.emplace_back(i, c);
-    }
-    const int kind = static_cast<int>(rng.below(3));
-    row.rel = kind == 0 ? solver::Rel::le
-              : kind == 1 ? solver::Rel::ge
-                          : solver::Rel::eq;
-    row.rhs = rng.uniform(-6.0, 12.0);
-    rows.push_back(row);
-    model.add_constraint(std::move(terms), row.rel, row.rhs);
-  }
-
-  const solver::LpResult result = solver::solve_lp(model);
-  ASSERT_NE(result.status, solver::LpStatus::iteration_limit);
-  if (result.status != solver::LpStatus::optimal) return;
-  for (int i = 0; i < n; ++i) {
-    ASSERT_GE(result.x[static_cast<std::size_t>(i)],
-              lb[static_cast<std::size_t>(i)] - 1e-6);
-    ASSERT_LE(result.x[static_cast<std::size_t>(i)],
-              ub[static_cast<std::size_t>(i)] + 1e-6);
-  }
-  for (const Row& row : rows) {
-    double lhs = 0.0;
-    for (int i = 0; i < n; ++i) {
-      lhs += row.coeff[static_cast<std::size_t>(i)] *
-             result.x[static_cast<std::size_t>(i)];
-    }
-    switch (row.rel) {
-      case solver::Rel::le: ASSERT_LE(lhs, row.rhs + 1e-6); break;
-      case solver::Rel::ge: ASSERT_GE(lhs, row.rhs - 1e-6); break;
-      case solver::Rel::eq: ASSERT_NEAR(lhs, row.rhs, 1e-6); break;
-    }
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSolver, ::testing::Range(0, 20));
+INSTANTIATE_TEST_SUITE_P(
+    Registry, FuzzProperties,
+    ::testing::Range(0, static_cast<int>(all_properties().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      const auto registry = all_properties();
+      std::string name =
+          registry[static_cast<std::size_t>(info.param)].full_name();
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
-}  // namespace vbatt
+}  // namespace vbatt::testkit

@@ -1,0 +1,275 @@
+// vbatt_fuzz — deterministic property-based fuzzing front end.
+//
+//   vbatt_fuzz --suite=all --cases=200 --seed=1
+//   vbatt_fuzz --suite=sim,solver --cases=50
+//   vbatt_fuzz --replay='prop=sim.conservation;seed=42;sites=1;...'
+//   vbatt_fuzz --list
+//
+// Exit codes: 0 all properties held, 1 violation found (a minimized spec
+// and the exact replay command are printed), 2 usage error.
+//
+// --json=PATH writes a machine-readable summary. The JSON is byte-stable
+// for a given build + flags by default; --timing adds wall-clock fields
+// for humans and is deliberately excluded from that guarantee.
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vbatt/testkit/property.h"
+#include "vbatt/testkit/spec.h"
+#include "vbatt/testkit/suites.h"
+
+namespace {
+
+using vbatt::testkit::CheckOptions;
+using vbatt::testkit::Property;
+using vbatt::testkit::PropertyReport;
+using vbatt::testkit::Spec;
+
+struct Options {
+  std::vector<std::string> suites;  // empty = all
+  std::uint64_t cases = 100;
+  std::uint64_t seed = 1;
+  std::optional<std::string> replay;
+  std::optional<std::string> json_path;
+  bool timing = false;
+  bool list = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --suite=all|NAME[,NAME...]  suites or suite.property names\n"
+      << "  --cases=N                   cases per property (default 100)\n"
+      << "  --seed=S                    root seed (default 1)\n"
+      << "  --replay=SPEC               re-run one exact case and exit\n"
+      << "  --json=PATH                 write a machine-readable summary\n"
+      << "  --timing                    include wall-clock ms in output\n"
+      << "  --list                      list registered properties\n";
+  return 2;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag) -> std::optional<std::string> {
+      const std::size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) != 0) return std::nullopt;
+      return arg.substr(n);
+    };
+    if (const auto v = value_of("--suite=")) {
+      if (*v != "all") {
+        std::stringstream ss{*v};
+        std::string name;
+        while (std::getline(ss, name, ',')) {
+          if (!name.empty()) opts.suites.push_back(name);
+        }
+      }
+    } else if (const auto v = value_of("--cases=")) {
+      if (!parse_u64(*v, opts.cases) || opts.cases == 0) return std::nullopt;
+    } else if (const auto v = value_of("--seed=")) {
+      if (!parse_u64(*v, opts.seed)) return std::nullopt;
+    } else if (const auto v = value_of("--replay=")) {
+      opts.replay = *v;
+    } else if (const auto v = value_of("--json=")) {
+      opts.json_path = *v;
+    } else if (arg == "--timing") {
+      opts.timing = true;
+    } else if (arg == "--list") {
+      opts.list = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+bool selected(const Property& prop, const std::vector<std::string>& names) {
+  if (names.empty()) return true;
+  for (const std::string& name : names) {
+    if (name == prop.suite || name == prop.full_name()) return true;
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct TimedReport {
+  const Property* prop = nullptr;
+  PropertyReport report;
+  std::int64_t ms = 0;
+};
+
+void write_json(const std::string& path, const Options& opts,
+                const std::vector<TimedReport>& runs,
+                std::uint64_t violations) {
+  // Group in registration order but emit per suite, preserving order of
+  // first appearance.
+  std::vector<std::string> suite_order;
+  std::map<std::string, std::vector<const TimedReport*>> by_suite;
+  for (const TimedReport& run : runs) {
+    const std::string& suite = run.prop->suite;
+    if (by_suite.find(suite) == by_suite.end()) suite_order.push_back(suite);
+    by_suite[suite].push_back(&run);
+  }
+
+  std::ofstream out{path, std::ios::binary};
+  out << "{\n"
+      << "  \"tool\": \"vbatt_fuzz\",\n"
+      << "  \"seed\": " << opts.seed << ",\n"
+      << "  \"cases_per_property\": " << opts.cases << ",\n"
+      << "  \"suites\": [\n";
+  for (std::size_t s = 0; s < suite_order.size(); ++s) {
+    const std::string& suite = suite_order[s];
+    out << "    {\"suite\": \"" << json_escape(suite)
+        << "\", \"properties\": [\n";
+    const auto& members = by_suite[suite];
+    for (std::size_t p = 0; p < members.size(); ++p) {
+      const TimedReport& run = *members[p];
+      out << "      {\"name\": \"" << json_escape(run.prop->name)
+          << "\", \"cases\": "
+          << run.report.cases_run << ", \"failures\": [";
+      for (std::size_t f = 0; f < run.report.failures.size(); ++f) {
+        const auto& fail = run.report.failures[f];
+        out << (f ? ", " : "") << "{\"case\": " << fail.case_index
+            << ", \"spec\": \"" << json_escape(fail.minimized.to_string())
+            << "\", \"message\": \"" << json_escape(fail.message) << "\"}";
+      }
+      out << "]";
+      if (opts.timing) out << ", \"ms\": " << run.ms;
+      out << "}" << (p + 1 < members.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (s + 1 < suite_order.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"violations\": " << violations << ",\n"
+      << "  \"ok\": " << (violations == 0 ? "true" : "false") << "\n"
+      << "}\n";
+}
+
+int run_replay(const std::vector<Property>& registry,
+               const std::string& text) {
+  Spec spec;
+  try {
+    spec = Spec::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "bad spec: " << e.what() << "\n";
+    return 2;
+  }
+  try {
+    const auto result = vbatt::testkit::replay(registry, spec);
+    if (result.ok) {
+      std::cout << "PASS " << spec.get("prop", std::string{}) << "\n";
+      return 0;
+    }
+    std::cout << "FAIL " << spec.get("prop", std::string{}) << "\n"
+              << "  " << result.message << "\n"
+              << "  spec: " << spec.to_string() << "\n";
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse_args(argc, argv);
+  if (!parsed) return usage(argv[0]);
+  const Options& opts = *parsed;
+
+  const std::vector<Property> registry = vbatt::testkit::all_properties();
+
+  if (opts.list) {
+    for (const Property& prop : registry) {
+      std::cout << prop.full_name() << "\n";
+    }
+    return 0;
+  }
+  if (opts.replay) return run_replay(registry, *opts.replay);
+
+  std::vector<TimedReport> runs;
+  std::uint64_t violations = 0;
+  for (const Property& prop : registry) {
+    if (!selected(prop, opts.suites)) continue;
+    CheckOptions check;
+    check.seed = opts.seed;
+    check.cases = opts.cases;
+    const auto t0 = std::chrono::steady_clock::now();
+    TimedReport run;
+    run.prop = &prop;
+    run.report = vbatt::testkit::check(prop, check);
+    run.ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
+    violations += run.report.failures.size();
+
+    std::cout << (run.report.ok() ? "PASS" : "FAIL") << " "
+              << prop.full_name() << " (" << run.report.cases_run
+              << " cases";
+    if (opts.timing) std::cout << ", " << run.ms << " ms";
+    std::cout << ")\n";
+    for (const auto& fail : run.report.failures) {
+      std::cout << "  case " << fail.case_index << ": " << fail.message
+                << "\n"
+                << "  minimized (" << fail.shrink_steps
+                << " shrink steps): " << fail.minimized.to_string() << "\n"
+                << "  replay: " << argv[0] << " --replay='"
+                << fail.minimized.to_string() << "'\n";
+    }
+    runs.push_back(std::move(run));
+  }
+
+  if (runs.empty()) {
+    std::cerr << "no properties matched --suite selection\n";
+    return 2;
+  }
+  if (opts.json_path) write_json(*opts.json_path, opts, runs, violations);
+
+  std::cout << (violations == 0 ? "OK" : "VIOLATIONS") << ": "
+            << runs.size() << " properties, "
+            << violations << " violation(s)\n";
+  return violations == 0 ? 0 : 1;
+}
