@@ -19,11 +19,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "vbatt/core/fleet_sim.h"
 #include "vbatt/core/vm_level_sim.h"
 #include "vbatt/energy/site.h"
 #include "vbatt/testkit/vm_reference.h"
@@ -112,22 +114,228 @@ bool write_json(const std::string& path, const std::vector<SweepRow>& rows,
   return static_cast<bool>(out);
 }
 
+// --- fleet sweep ----------------------------------------------------------
+//
+// The sharded engine (run_fleet_simulation) against the event-driven
+// engine at fleet scale: many sites, hundreds of servers each, up to a
+// year of ticks. Cells small enough to run the unsharded engine are
+// cross-checked field-for-field; the bench exits non-zero on divergence.
+// The headline cell is 1000 sites x 700 servers x 1 year.
+
+struct FleetCase {
+  int n_sites = 10;
+  double cores_per_mw = 70.0;  // 700 servers/site at 400 MW peak
+  double apps_per_hour = 6.0;
+  std::size_t days = 30;
+  bool check = true;  // run the unsharded engine and demand bit-identity
+  bool headline = false;
+  bool speedup_cell = false;  // the acceptance cell (100 sites, 30 days)
+};
+
+struct FleetRow {
+  int sites = 0;
+  int servers = 0;  // per site
+  std::size_t days = 0;
+  std::size_t apps = 0;
+  std::size_t vms = 0;
+  double unsharded_ms = 0.0;  // 0 when the cell is too big to cross-check
+  double fleet_serial_ms = 0.0;
+  double fleet_pool_ms = 0.0;
+  bool checked = false;
+  bool bit_identical = true;
+  bool headline = false;
+};
+
+bool write_fleet_json(const std::string& path,
+                      const std::vector<FleetRow>& rows,
+                      double speedup_100) {
+  std::ofstream out{path};
+  bench::JsonWriter json{out};
+  json.begin_object();
+  json.field("bench", "fleet_dcsim");
+  json.field("threads", util::ThreadPool::default_threads());
+  json.field("speedup_100_sites", speedup_100);
+  json.begin_array("results");
+  for (const FleetRow& r : rows) {
+    json.begin_object();
+    json.field("sites", r.sites);
+    json.field("servers_per_site", r.servers);
+    json.field("days", r.days);
+    json.field("apps", r.apps);
+    json.field("vms", r.vms);
+    json.field("unsharded_ms", r.unsharded_ms);
+    json.field("fleet_serial_ms", r.fleet_serial_ms);
+    json.field("fleet_pool_ms", r.fleet_pool_ms);
+    // Best fleet configuration at this thread count: on a multi-core
+    // host the pooled run wins; on a single hardware thread the serial
+    // discipline does (both produce bit-identical results).
+    json.field("speedup",
+               r.checked ? r.unsharded_ms /
+                               std::max(1e-9, std::min(r.fleet_serial_ms,
+                                                       r.fleet_pool_ms))
+                         : 0.0);
+    json.field("checked", r.checked);
+    json.field("bit_identical", r.bit_identical);
+    json.field("headline", r.headline);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+int run_fleet_sweep(const std::string& json_path, int max_sites,
+                    util::ThreadPool* pool) {
+  // apps_per_hour scales with fleet size so per-site load stays realistic;
+  // the headline year accumulates millions of VM placements.
+  const std::vector<FleetCase> cases = {
+      {10, 70.0, 6.0, 30, true, false, false},
+      {50, 70.0, 12.0, 30, true, false, false},   // CI / sanitizer cell
+      {100, 70.0, 24.0, 30, true, false, true},   // acceptance speedup cell
+      {250, 70.0, 40.0, 90, false, false, false},
+      {1000, 70.0, 60.0, 365, false, true, false},  // headline
+  };
+
+  std::printf("fleet sweep (%zu thread%s)\n",
+              util::ThreadPool::default_threads(),
+              util::ThreadPool::default_threads() == 1 ? "" : "s");
+  std::printf("  %5s %7s %5s %7s %9s | %9s %9s %9s | %7s | %s\n", "sites",
+              "servers", "days", "apps", "vms", "unshrd ms", "serial ms",
+              "pool ms", "speedup", "identical");
+
+  std::vector<FleetRow> rows;
+  bool all_identical = true;
+  double speedup_100 = 0.0;
+  for (const FleetCase& c : cases) {
+    if (c.n_sites > max_sites) continue;
+    const std::size_t ticks = 96 * c.days;
+    const core::VbGraph graph = make_graph(c.n_sites, c.cores_per_mw, ticks);
+    workload::AppGeneratorConfig app_config;
+    app_config.apps_per_hour = c.apps_per_hour;
+    const auto apps =
+        workload::generate_apps(app_config, util::TimeAxis{15}, ticks);
+
+    FleetRow row;
+    row.sites = c.n_sites;
+    row.servers = graph.site(0).capacity_cores / 40;
+    row.days = c.days;
+    row.apps = apps.size();
+    for (const workload::Application& app : apps) {
+      row.vms += static_cast<std::size_t>(app.n_stable + app.n_degradable);
+    }
+    row.checked = c.check;
+    row.headline = c.headline;
+    const int repeats = c.n_sites >= 250 ? 1 : 3;
+
+    core::VmLevelResult unsharded{graph.n_sites(), ticks};
+    core::VmLevelResult fleet_serial{graph.n_sites(), ticks};
+    core::VmLevelResult fleet_pool{graph.n_sites(), ticks};
+    if (c.check) {
+      row.unsharded_ms = best_of_ms(repeats, [&] {
+        core::GreedyScheduler scheduler;
+        unsharded =
+            core::run_vm_level_simulation(graph, apps, scheduler, {}, nullptr);
+      });
+    }
+    row.fleet_serial_ms = best_of_ms(repeats, [&] {
+      core::GreedyScheduler scheduler;
+      core::FleetSimOptions options;
+      options.n_shards = 8;
+      fleet_serial =
+          core::run_fleet_simulation(graph, apps, scheduler, {}, options);
+    });
+    row.fleet_pool_ms = best_of_ms(repeats, [&] {
+      core::GreedyScheduler scheduler;
+      core::FleetSimOptions options;
+      options.pool = pool;  // shard count follows the pool width
+      fleet_pool =
+          core::run_fleet_simulation(graph, apps, scheduler, {}, options);
+    });
+    if (c.check) {
+      row.bit_identical =
+          testkit::diff_vm_results(unsharded, fleet_serial, graph.n_sites())
+              .empty() &&
+          testkit::diff_vm_results(unsharded, fleet_pool, graph.n_sites())
+              .empty();
+    } else {
+      // The two sharded configurations must agree even when the cell is
+      // too big for the unsharded cross-check.
+      row.bit_identical =
+          testkit::diff_vm_results(fleet_serial, fleet_pool, graph.n_sites())
+              .empty();
+    }
+    all_identical = all_identical && row.bit_identical;
+    if (c.speedup_cell && c.check) {
+      speedup_100 =
+          row.unsharded_ms /
+          std::max(1e-9, std::min(row.fleet_serial_ms, row.fleet_pool_ms));
+    }
+    rows.push_back(row);
+
+    std::printf(
+        "  %5d %7d %5zu %7zu %9zu | %9.1f %9.1f %9.1f | %6.1fx | %s\n",
+        row.sites, row.servers, row.days, row.apps, row.vms, row.unsharded_ms,
+        row.fleet_serial_ms, row.fleet_pool_ms,
+        row.checked
+            ? row.unsharded_ms /
+                  std::max(1e-9,
+                           std::min(row.fleet_serial_ms, row.fleet_pool_ms))
+            : 0.0,
+        row.bit_identical ? "yes" : "NO");
+  }
+
+  if (speedup_100 > 0.0) {
+    std::printf("fleet acceptance (100 sites x 700 servers x 30 days): "
+                "%.1fx vs unsharded engine\n",
+                speedup_100);
+  }
+  if (!json_path.empty()) {
+    if (!write_fleet_json(json_path, rows, speedup_100)) {
+      std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json -> %s\n", json_path.c_str());
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: sharded engine diverged from the reference\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  bool fleet = false;
+  int fleet_max_sites = 1000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--fleet") {
+      fleet = true;
+    } else if (arg == "--fleet-max-sites" && i + 1 < argc) {
+      fleet = true;
+      fleet_max_sites = std::max(1, std::atoi(argv[++i]));
     } else {
-      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json out.json] [--fleet] "
+                   "[--fleet-max-sites n]\n",
+                   argv[0]);
       return 2;
     }
   }
 
   util::ThreadPool& shared = util::ThreadPool::shared();
   util::ThreadPool* pool = shared.size() > 0 ? &shared : nullptr;
+  if (fleet) {
+    // Fleet mode replaces the per-site sweep; --json names the fleet
+    // archive (conventionally BENCH_fleet.json).
+    return run_fleet_sweep(json_path, fleet_max_sites, pool);
+  }
   std::printf("vm-level engine sweep (%zu thread%s)\n",
               util::ThreadPool::default_threads(),
               util::ThreadPool::default_threads() == 1 ? "" : "s");

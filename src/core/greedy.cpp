@@ -10,11 +10,16 @@ Scheduler::Placement GreedyScheduler::place(const workload::Application& app,
   // residual headroom (headroom breaks ties).
   const std::size_t n = state.graph->n_sites();
   std::size_t best = 0;
+  int best_avail = state.available(0);
+  int best_headroom = state.headroom(0);
   for (std::size_t s = 1; s < n; ++s) {
     const int a = state.available(s);
-    const int b = state.available(best);
-    if (a > b || (a == b && state.headroom(s) > state.headroom(best))) {
+    if (a < best_avail) continue;
+    const int h = state.headroom(s);
+    if (a > best_avail || h > best_headroom) {
       best = s;
+      best_avail = a;
+      best_headroom = h;
     }
   }
   Placement placement;

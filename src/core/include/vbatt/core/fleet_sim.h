@@ -1,0 +1,47 @@
+// Sharded fleet-scale VM-level simulator.
+//
+// run_vm_level_simulation is a single event loop over one global site
+// array; at fleet scale (1000 sites, millions of VMs) its per-VM heap
+// objects and global sweeps dominate. run_fleet_simulation produces
+// bit-identical results from a sharded engine: the fleet is split into
+// contiguous site ranges, each owning its sites' hot state as one SoA
+// dcsim::SiteBlock, and each tick alternates between
+//
+//   * parallel shard phases — work that only touches one site and
+//     commutes across sites (energy metering, server repairs, power-budget
+//     fill, departure removals, power shrinks), fanned over the
+//     ThreadPool with every shard writing only its own slices; and
+//   * serial coordinator phases — every decision whose outcome depends on
+//     cross-site order (scheduler calls, proactive moves, displaced
+//     re-home, resume, and all floating-point reductions), executed in
+//     exactly the unsharded engine's order.
+//
+// Cross-shard effects (inter-site migrations, displacements) are emitted
+// as per-shard logs during parallel phases and merged by the coordinator
+// in global site order at the epoch barrier between phases, so the
+// result is bit-identical to run_vm_level_simulation for every
+// VBATT_THREADS and shard-count setting. The determinism contract and
+// the phase schedule are documented in docs/SIMULATOR.md.
+#pragma once
+
+#include "vbatt/core/vm_level_sim.h"
+
+namespace vbatt::core {
+
+struct FleetSimOptions {
+  /// Number of shards (contiguous site ranges). 0 = one shard per pool
+  /// lane (pool size + 1; 1 when pool is null), clamped to [1, n_sites].
+  /// The shard count never changes the result, only the partitioning.
+  int n_shards = 0;
+  /// Pool for the parallel shard phases; nullptr runs them inline.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Sharded equivalent of run_vm_level_simulation: same inputs, same
+/// result, field-for-field and bit-for-bit.
+VmLevelResult run_fleet_simulation(
+    const VbGraph& graph, const std::vector<workload::Application>& apps,
+    Scheduler& scheduler, const VmLevelConfig& config = {},
+    const FleetSimOptions& options = {});
+
+}  // namespace vbatt::core

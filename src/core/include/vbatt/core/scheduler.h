@@ -37,8 +37,15 @@ struct FleetState {
   std::vector<int> stable_cores;
   std::vector<int> degradable_cores;
 
+  /// Optional per-site available-cores cache for `now`, installed by
+  /// engines that already computed the tick's power budget; holds exactly
+  /// graph->available_cores(s, now) for every site, so reads through it
+  /// are bit-identical to the uncached path. nullptr = ask the graph.
+  const std::vector<int>* avail_cache = nullptr;
+
   int available(std::size_t s) const {
-    return graph->available_cores(s, now);
+    return avail_cache != nullptr ? (*avail_cache)[s]
+                                  : graph->available_cores(s, now);
   }
   int headroom(std::size_t s) const {
     return available(s) - stable_cores.at(s) - degradable_cores.at(s);

@@ -1,5 +1,7 @@
 #include "vbatt/core/vm_level_sim.h"
 
+#include "vbatt/util/dense_index.h"
+
 #include <algorithm>
 #include <deque>
 #include <map>
@@ -141,9 +143,18 @@ VmLevelResult run_vm_level_simulation(
 
   // Where each resident VM currently lives, indexed by vm_id (-1 while the
   // VM is displaced, paused, or departed). VM ids are dense sequential
-  // integers, so a flat vector makes every lookup and update a single
+  // integers, so a flat index makes every lookup and update a single
   // indexed access with no hashing and no per-placement node allocation.
-  std::vector<std::int32_t> vm_site;
+  // Pre-reserved to the workload's whole VM budget so arrivals never
+  // reallocate; only resume respawns can grow it past that (geometric).
+  util::DenseIndex<std::int32_t> vm_site{-1};
+  {
+    std::size_t vm_budget = 0;
+    for (const workload::Application& app : apps) {
+      vm_budget += static_cast<std::size_t>(app.n_stable + app.n_degradable);
+    }
+    vm_site.reserve(vm_budget);
+  }
 
   const auto place_vm = [&](dcsim::VmInstance vm, std::size_t s) -> bool {
     if (!sites[s].place(vm, *policy)) return false;
@@ -152,11 +163,7 @@ VmLevelResult run_vm_level_simulation(
     } else {
       state.degradable_cores[s] += vm.shape.cores;
     }
-    if (static_cast<std::size_t>(vm.vm_id) >= vm_site.size()) {
-      vm_site.resize(static_cast<std::size_t>(vm.vm_id) + 1, -1);
-    }
-    vm_site[static_cast<std::size_t>(vm.vm_id)] =
-        static_cast<std::int32_t>(s);
+    vm_site.ensure(vm.vm_id) = static_cast<std::int32_t>(s);
     return true;
   };
   const auto remove_vm = [&](std::int64_t vm_id,
@@ -168,7 +175,7 @@ VmLevelResult run_vm_level_simulation(
       } else {
         state.degradable_cores[s] -= removed->shape.cores;
       }
-      vm_site[static_cast<std::size_t>(vm_id)] = -1;
+      vm_site[vm_id] = -1;
     }
     return removed;
   };
@@ -218,17 +225,19 @@ VmLevelResult run_vm_level_simulation(
     }
 
     // The tick's power budget is pure in (s, t): compute it once instead
-    // of per displaced VM / paused app in steps 5-7.
+    // of per displaced VM / paused app in steps 5-7, and hand it to the
+    // scheduler as its available() cache for the tick.
     for (std::size_t s = 0; s < n_sites; ++s) {
       avail[s] = graph.available_cores(s, t);
     }
+    state.avail_cache = &avail;
 
     /// Fold a batch of evicted VMs (power shrink or server failure at site
     /// `s`) into the displaced/paused machinery.
     const auto absorb_evicted =
         [&](std::size_t s, const std::vector<dcsim::VmInstance>& batch) {
           for (const dcsim::VmInstance& vm : batch) {
-            vm_site[static_cast<std::size_t>(vm.vm_id)] = -1;
+            vm_site[vm.vm_id] = -1;
             if (vm.vm_class == workload::VmClass::stable) {
               state.stable_cores[s] -= vm.shape.cores;
               displaced.push_back(DisplacedVm{vm, s});
@@ -252,10 +261,9 @@ VmLevelResult run_vm_level_simulation(
       if (it == live.end()) continue;  // defensive: apps depart once
       TrackedApp& app = it->second;
       const auto remove_resident = [&](std::int64_t id) {
-        // Non-resident VMs (displaced, paused, or never placed) map to -1
-        // or lie past the end; their queued copies are dropped below.
-        if (static_cast<std::size_t>(id) >= vm_site.size()) return;
-        const std::int32_t at = vm_site[static_cast<std::size_t>(id)];
+        // Non-resident VMs (displaced, paused, or never placed) read as
+        // -1; their queued copies are dropped below.
+        const std::int32_t at = vm_site.get(id);
         if (at >= 0) remove_vm(id, static_cast<std::size_t>(at));
       };
       for (const std::int64_t id : app.stable_ids) remove_resident(id);

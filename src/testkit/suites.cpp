@@ -13,6 +13,7 @@
 #include <string>
 #include <utility>
 
+#include "vbatt/core/fleet_sim.h"
 #include "vbatt/core/mip_scheduler.h"
 #include "vbatt/core/vm_level_sim.h"
 #include "vbatt/dcsim/scan_reference.h"
@@ -223,6 +224,78 @@ CaseResult eval_engine_diff(const Spec& spec) {
       reference_vm_run(sc.graph, sc.apps, *sched_b, {});
   const std::string diff = diff_vm_results(ref, fast, sc.graph.n_sites());
   if (!diff.empty()) return fail_str("event-driven vs seed engine: " + diff);
+  return CaseResult::pass();
+}
+
+// --- fleet suite ---------------------------------------------------------
+
+/// Sharded vs unsharded on a random fleet: run_fleet_simulation must be a
+/// field-for-field, bit-for-bit drop-in for run_vm_level_simulation.
+CaseResult eval_fleet_diff(const Spec& spec) {
+  const Scenario sc = make_scenario(spec);
+  const auto sched_a = make_scheduler(spec);
+  const core::VmLevelResult unsharded = core::run_vm_level_simulation(
+      sc.graph, sc.apps, *sched_a, {}, nullptr);
+  const auto sched_b = make_scheduler(spec);
+  core::FleetSimOptions options;
+  options.n_shards = static_cast<int>(
+      std::clamp<std::int64_t>(spec.get("shards", 2), 1, 64));
+  const core::VmLevelResult sharded =
+      core::run_fleet_simulation(sc.graph, sc.apps, *sched_b, {}, options);
+  const std::string diff =
+      diff_vm_results(unsharded, sharded, sc.graph.n_sites());
+  if (!diff.empty()) {
+    return fail_str("unsharded vs " + std::to_string(options.n_shards) +
+                    "-shard engine: " + diff);
+  }
+  return CaseResult::pass();
+}
+
+/// Shard-count and thread-count bit-invariance under a chaos schedule:
+/// every (shards, pool) combination must reproduce the unsharded faulted
+/// run exactly.
+CaseResult eval_fleet_shard_invariance(const Spec& spec) {
+  const Scenario sc = make_scenario(spec);
+  fault::ChaosConfig chaos;
+  chaos.intensity = std::max<std::int64_t>(0, spec.get("i100", 150)) / 100.0;
+  const fault::FaultSchedule schedule =
+      make_chaos_schedule(sc.graph, chaos, spec.child_seed("chaos"));
+  const std::uint64_t noise = spec.child_seed("noise");
+
+  const auto faulted_run = [&](auto&& engine) {
+    fault::FaultInjector injector{sc.graph, schedule, noise};
+    core::VmLevelConfig config;
+    config.faults.hooks = &injector;
+    const auto scheduler = make_scheduler(spec);
+    return engine(injector.graph(), *scheduler, config);
+  };
+  const core::VmLevelResult baseline = faulted_run(
+      [&](const core::VbGraph& graph, core::Scheduler& scheduler,
+          const core::VmLevelConfig& config) {
+        return core::run_vm_level_simulation(graph, sc.apps, scheduler,
+                                             config, nullptr);
+      });
+  util::ThreadPool pool{3};
+  for (const int shards : {1, 2, 7}) {
+    for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr),
+                                &pool}) {
+      const core::VmLevelResult sharded = faulted_run(
+          [&](const core::VbGraph& graph, core::Scheduler& scheduler,
+              const core::VmLevelConfig& config) {
+            core::FleetSimOptions options;
+            options.n_shards = shards;
+            options.pool = p;
+            return core::run_fleet_simulation(graph, sc.apps, scheduler,
+                                              config, options);
+          });
+      const std::string diff =
+          diff_vm_results(baseline, sharded, sc.graph.n_sites());
+      if (!diff.empty()) {
+        return fail_str("chaos run, shards=" + std::to_string(shards) +
+                        (p != nullptr ? ", 4 lanes: " : ", serial: ") + diff);
+      }
+    }
+  }
   return CaseResult::pass();
 }
 
@@ -816,6 +889,26 @@ std::vector<Property> all_properties() {
                       eval_chaos_zero, kScenarioShrink});
   registry.push_back({"sim", "engine_diff", scenario_gen, eval_engine_diff,
                       kScenarioShrink});
+
+  registry.push_back({"fleet", "sharded_diff",
+                      [](util::Rng& rng) {
+                        Spec spec = gen_scenario_spec(rng);
+                        if (rng.chance(0.125)) {
+                          spec.set("sched", std::string{"mip24h"});
+                        }
+                        spec.set("shards", 1 + static_cast<std::int64_t>(
+                                                   rng.below(8)));
+                        return spec;
+                      },
+                      eval_fleet_diff, kScenarioShrink});
+  registry.push_back({"fleet", "shard_invariance",
+                      [](util::Rng& rng) {
+                        Spec spec = gen_scenario_spec(rng);
+                        spec.set("i100", 50 + static_cast<std::int64_t>(
+                                                  rng.below(250)));
+                        return spec;
+                      },
+                      eval_fleet_shard_invariance, kScenarioShrink});
 
   registry.push_back({"dcsim", "placement_diff",
                       [](util::Rng& rng) {

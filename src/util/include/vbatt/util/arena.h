@@ -1,0 +1,89 @@
+// Monotonic chunked arena for write-once hot data.
+//
+// The fleet engine interns one immutable int array per distinct
+// allowed-site list and keeps millions of them alive for the whole run;
+// individually heap-allocated vectors would scatter that read-mostly data
+// across the heap and pay a malloc per list. The arena bump-allocates out
+// of large chunks instead: allocation is a pointer increment, spans stay
+// contiguous and cache-friendly, and everything is freed wholesale when
+// the arena dies. Nothing is ever freed individually — only use it for
+// data whose lifetime is the arena's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace vbatt::util {
+
+class Arena {
+ public:
+  /// Chunks are at least `chunk_bytes`; oversized requests get a chunk of
+  /// their own.
+  explicit Arena(std::size_t chunk_bytes = std::size_t{1} << 20)
+      : chunk_bytes_{chunk_bytes == 0 ? 1 : chunk_bytes} {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `n` objects of T. T must be trivially
+  /// destructible: the arena never runs destructors.
+  template <typename T>
+  T* allocate(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is freed without running destructors");
+    return static_cast<T*>(raw(n * sizeof(T), alignof(T)));
+  }
+
+  /// Copy `[first, first + n)` into the arena and return the stable copy.
+  template <typename T>
+  T* copy(const T* first, std::size_t n) {
+    T* out = allocate<T>(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = first[i];
+    return out;
+  }
+
+  /// Aligned raw storage; never returns nullptr (zero-byte requests get a
+  /// unique valid pointer into the current chunk).
+  void* raw(std::size_t bytes, std::size_t align) {
+    if (chunks_.empty() || !fits(chunks_.back(), bytes, align)) {
+      grow(bytes + align);
+    }
+    Chunk& chunk = chunks_.back();
+    const std::size_t aligned = align_up(chunk.used, align);
+    chunk.used = aligned + bytes;
+    allocated_ += bytes;
+    return chunk.data.get() + aligned;
+  }
+
+  /// Total bytes handed out (excludes alignment padding and chunk slack).
+  std::size_t bytes_allocated() const noexcept { return allocated_; }
+  std::size_t n_chunks() const noexcept { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t align_up(std::size_t offset, std::size_t align) {
+    return (offset + align - 1) & ~(align - 1);
+  }
+  static bool fits(const Chunk& chunk, std::size_t bytes, std::size_t align) {
+    const std::size_t aligned = align_up(chunk.used, align);
+    return aligned <= chunk.size && chunk.size - aligned >= bytes;
+  }
+  void grow(std::size_t at_least) {
+    const std::size_t size = at_least > chunk_bytes_ ? at_least : chunk_bytes_;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size, 0});
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_bytes_;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace vbatt::util

@@ -1,0 +1,74 @@
+// Flat map from dense non-negative integer ids to small values.
+//
+// Both VM-level engines key their hot per-VM state (current site, current
+// server) by vm_id, and vm_ids are dense sequential integers. A flat
+// vector makes every lookup and update one indexed access — no hashing,
+// no per-placement node allocation — but the naive version grows with
+// `resize(id + 1)` per new id, which is a reallocation-per-arrival on
+// implementations that size resize exactly. DenseIndex owns the growth
+// policy instead: reserve the workload's known id budget up front, grow
+// geometrically past it, and read unmapped ids as a caller-chosen
+// `missing` sentinel.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vbatt::util {
+
+template <typename T>
+class DenseIndex {
+ public:
+  /// `missing` is what unregistered ids read as (e.g. -1 for "no site").
+  explicit DenseIndex(T missing = T{}) : missing_{missing} {}
+
+  /// Pre-size for `n` ids (e.g. the workload's total VM budget) so the
+  /// steady state never reallocates.
+  void reserve(std::size_t n) { slots_.reserve(n); }
+
+  /// Make `id` addressable and return its slot; newly created slots read
+  /// as `missing`. Growth past the reserved capacity is geometric, so a
+  /// sequential id stream stays amortized O(1) regardless of how the
+  /// standard library sizes resize.
+  T& ensure(std::int64_t id) {
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= slots_.size()) {
+      if (i >= slots_.capacity()) {
+        slots_.reserve(std::max(i + 1, slots_.capacity() * 2));
+      }
+      slots_.resize(i + 1, missing_);
+    }
+    return slots_[i];
+  }
+
+  /// Value for `id`; ids past the end read as `missing` (never grows).
+  T get(std::int64_t id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return i < slots_.size() ? slots_[i] : missing_;
+  }
+
+  /// Unchecked access to an id known to be registered.
+  T& operator[](std::int64_t id) {
+    return slots_[static_cast<std::size_t>(id)];
+  }
+  const T& operator[](std::int64_t id) const {
+    return slots_[static_cast<std::size_t>(id)];
+  }
+
+  /// True when `id` has a slot (registered via ensure or covered by a
+  /// larger ensure).
+  bool contains(std::int64_t id) const {
+    return static_cast<std::size_t>(id) < slots_.size();
+  }
+
+  std::size_t size() const noexcept { return slots_.size(); }
+  T missing() const { return missing_; }
+
+ private:
+  std::vector<T> slots_;
+  T missing_;
+};
+
+}  // namespace vbatt::util

@@ -47,7 +47,9 @@ class ThreadPool {
 
   /// Block until every task submitted so far has finished, then rethrow
   /// the first exception any of them threw (clearing it). Safe to call
-  /// repeatedly; a no-op on an idle pool.
+  /// repeatedly; a no-op on an idle pool. Throws std::logic_error when
+  /// called from one of this pool's own workers (it would deadlock:
+  /// running_ counts the caller itself).
   void drain();
 
   /// Run `body(begin, end)` over static chunks of [0, n). The calling
@@ -55,7 +57,11 @@ class ThreadPool {
   /// every chunk finished. The first exception thrown by any chunk is
   /// rethrown on the caller (remaining chunks still complete). With no
   /// workers (or n too small to split) the body runs inline as
-  /// body(0, n) — the serial fallback.
+  /// body(0, n) — the serial fallback. Throws std::logic_error when
+  /// called from one of this pool's own workers: the nested chunks would
+  /// queue behind the tasks the workers are already stuck in, a silent
+  /// deadlock once every worker nests. Nested parallelism needs a
+  /// separate pool (or a serial inner loop).
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body);
 

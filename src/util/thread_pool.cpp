@@ -3,8 +3,34 @@
 #include <algorithm>
 #include <cstdlib>
 #include <exception>
+#include <stdexcept>
 
 namespace vbatt::util {
+
+namespace {
+
+/// The pool whose worker_loop the current thread is running, if any. Set
+/// once per worker thread; the blocking entry points compare against it
+/// to fail fast instead of deadlocking (see assert_not_own_worker).
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+/// A worker that calls parallel_for or drain on its own pool blocks on
+/// work only the pool's (now occupied) workers could run: parallel_for
+/// waits on chunks that sit in the queue behind the very tasks the
+/// workers are stuck in, and drain waits for running_ to hit zero while
+/// the caller itself is counted in running_. Both are silent deadlocks
+/// when every worker nests, so they are rejected deterministically.
+void assert_not_own_worker(const ThreadPool* pool, const char* what) {
+  if (t_worker_pool == pool) {
+    throw std::logic_error{
+        std::string{"ThreadPool::"} + what +
+        " called from inside one of this pool's own workers; nested "
+        "blocking on the same pool deadlocks once every worker nests. "
+        "Run the nested loop serially or use a separate pool."};
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_workers) {
   workers_.reserve(n_workers);
@@ -23,6 +49,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -66,6 +93,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::drain() {
+  assert_not_own_worker(this, "drain");
   std::unique_lock<std::mutex> lock{mutex_};
   idle_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
   if (submit_error_) {
@@ -78,6 +106,9 @@ void ThreadPool::drain() {
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  // Rejected even when n is small enough to run inline: whether the call
+  // deadlocks must not depend on the data size.
+  assert_not_own_worker(this, "parallel_for");
   if (n == 0) return;
   const std::size_t lanes = workers_.size() + 1;
   if (lanes == 1 || n == 1) {

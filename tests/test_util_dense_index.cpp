@@ -1,0 +1,64 @@
+#include "vbatt/util/dense_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace vbatt::util {
+namespace {
+
+TEST(DenseIndex, MissingUntilEnsured) {
+  DenseIndex<std::int32_t> index{-1};
+  EXPECT_EQ(index.missing(), -1);
+  EXPECT_EQ(index.get(0), -1);
+  EXPECT_EQ(index.get(1000), -1);
+  EXPECT_FALSE(index.contains(0));
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(DenseIndex, EnsureGrowsAndStores) {
+  DenseIndex<std::int32_t> index{-1};
+  index.ensure(5) = 42;
+  EXPECT_EQ(index.get(5), 42);
+  EXPECT_TRUE(index.contains(5));
+  // Ids below the ensured one gain a slot too, holding the sentinel.
+  EXPECT_EQ(index.get(4), -1);
+  EXPECT_TRUE(index.contains(4));
+  EXPECT_FALSE(index.contains(6));
+  EXPECT_EQ(index.size(), 6u);
+}
+
+TEST(DenseIndex, OperatorWritesInBounds) {
+  DenseIndex<std::int32_t> index{-1};
+  index.ensure(9) = 1;
+  index[3] = 7;
+  EXPECT_EQ(index.get(3), 7);
+  index[3] = -1;
+  EXPECT_EQ(index.get(3), -1);  // back to the sentinel value
+}
+
+TEST(DenseIndex, ReserveDoesNotChangeSize) {
+  DenseIndex<std::int64_t> index{0};
+  index.reserve(1 << 16);
+  EXPECT_EQ(index.size(), 0u);
+  index.ensure(100) = 5;
+  EXPECT_EQ(index.get(100), 5);
+  EXPECT_EQ(index.size(), 101u);
+}
+
+TEST(DenseIndex, SparseIdsStayConsistent) {
+  DenseIndex<std::int32_t> index{-1};
+  // Out-of-order, widely spaced ids: geometric growth must preserve all
+  // previously stored slots and sentinel-fill the gaps.
+  index.ensure(1) = 10;
+  index.ensure(1000) = 20;
+  index.ensure(17) = 30;
+  EXPECT_EQ(index.get(1), 10);
+  EXPECT_EQ(index.get(1000), 20);
+  EXPECT_EQ(index.get(17), 30);
+  EXPECT_EQ(index.get(999), -1);
+  EXPECT_EQ(index.get(2000), -1);
+}
+
+}  // namespace
+}  // namespace vbatt::util

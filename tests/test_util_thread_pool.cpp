@@ -145,5 +145,66 @@ TEST(ThreadPool, ZeroItemsIsANoOp) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, NestedParallelForFromWorkerFailsFast) {
+  // A worker re-entering parallel_for on its own pool would block in the
+  // nested wait while occupying the lane the nested chunks need — with
+  // every lane nested, a silent deadlock. The pool must refuse instead.
+  ThreadPool pool{2};
+  std::atomic<int> caught{0};
+  pool.parallel_for(4, [&](std::size_t begin, std::size_t end) {
+    (void)begin;
+    (void)end;
+    try {
+      pool.parallel_for(2, [](std::size_t, std::size_t) {});
+    } catch (const std::logic_error&) {
+      caught.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_GT(caught.load(), 0);
+
+  // Zero items must be rejected too: whether the guard fires cannot
+  // depend on the data size, or small inputs would mask the bug.
+  std::atomic<bool> zero_caught{false};
+  pool.submit([&] {
+    try {
+      pool.parallel_for(0, [](std::size_t, std::size_t) {});
+    } catch (const std::logic_error&) {
+      zero_caught.store(true, std::memory_order_relaxed);
+    }
+  });
+  pool.drain();
+  EXPECT_TRUE(zero_caught.load());
+}
+
+TEST(ThreadPool, NestedDrainFromWorkerFailsFast) {
+  ThreadPool pool{2};
+  std::atomic<bool> caught{false};
+  pool.submit([&] {
+    try {
+      pool.drain();
+    } catch (const std::logic_error&) {
+      caught.store(true, std::memory_order_relaxed);
+    }
+  });
+  pool.drain();
+  EXPECT_TRUE(caught.load());
+}
+
+TEST(ThreadPool, WorkerMayDriveADifferentPool) {
+  // The guard is per-pool: blocking on a *separate* pool from a worker is
+  // legal (no lane of the outer pool is needed by the inner loop).
+  ThreadPool outer{2};
+  ThreadPool inner{2};
+  std::atomic<std::size_t> sum{0};
+  outer.parallel_for(2, [&](std::size_t begin, std::size_t end) {
+    (void)begin;
+    (void)end;
+    inner.parallel_for(100, [&](std::size_t b, std::size_t e) {
+      sum.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(sum.load(), 200u);
+}
+
 }  // namespace
 }  // namespace vbatt::util
