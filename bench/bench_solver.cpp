@@ -1,17 +1,25 @@
-// Solver engine sweep: the revised simplex + warm-started branch & bound
-// vs the frozen seed tableau solver (solver/reference/), on the exact
-// model family MipScheduler emits.
+// Solver engine sweep: the stage-3 solver stack (revised simplex B&B,
+// subgraph decomposition, deterministic parallel B&B) vs the frozen seed
+// tableau solver (solver/reference/), on the exact model family
+// MipScheduler emits.
 //
 // Each cell of the sites x k x horizon sweep emulates one replanning round
 // of a fleet: `sites` apps, each with its own k-site trajectory MIP over
-// the bucketed horizon. Round 1 (arrivals) is solved cold by both engines;
-// round 2 (the replan, which is what gets timed) re-solves fresh models —
-// cold for the reference engine, incumbent-warm-started for the revised
-// engine, mirroring the scheduler's cross-replan reuse. Every incumbent
-// objective is cross-checked between engines to 1e-6; any divergence makes
-// the binary exit non-zero. `--json <path>` writes the sweep (nodes,
-// pivots, wall time, speedup per cell) so CI can archive the perf
-// trajectory as BENCH_solver.json.
+// the bucketed horizon. Round 1 (arrivals) is solved cold; round 2 (the
+// replan, which is what gets timed) re-solves fresh models — cold for the
+// reference engine; incumbent-warm-started and basis-hinted for the
+// revised engine, mirroring the scheduler's cross-replan reuse; serial
+// decomposed (the chain DP master); and epoch-batched parallel B&B on the
+// shared pool. Model construction is NOT part of any timed region; it is
+// measured once and reported as build_ms.
+//
+// Every objective is cross-checked against the reference to 1e-6; any
+// divergence makes the binary exit non-zero. The 100-site/k=4/24h cell is
+// the acceptance cell: serial decomposed must beat monolithic revised by
+// >= 3x there, also enforced with a non-zero exit. `--json <path>` writes
+// the sweep (per-stage timings, blocks, master iterations, warm-start hit
+// rate, nodes per thread) so CI can archive the perf trajectory as
+// BENCH_solver.json.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -23,6 +31,7 @@
 #include "vbatt/solver/branch_bound.h"
 #include "vbatt/solver/reference.h"
 #include "vbatt/util/rng.h"
+#include "vbatt/util/thread_pool.h"
 
 namespace {
 
@@ -78,12 +87,25 @@ struct CellResult {
   int k = 0;
   int horizon_hours = 0;
   int buckets = 0;
-  double ref_ms = 0.0;      // reference engine, round-2 (replan) wall time
-  double revised_ms = 0.0;  // revised engine, warm-started round 2
+  double build_ms = 0.0;       // round-2 model construction, untimed below
+  double ref_ms = 0.0;         // reference engine, round-2 (replan) solves
+  double revised_ms = 0.0;     // revised engine, warm + basis-hinted
+  double decomposed_ms = 0.0;  // serial decomposition (chain DP master)
+  double parallel_ms = 0.0;    // epoch-batched parallel B&B, shared pool
   int ref_nodes = 0;
   int revised_nodes = 0;
+  int decomposed_nodes = 0;
+  int parallel_nodes = 0;
   std::int64_t ref_pivots = 0;
   std::int64_t revised_pivots = 0;
+  // Decomposition stage counters (summed over the cell's apps).
+  int blocks = 0;
+  int chain_blocks = 0;
+  int master_iterations = 0;
+  int monolithic_fallbacks = 0;
+  // Cross-replan basis reuse in the revised engine.
+  int warm_hits = 0;
+  int warm_offers = 0;
   bool objectives_match = true;
 };
 
@@ -95,6 +117,15 @@ double wall_ms(const Fn& fn) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+/// Best-of-N wall time of `fn`; both engines are deterministic, so repeats
+/// re-measure identical work and the min strips scheduler noise.
+template <typename Fn>
+double best_ms(int repeats, const Fn& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < repeats; ++rep) best = std::min(best, wall_ms(fn));
+  return best;
+}
+
 CellResult run_cell(int sites, int k, int horizon_hours) {
   CellResult cell;
   cell.sites = sites;
@@ -102,87 +133,121 @@ CellResult run_cell(int sites, int k, int horizon_hours) {
   cell.horizon_hours = horizon_hours;
   cell.buckets = (horizon_hours + kBucketHours - 1) / kBucketHours;
   const int apps = sites;  // one trajectory MIP per app, as a replan does
+  const auto n_apps = static_cast<std::size_t>(apps);
+  // Large cells re-measure plenty of work per repeat; fewer repeats keep
+  // the sweep's total runtime in check without hurting the min.
+  const int repeats = sites >= 100 ? 3 : 5;
 
   // The default engine is the byte-stable pinned one; the bench measures
-  // the fast path, so every non-reference solve opts into it explicitly.
-  solver::MipOptions fast;
-  fast.engine = solver::MipEngine::revised;
+  // the fast paths, so every non-reference solve opts in explicitly.
+  solver::MipOptions revised;
+  revised.engine = solver::MipEngine::revised;
+  solver::MipOptions decomposed;
+  decomposed.engine = solver::MipEngine::decomposed;
+  solver::MipOptions parallel;
+  parallel.engine = solver::MipEngine::parallel;
 
-  // Round 1 (arrival placements): cold solves on both engines; the revised
-  // solutions become round-2 incumbents. Cross-check objectives.
-  std::vector<solver::MipWarmStart> warm(static_cast<std::size_t>(apps));
-  for (int a = 0; a < apps; ++a) {
-    const auto seed = static_cast<std::uint64_t>(
-        1000 * sites + 100 * k + 10 * horizon_hours + a);
-    const solver::Model model = trajectory_mip(k, cell.buckets, seed);
-    const solver::MipResult got = solver::solve_mip(model, fast);
-    const solver::MipResult want = solver::reference::solve_mip(model);
+  const auto check = [&](const solver::MipResult& got,
+                         const solver::MipResult& want) {
     if (got.status != want.status ||
         std::abs(got.objective - want.objective) > kObjTol) {
       cell.objectives_match = false;
     }
+  };
+
+  // Round 1 (arrival placements): cold solves; the revised solutions
+  // become round-2 incumbents and the root bases become round-2 hints.
+  std::vector<solver::MipWarmStart> warm(n_apps);
+  std::vector<solver::MipBasisHint> hints(n_apps);
+  for (int a = 0; a < apps; ++a) {
+    const auto seed = static_cast<std::uint64_t>(
+        1000 * sites + 100 * k + 10 * horizon_hours + a);
+    const solver::Model model = trajectory_mip(k, cell.buckets, seed);
+    const solver::MipResult got = solver::solve_mip(
+        model, revised, nullptr, &hints[static_cast<std::size_t>(a)]);
+    const solver::MipResult want = solver::reference::solve_mip(model);
+    check(got, want);
     warm[static_cast<std::size_t>(a)].x = got.x;
   }
 
   // Round 2 (the replan): fresh models, same structure — a previous-round
   // trajectory is always structurally feasible, so it seeds the revised
-  // engine; the reference engine has no warm-start path and goes cold.
+  // engine together with the persisted basis; the reference engine goes
+  // cold. Construction happens here, outside every timed region.
   std::vector<solver::Model> round2;
-  round2.reserve(static_cast<std::size_t>(apps));
-  for (int a = 0; a < apps; ++a) {
-    const auto seed = static_cast<std::uint64_t>(
-        7000000 + 1000 * sites + 100 * k + 10 * horizon_hours + a);
-    round2.push_back(trajectory_mip(k, cell.buckets, seed));
-  }
-
-  // Both engines are deterministic, so repeats re-measure identical work;
-  // best-of-N strips scheduler noise from the sub-millisecond cells.
-  constexpr int kRepeats = 5;
-  std::vector<solver::MipResult> ref_results(
-      static_cast<std::size_t>(apps));
-  cell.ref_ms = 1e300;
-  for (int rep = 0; rep < kRepeats; ++rep) {
-    cell.ref_ms = std::min(cell.ref_ms, wall_ms([&] {
-      for (int a = 0; a < apps; ++a) {
-        ref_results[static_cast<std::size_t>(a)] =
-            solver::reference::solve_mip(round2[static_cast<std::size_t>(a)]);
-      }
-    }));
-  }
-  std::vector<solver::MipResult> revised_results(
-      static_cast<std::size_t>(apps));
-  cell.revised_ms = 1e300;
-  for (int rep = 0; rep < kRepeats; ++rep) {
-    cell.revised_ms = std::min(cell.revised_ms, wall_ms([&] {
-      for (int a = 0; a < apps; ++a) {
-        revised_results[static_cast<std::size_t>(a)] = solver::solve_mip(
-            round2[static_cast<std::size_t>(a)], fast,
-            &warm[static_cast<std::size_t>(a)]);
-      }
-    }));
-  }
-
-  for (int a = 0; a < apps; ++a) {
-    const solver::MipResult& want = ref_results[static_cast<std::size_t>(a)];
-    const solver::MipResult& got =
-        revised_results[static_cast<std::size_t>(a)];
-    if (got.status != want.status ||
-        std::abs(got.objective - want.objective) > kObjTol) {
-      cell.objectives_match = false;
+  round2.reserve(n_apps);
+  cell.build_ms = wall_ms([&] {
+    for (int a = 0; a < apps; ++a) {
+      const auto seed = static_cast<std::uint64_t>(
+          7000000 + 1000 * sites + 100 * k + 10 * horizon_hours + a);
+      round2.push_back(trajectory_mip(k, cell.buckets, seed));
     }
+  });
+
+  std::vector<solver::MipResult> ref_results(n_apps);
+  cell.ref_ms = best_ms(repeats, [&] {
+    for (std::size_t a = 0; a < n_apps; ++a) {
+      ref_results[a] = solver::reference::solve_mip(round2[a]);
+    }
+  });
+
+  // The hint is consumed and refreshed in place each repeat, exactly as
+  // MipScheduler does across replans; hit counting is done on a final
+  // untimed pass with a copy so the timed region stays pure solving.
+  std::vector<solver::MipResult> revised_results(n_apps);
+  cell.revised_ms = best_ms(repeats, [&] {
+    for (std::size_t a = 0; a < n_apps; ++a) {
+      revised_results[a] =
+          solver::solve_mip(round2[a], revised, &warm[a], &hints[a]);
+    }
+  });
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    ++cell.warm_offers;
+    if (revised_results[a].used_basis_hint) ++cell.warm_hits;
+  }
+
+  std::vector<solver::MipResult> decomposed_results(n_apps);
+  cell.decomposed_ms = best_ms(repeats, [&] {
+    for (std::size_t a = 0; a < n_apps; ++a) {
+      decomposed_results[a] = solver::solve_mip(round2[a], decomposed);
+    }
+  });
+
+  std::vector<solver::MipResult> parallel_results(n_apps);
+  cell.parallel_ms = best_ms(repeats, [&] {
+    for (std::size_t a = 0; a < n_apps; ++a) {
+      parallel_results[a] = solver::solve_mip(round2[a], parallel);
+    }
+  });
+
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    const solver::MipResult& want = ref_results[a];
+    check(revised_results[a], want);
+    check(decomposed_results[a], want);
+    check(parallel_results[a], want);
     cell.ref_nodes += want.nodes_explored;
-    cell.revised_nodes += got.nodes_explored;
+    cell.revised_nodes += revised_results[a].nodes_explored;
+    cell.decomposed_nodes += decomposed_results[a].nodes_explored;
+    cell.parallel_nodes += parallel_results[a].nodes_explored;
     cell.ref_pivots += want.pivots;
-    cell.revised_pivots += got.pivots;
+    cell.revised_pivots += revised_results[a].pivots;
+    cell.blocks += decomposed_results[a].blocks;
+    cell.chain_blocks += decomposed_results[a].chain_blocks;
+    cell.master_iterations += decomposed_results[a].master_iterations;
+    if (decomposed_results[a].monolithic_fallback) {
+      ++cell.monolithic_fallbacks;
+    }
   }
   return cell;
 }
 
-bool write_json(const std::string& path, const std::vector<CellResult>& rows) {
+bool write_json(const std::string& path, const std::vector<CellResult>& rows,
+                int threads) {
   std::ofstream out{path};
   bench::JsonWriter json{out};
   json.begin_object();
   json.field("bench", "solver");
+  json.field("threads", threads);
   json.begin_array("results");
   for (const CellResult& r : rows) {
     json.begin_object();
@@ -190,13 +255,31 @@ bool write_json(const std::string& path, const std::vector<CellResult>& rows) {
     json.field("k", r.k);
     json.field("horizon_hours", r.horizon_hours);
     json.field("buckets", r.buckets);
+    json.field("build_ms", r.build_ms);
     json.field("ref_ms", r.ref_ms);
     json.field("revised_ms", r.revised_ms);
+    json.field("decomposed_ms", r.decomposed_ms);
+    json.field("parallel_ms", r.parallel_ms);
     json.field("speedup", r.ref_ms / std::max(1e-9, r.revised_ms));
+    json.field("decomposed_speedup",
+               r.revised_ms / std::max(1e-9, r.decomposed_ms));
     json.field("ref_nodes", r.ref_nodes);
     json.field("revised_nodes", r.revised_nodes);
+    json.field("decomposed_nodes", r.decomposed_nodes);
+    json.field("parallel_nodes", r.parallel_nodes);
+    json.field("parallel_nodes_per_thread",
+               static_cast<double>(r.parallel_nodes) /
+                   static_cast<double>(threads));
     json.field("ref_pivots", r.ref_pivots);
     json.field("revised_pivots", r.revised_pivots);
+    json.field("blocks", r.blocks);
+    json.field("chain_blocks", r.chain_blocks);
+    json.field("master_iterations", r.master_iterations);
+    json.field("monolithic_fallbacks", r.monolithic_fallbacks);
+    json.field("warm_start_hit_rate",
+               r.warm_offers > 0 ? static_cast<double>(r.warm_hits) /
+                                       static_cast<double>(r.warm_offers)
+                                 : 0.0);
     json.field("objectives_match", r.objectives_match);
     json.end_object();
   }
@@ -220,35 +303,52 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("solver replan sweep: revised simplex vs reference tableau\n");
-  std::printf("  %5s %2s %8s %7s | %9s %9s | %7s | %9s %9s %10s %10s | %s\n",
-              "sites", "k", "horizon", "buckets", "ref ms", "rev ms",
-              "speedup", "ref nodes", "rev nodes", "ref pivots", "rev pivots",
-              "match");
+  const int threads =
+      static_cast<int>(vbatt::util::ThreadPool::shared().size()) + 1;
+  std::printf(
+      "solver replan sweep: reference tableau vs revised vs decomposed vs "
+      "parallel (%d lane%s)\n",
+      threads, threads == 1 ? "" : "s");
+  std::printf(
+      "  %5s %2s %8s %7s %8s | %9s %9s %9s %9s | %7s %7s | %6s %6s %5s | "
+      "%5s | %s\n",
+      "sites", "k", "horizon", "buckets", "build", "ref ms", "rev ms",
+      "dec ms", "par ms", "spd", "dec spd", "blocks", "master", "fall",
+      "hit%", "match");
 
   std::vector<CellResult> rows;
   bool all_match = true;
-  for (const int sites : {10, 25}) {
+  double acceptance_speedup = -1.0;  // 100-site / k=4 / 24h cell
+  for (const int sites : {10, 25, 100, 250}) {
     for (const int k : {2, 4}) {
       for (const int horizon_hours : {24, 168}) {
         const CellResult cell = run_cell(sites, k, horizon_hours);
         all_match = all_match && cell.objectives_match;
         rows.push_back(cell);
+        const double speedup = cell.ref_ms / std::max(1e-9, cell.revised_ms);
+        const double dec_speedup =
+            cell.revised_ms / std::max(1e-9, cell.decomposed_ms);
+        if (sites == 100 && k == 4 && horizon_hours == 24) {
+          acceptance_speedup = dec_speedup;
+        }
         std::printf(
-            "  %5d %2d %7dh %7d | %9.2f %9.2f | %6.1fx | %9d %9d %10lld "
-            "%10lld | %s\n",
-            cell.sites, cell.k, cell.horizon_hours, cell.buckets, cell.ref_ms,
-            cell.revised_ms,
-            cell.ref_ms / std::max(1e-9, cell.revised_ms), cell.ref_nodes,
-            cell.revised_nodes, static_cast<long long>(cell.ref_pivots),
-            static_cast<long long>(cell.revised_pivots),
+            "  %5d %2d %7dh %7d %7.2f | %9.2f %9.2f %9.2f %9.2f | %6.1fx "
+            "%6.1fx | %6d %6d %5d | %4.0f%% | %s\n",
+            cell.sites, cell.k, cell.horizon_hours, cell.buckets,
+            cell.build_ms, cell.ref_ms, cell.revised_ms, cell.decomposed_ms,
+            cell.parallel_ms, speedup, dec_speedup, cell.blocks,
+            cell.master_iterations, cell.monolithic_fallbacks,
+            cell.warm_offers > 0
+                ? 100.0 * static_cast<double>(cell.warm_hits) /
+                      static_cast<double>(cell.warm_offers)
+                : 0.0,
             cell.objectives_match ? "yes" : "NO");
       }
     }
   }
 
   if (!json_path.empty()) {
-    if (!write_json(json_path, rows)) {
+    if (!write_json(json_path, rows, threads)) {
       std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
       return 1;
     }
@@ -256,7 +356,14 @@ int main(int argc, char** argv) {
   }
   if (!all_match) {
     std::fprintf(stderr,
-                 "FAIL: revised engine diverged from the reference solver\n");
+                 "FAIL: an engine diverged from the reference solver\n");
+    return 1;
+  }
+  if (acceptance_speedup >= 0.0 && acceptance_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: decomposed speedup %.2fx < 3x on the 100-site "
+                 "k=4 24h acceptance cell\n",
+                 acceptance_speedup);
     return 1;
   }
   return 0;

@@ -397,18 +397,27 @@ VmLevelResult run_fleet_simulation(
         }
       };
 
+  std::uint64_t topo_epoch = hooks ? hooks->topology_epoch() : 0;
+
   for (std::size_t i = 0; i < n_ticks; ++i) {
     const auto t = static_cast<util::Tick>(i);
     state.now = t;
 
     // 0. Serial fault prologue: link transitions apply inside begin_tick;
-    //    due server repairs are handed to their shards for phase A.
+    //    due server repairs are handed to their shards for phase A. A
+    //    topology-epoch advance tells the scheduler to drop warm-start
+    //    state keyed to the old fleet.
     for (Shard& shard : shards) {
       shard.removals.clear();
       shard.repairs.clear();
     }
     if (hooks) {
       hooks->begin_tick(t);
+      if (const std::uint64_t epoch = hooks->topology_epoch();
+          epoch != topo_epoch) {
+        topo_epoch = epoch;
+        scheduler.on_topology_change();
+      }
       if (const auto due = repairs.find(t); due != repairs.end()) {
         for (const auto& [s, count] : due->second) {
           shard_of(s).repairs.emplace_back(s, count);

@@ -51,6 +51,15 @@ class FaultHooks {
   /// (WAN link down/up transitions) are applied to the graph here.
   virtual void begin_tick(util::Tick t) = 0;
 
+  /// Monotone counter bumped whenever the topology the schedulers plan
+  /// against changes shape: a WAN link going down or up, a server-failure
+  /// batch starting, or its repair landing. Simulators compare it across
+  /// begin_tick calls and notify schedulers (Scheduler::on_topology_change)
+  /// so cross-replan solver state (dual values, basis snapshots) keyed to
+  /// the old topology is discarded rather than seeded into a stale solve.
+  /// Default 0 forever: no topology faults, nothing to invalidate.
+  virtual std::uint64_t topology_epoch() const { return 0; }
+
   /// True while site `s` is blacked out at `t` — power forced to zero *by a
   /// fault*. A solar night is not a blackout; the simulators use this to
   /// trigger emergency eviction rather than ordinary shrinking.

@@ -71,6 +71,16 @@ struct MipSchedulerConfig {
   /// bit-identical results with or without them), so this is purely a
   /// performance knob; disabling it is useful for determinism tests.
   bool warm_start = true;
+  /// Carry solver bases and duals across replans: each app's optimal root
+  /// basis from the last replan seeds the next one (solver::MipBasisHint),
+  /// so the root LP starts dual-feasible and usually re-optimizes in a
+  /// handful of pivots. Unlike `warm_start` this can change which of
+  /// several equal-cost optima the solver lands on, so it is a separate
+  /// knob; the pinned default engine ignores hints entirely and stays
+  /// byte-stable regardless. Hints are invalidated wholesale whenever the
+  /// simulator reports a topology change (on_topology_change) — a basis
+  /// for a fleet that lost a link or a rack describes the wrong polytope.
+  bool reuse_basis = true;
   solver::MipOptions mip{};
 };
 
@@ -86,8 +96,28 @@ class MipScheduler final : public Scheduler {
     return config_.replan_period;
   }
 
+  /// Topology changed under us (link flap, server-failure start/repair):
+  /// every persisted basis describes a stale polytope — drop them all and
+  /// let the next replan solve cold.
+  void on_topology_change() override {
+    basis_hint_invalidations_ +=
+        static_cast<std::int64_t>(basis_hints_.size());
+    basis_hints_.clear();
+  }
+
   /// Total per-app MIP solves performed (observability / tests).
   std::int64_t solve_count() const noexcept { return solve_count_; }
+
+  /// Cross-replan basis reuse observability: solves whose root was seeded
+  /// from a persisted basis / solves that went cold despite a hint being
+  /// offered / hints dropped by topology invalidation.
+  std::int64_t basis_hint_hits() const noexcept { return basis_hint_hits_; }
+  std::int64_t basis_hint_misses() const noexcept {
+    return basis_hint_misses_;
+  }
+  std::int64_t basis_hint_invalidations() const noexcept {
+    return basis_hint_invalidations_;
+  }
 
   /// Fallback-ladder activations: a solver failure (node budget exhausted,
   /// infeasible) first shrinks the horizon to half the buckets, then
@@ -111,13 +141,15 @@ class MipScheduler final : public Scheduler {
   /// apps (moving away from it costs bytes); nullopt for new arrivals.
   /// `previous` (may be null) is the app's last committed trajectory; it is
   /// re-aligned to the new horizon and fed to the solver as a warm-start
-  /// incumbent.
+  /// incumbent. `hint` (may be null) is the app's persisted cross-replan
+  /// basis; solve_mip consumes and refreshes it in place.
   std::optional<Trajectory> solve_app(const FleetState& state,
                                       int stable_cores, double stable_mem_gb,
                                       util::Tick end_tick,
                                       const std::vector<std::size_t>& sites,
                                       std::optional<std::size_t> current_site,
-                                      const Trajectory* previous);
+                                      const Trajectory* previous,
+                                      solver::MipBasisHint* hint);
 
   /// Commit a trajectory: add loads and planned-move volume to the ledgers
   /// and derive Moves.
@@ -130,6 +162,9 @@ class MipScheduler final : public Scheduler {
   MipSchedulerConfig config_;
   std::int64_t solve_count_ = 0;
   std::int64_t fallback_count_ = 0;
+  std::int64_t basis_hint_hits_ = 0;
+  std::int64_t basis_hint_misses_ = 0;
+  std::int64_t basis_hint_invalidations_ = 0;
 
   // Per-replan caches, keyed to the `now` they were computed at.
   util::Tick cache_now_ = -1;
@@ -143,6 +178,10 @@ class MipScheduler final : public Scheduler {
   /// Last committed trajectory per live app; the next replan feeds it back
   /// to the solver as a warm-start incumbent. Pruned as apps depart.
   std::map<std::int64_t, Trajectory> prev_trajectories_;
+  /// Persisted per-app solver bases + duals (cross-replan warm starts for
+  /// the revised-family engines). Pruned with prev_trajectories_; cleared
+  /// wholesale by on_topology_change.
+  std::map<std::int64_t, solver::MipBasisHint> basis_hints_;
 };
 
 /// Convenience factories for the paper's four policies (Table 1).

@@ -84,6 +84,13 @@ class Scheduler {
   /// 0 = never replan.
   virtual util::Tick replan_period_ticks() const { return 0; }
 
+  /// The simulator observed a topology change (FaultHooks::topology_epoch
+  /// advanced): a link flap or a server-failure start/repair. Schedulers
+  /// carrying warm-start state across replans (bases, duals) must drop it
+  /// here — it describes a fleet that no longer exists. Default: stateless
+  /// schedulers ignore it.
+  virtual void on_topology_change() {}
+
   /// How many times this scheduler degraded to a cheaper decision rung
   /// (e.g. MIP solver timeout -> shrunken horizon -> greedy). Schedulers
   /// without a fallback ladder report 0.

@@ -99,7 +99,8 @@ void MipScheduler::refresh_capacity(const FleetState& state) {
 std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
     const FleetState& state, int stable_cores, double stable_mem_gb,
     util::Tick end_tick, const std::vector<std::size_t>& sites,
-    std::optional<std::size_t> current_site, const Trajectory* previous) {
+    std::optional<std::size_t> current_site, const Trajectory* previous,
+    solver::MipBasisHint* hint) {
   const int total_buckets = static_cast<int>(committed_moves_gb_.size());
   int b0 = static_cast<int>((state.now - cache_now_) / config_.bucket_ticks);
   b0 = std::clamp(b0, 0, total_buckets - 1);
@@ -218,8 +219,19 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
   }
 
   ++solve_count_;
-  solver::MipResult primary =
-      solver::solve_mip(model, config_.mip, have_warm ? &warm : nullptr);
+  // The persisted basis is consumed and refreshed in place; a shape
+  // mismatch (different horizon or candidate set than last round) is
+  // ignored by the solver and simply replaced, so no validation is needed
+  // here beyond the topology invalidation done in on_topology_change.
+  solver::MipResult primary = solver::solve_mip(
+      model, config_.mip, have_warm ? &warm : nullptr, hint);
+  if (hint != nullptr) {
+    if (primary.used_basis_hint) {
+      ++basis_hint_hits_;
+    } else {
+      ++basis_hint_misses_;
+    }
+  }
   if (primary.status != solver::LpStatus::optimal) return std::nullopt;
 
   solver::MipResult chosen = primary;
@@ -377,9 +389,11 @@ Scheduler::Placement MipScheduler::place(const workload::Application& app,
     if (evaluated >= config_.candidate_subgraphs) break;
     if (candidate.mean_cores < app.stable_cores()) continue;  // hopeless
     ++evaluated;
+    // No persisted basis for arrivals: several candidate subgraphs are
+    // tried and only one wins, so a hint would be refreshed by losers.
     const std::optional<Trajectory> trajectory =
         solve_app(state, app.stable_cores(), app.stable_memory_gb(),
-                  end_tick, candidate.sites, std::nullopt, nullptr);
+                  end_tick, candidate.sites, std::nullopt, nullptr, nullptr);
     if (trajectory && (!best || trajectory->cost < best->cost)) {
       best = trajectory;
       best_sites = &candidate.sites;
@@ -416,10 +430,11 @@ std::vector<Move> MipScheduler::replan(const FleetState& state) {
     return a->app.app_id < b->app.app_id;
   });
 
-  // Drop stored trajectories of departed apps.
+  // Drop stored trajectories and bases of departed apps.
   for (auto it = prev_trajectories_.begin();
        it != prev_trajectories_.end();) {
     if (state.apps.find(it->first) == state.apps.end()) {
+      basis_hints_.erase(it->first);
       it = prev_trajectories_.erase(it);
     } else {
       ++it;
@@ -431,9 +446,17 @@ std::vector<Move> MipScheduler::replan(const FleetState& state) {
     const auto prev_it = prev_trajectories_.find(app->app.app_id);
     const Trajectory* previous =
         prev_it != prev_trajectories_.end() ? &prev_it->second : nullptr;
+    // One solve per app per replan: its persisted basis (if any) seeds the
+    // root and is refreshed in place for the next round. The pinned
+    // engine ignores hints, so don't offer one (keeps hit/miss honest).
+    solver::MipBasisHint* hint = nullptr;
+    if (config_.reuse_basis &&
+        config_.mip.engine != solver::MipEngine::pinned) {
+      hint = &basis_hints_[app->app.app_id];
+    }
     const std::optional<Trajectory> trajectory = solve_app(
         state, app->app.stable_cores(), app->app.stable_memory_gb(),
-        app->end_tick, app->allowed, app->site, previous);
+        app->end_tick, app->allowed, app->site, previous, hint);
     if (!trajectory) continue;
     std::vector<Move> moves =
         commit(app->app.app_id, *trajectory, app->app.stable_cores(),

@@ -69,14 +69,23 @@ SimResult run_simulation(const VbGraph& graph,
 
   const util::Tick replan_period = scheduler.replan_period_ticks();
   std::size_t next_app = 0;
+  std::uint64_t topo_epoch = hooks ? hooks->topology_epoch() : 0;
 
   for (std::size_t i = 0; i < n_ticks; ++i) {
     const auto t = static_cast<util::Tick>(i);
     state.now = t;
 
     // 0. Fault bookkeeping for this tick (link up/down transitions apply
-    //    to the graph inside begin_tick).
-    if (hooks) hooks->begin_tick(t);
+    //    to the graph inside begin_tick). A topology-epoch advance tells
+    //    the scheduler to drop warm-start state keyed to the old fleet.
+    if (hooks) {
+      hooks->begin_tick(t);
+      if (const std::uint64_t epoch = hooks->topology_epoch();
+          epoch != topo_epoch) {
+        topo_epoch = epoch;
+        scheduler.on_topology_change();
+      }
+    }
 
     /// Whether `move` can execute right now under active faults.
     const auto move_blocked = [&](const LiveApp& app, const Move& move) {

@@ -207,6 +207,7 @@ VmLevelResult run_vm_level_simulation(
   std::vector<int> site_powered(n_sites, 0);
   std::vector<double> site_mwh(n_sites, 0.0);
   std::vector<int> avail(n_sites, 0);
+  std::uint64_t topo_epoch = hooks ? hooks->topology_epoch() : 0;
 
   for (std::size_t i = 0; i < n_ticks; ++i) {
     const auto t = static_cast<util::Tick>(i);
@@ -214,8 +215,15 @@ VmLevelResult run_vm_level_simulation(
 
     // 0. Fault bookkeeping: link transitions apply inside begin_tick, and
     //    servers whose outage ends now come back (empty, placeable again).
+    //    A topology-epoch advance tells the scheduler to drop warm-start
+    //    state keyed to the old fleet.
     if (hooks) {
       hooks->begin_tick(t);
+      if (const std::uint64_t epoch = hooks->topology_epoch();
+          epoch != topo_epoch) {
+        topo_epoch = epoch;
+        scheduler.on_topology_change();
+      }
       if (const auto due = repairs.find(t); due != repairs.end()) {
         for (const auto& [s, count] : due->second) {
           sites[s].repair_servers(count);

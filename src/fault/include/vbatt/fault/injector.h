@@ -45,6 +45,7 @@ class FaultInjector final : public core::FaultHooks {
 
   // core::FaultHooks
   void begin_tick(util::Tick t) override;
+  std::uint64_t topology_epoch() const override { return epoch_; }
   bool site_down(std::size_t s, util::Tick t) const override;
   bool site_degraded(std::size_t s, util::Tick t) const override;
   std::vector<core::ServerOutage> server_outages_at(util::Tick t) override;
@@ -62,6 +63,11 @@ class FaultInjector final : public core::FaultHooks {
            std::vector<std::tuple<std::size_t, std::size_t, bool>>>
       link_transitions_;
   std::map<util::Tick, std::vector<core::ServerOutage>> outages_;
+  /// Topology-epoch bumps due at a tick (link transitions plus
+  /// server-failure starts and repairs), accumulated into epoch_ by
+  /// begin_tick.
+  std::map<util::Tick, std::uint64_t> epoch_bumps_;
+  std::uint64_t epoch_ = 0;
   std::unique_ptr<InvariantChecker> checker_;
 };
 

@@ -59,13 +59,17 @@ FaultInjector::FaultInjector(const core::VbGraph& graph,
       }
       case FaultKind::link_down:
         link_transitions_[e.start].emplace_back(e.site, e.peer, false);
+        ++epoch_bumps_[e.start];
         if (e.end < end_tick) {
           link_transitions_[e.end].emplace_back(e.site, e.peer, true);
+          ++epoch_bumps_[e.end];
         }
         break;
       case FaultKind::server_failure:
         outages_[e.start].push_back(
             core::ServerOutage{e.site, e.count, e.end});
+        ++epoch_bumps_[e.start];
+        if (e.end < end_tick) ++epoch_bumps_[e.end];  // repair lands
         mask(degraded_);
         break;
     }
@@ -73,6 +77,9 @@ FaultInjector::FaultInjector(const core::VbGraph& graph,
 }
 
 void FaultInjector::begin_tick(util::Tick t) {
+  if (const auto bump = epoch_bumps_.find(t); bump != epoch_bumps_.end()) {
+    epoch_ += bump->second;
+  }
   const auto due = link_transitions_.find(t);
   if (due == link_transitions_.end()) return;
   for (const auto& [a, b, up] : due->second) {

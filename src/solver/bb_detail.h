@@ -1,0 +1,167 @@
+// Internals shared by the branch & bound engines (serial revised, epoch-
+// batched parallel, and the decomposition layer's per-block solves).
+// Private to src/solver/ — not installed with the public headers.
+//
+// Everything here is pure bookkeeping: the node record, the deterministic
+// (bound, seq) frontier order, most-fractional and pseudo-cost branching,
+// and warm-start incumbent validation. Keeping one copy is what makes the
+// engines agree: the parallel engine must branch exactly like the serial
+// one on identical data or thread-count invariance tests would chase two
+// diverging heuristics.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vbatt/solver/basis.h"
+#include "vbatt/solver/model.h"
+
+namespace vbatt::solver::detail {
+
+constexpr double kBoundTol = 1e-7;
+/// Tolerance for accepting a caller-provided warm solution as feasible.
+constexpr double kWarmTol = 1e-6;
+
+struct Node {
+  double bound = 0.0;  // LP objective of the parent relaxation
+  std::uint64_t seq = 0;
+  std::vector<double> lb;
+  std::vector<double> ub;
+  Basis basis;  // parent's final basis: dual-feasible start for this node
+  int branch_var = -1;
+  bool went_up = false;
+  double frac = 0.0;  // fractional part of the branch variable at the parent
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    // Min-heap on (bound, push order): best-first, deterministic ties.
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.seq > b.seq;
+  }
+};
+
+/// Index of the most fractional integer variable, or -1 if all integral.
+/// The seed's rule; used until pseudo-costs have observations.
+inline int most_fractional(const Model& model, const std::vector<double>& x,
+                           double tol) {
+  int best = -1;
+  double best_dist = tol;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!model.vars()[i].integer) continue;
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+/// Per-variable pseudo-costs: average objective degradation per unit of
+/// fractionality pushed, by branch direction, within one tree.
+struct PseudoCost {
+  double down_sum = 0.0;
+  double up_sum = 0.0;
+  int down_n = 0;
+  int up_n = 0;
+};
+
+/// Pseudo-cost state for one tree; identical update and selection rules
+/// across the serial and parallel engines.
+struct PseudoCostTable {
+  std::vector<PseudoCost> pc;
+  std::int64_t observations = 0;
+  double total = 0.0;
+
+  explicit PseudoCostTable(std::size_t n) : pc(n) {}
+
+  /// Record the observed bound degradation of an expanded child.
+  void observe(std::size_t var, bool went_up, double frac, double gain) {
+    const double step = went_up ? 1.0 - frac : frac;
+    const double rate = std::max(0.0, gain) / std::max(step, 1e-6);
+    if (went_up) {
+      pc[var].up_sum += rate;
+      ++pc[var].up_n;
+    } else {
+      pc[var].down_sum += rate;
+      ++pc[var].down_n;
+    }
+    ++observations;
+    total += rate;
+  }
+
+  /// Pseudo-cost branching once observations exist, most-fractional
+  /// before. Returns -1 when x is integral.
+  int select(const Model& model, const std::vector<double>& x,
+             double int_tol) const {
+    if (observations == 0) return most_fractional(model, x, int_tol);
+    const double global = total / static_cast<double>(observations);
+    int best = -1;
+    double best_score = -1.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      if (!model.vars()[j].integer) continue;
+      const double frac = x[j] - std::floor(x[j]);
+      if (std::min(frac, 1.0 - frac) <= int_tol) continue;
+      const double down =
+          (pc[j].down_n > 0 ? pc[j].down_sum / pc[j].down_n : global) * frac;
+      const double up =
+          (pc[j].up_n > 0 ? pc[j].up_sum / pc[j].up_n : global) *
+          (1.0 - frac);
+      const double score = std::max(down, 1e-12) * std::max(up, 1e-12);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(j);
+      }
+    }
+    return best;
+  }
+};
+
+/// Validate a caller-provided warm solution against the (presolve-
+/// tightened) box, integrality, and every model row. A valid vector's
+/// objective becomes a static cutoff; an invalid one is silently ignored
+/// (same contract as the serial engine).
+inline std::optional<double> warm_cutoff(const Model& model,
+                                         const std::vector<double>& warm_x,
+                                         const std::vector<double>& lb,
+                                         const std::vector<double>& ub,
+                                         double int_tol) {
+  const std::size_t n = model.n_vars();
+  if (warm_x.size() != n) return std::nullopt;
+  std::vector<double> xw = warm_x;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (model.vars()[j].integer) {
+      const double snapped = std::round(xw[j]);
+      if (std::abs(xw[j] - snapped) > int_tol) return std::nullopt;
+      xw[j] = snapped;
+    }
+    if (xw[j] < lb[j] - kWarmTol || xw[j] > ub[j] + kWarmTol) {
+      return std::nullopt;
+    }
+  }
+  for (const Constraint& con : model.constraints()) {
+    double act = 0.0;
+    for (const auto& [idx, coeff] : con.terms) {
+      act += coeff * xw[static_cast<std::size_t>(idx)];
+    }
+    switch (con.rel) {
+      case Rel::le:
+        if (!(act <= con.rhs + kWarmTol)) return std::nullopt;
+        break;
+      case Rel::ge:
+        if (!(act >= con.rhs - kWarmTol)) return std::nullopt;
+        break;
+      case Rel::eq:
+        if (!(std::abs(act - con.rhs) <= kWarmTol)) return std::nullopt;
+        break;
+    }
+  }
+  return model.objective_of(xw);
+}
+
+}  // namespace vbatt::solver::detail

@@ -8,7 +8,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bb_detail.h"
 #include "vbatt/solver/basis.h"
+#include "vbatt/solver/decompose.h"
+#include "vbatt/solver/parallel_bb.h"
 #include "vbatt/solver/pinned.h"
 #include "vbatt/solver/presolve.h"
 #include "vbatt/solver/revised.h"
@@ -17,65 +20,12 @@ namespace vbatt::solver {
 
 namespace {
 
-constexpr double kBoundTol = 1e-7;
-/// Tolerance for accepting a caller-provided warm solution as feasible.
-constexpr double kWarmTol = 1e-6;
-
-struct Node {
-  double bound = 0.0;  // LP objective of the parent relaxation
-  std::uint64_t seq = 0;
-  std::vector<double> lb;
-  std::vector<double> ub;
-  Basis basis;  // parent's final basis: dual-feasible start for this node
-  int branch_var = -1;
-  bool went_up = false;
-  double frac = 0.0;  // fractional part of the branch variable at the parent
-};
-
-struct NodeOrder {
-  bool operator()(const Node& a, const Node& b) const {
-    // Min-heap on (bound, push order): best-first, deterministic ties.
-    if (a.bound != b.bound) return a.bound > b.bound;
-    return a.seq > b.seq;
-  }
-};
-
-/// Index of the most fractional integer variable, or -1 if all integral.
-/// The seed's rule; used until pseudo-costs have observations.
-int most_fractional(const Model& model, const std::vector<double>& x,
-                    double tol) {
-  int best = -1;
-  double best_dist = tol;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    if (!model.vars()[i].integer) continue;
-    const double frac = x[i] - std::floor(x[i]);
-    const double dist = std::min(frac, 1.0 - frac);
-    if (dist > best_dist) {
-      best_dist = dist;
-      best = static_cast<int>(i);
-    }
-  }
-  return best;
-}
-
-/// Per-variable pseudo-costs: average objective degradation per unit of
-/// fractionality pushed, by branch direction, within one tree.
-struct PseudoCost {
-  double down_sum = 0.0;
-  double up_sum = 0.0;
-  int down_n = 0;
-  int up_n = 0;
-};
-
-/// Stage-to-stage carry for solve_lexicographic: the root basis of the
-/// previous tree and the presolve row subset it is valid for.
-struct TreeState {
-  Basis basis;
-  std::vector<int> rows;
-};
+using detail::kBoundTol;
+using detail::Node;
+using detail::NodeOrder;
 
 MipResult solve_mip_impl(const Model& model, const MipOptions& options,
-                         const MipWarmStart* warm, TreeState* tree) {
+                         const MipWarmStart* warm, MipBasisHint* hint) {
   MipResult result;
   const std::size_t n = model.n_vars();
 
@@ -165,8 +115,13 @@ MipResult solve_mip_impl(const Model& model, const MipOptions& options,
   };
 
   Basis root_basis;
-  if (tree && !tree->basis.empty() && tree->rows == pre.rows) {
-    root_basis = tree->basis;  // primal warm start from the previous stage
+  if (hint && !hint->basis.empty() && hint->n_vars == n &&
+      hint->rows == pre.rows) {
+    // Primal warm start from the previous solve's root basis (a previous
+    // lexicographic stage, or — via MipBasisHint persisted by the caller
+    // — the previous replanning round's structurally identical model).
+    root_basis = hint->basis;
+    result.used_basis_hint = true;
   }
   const LpResult root =
       solve_node(pre.lb, pre.ub, root_basis, /*allow_dual=*/false);
@@ -176,9 +131,17 @@ MipResult solve_mip_impl(const Model& model, const MipOptions& options,
     result.status = root.status;
     return result;
   }
-  if (tree) {
-    tree->basis = root_basis;
-    tree->rows = pre.rows;
+  if (hint) {
+    if (box_only) {
+      hint->clear();  // no basis exists; don't leave a stale one behind
+    } else {
+      hint->basis = root_basis;
+      hint->rows = pre.rows;
+      hint->n_vars = n;
+      if (!solver->compute_duals(root_basis, hint->duals)) {
+        hint->duals.clear();
+      }
+    }
   }
 
   bool have_cutoff = false;
@@ -199,69 +162,16 @@ MipResult solve_mip_impl(const Model& model, const MipOptions& options,
   // reaches the optimum through strictly lower bounds first), so warm and
   // cold runs explore identical node sequences and return identical
   // results — the cutoff only bounds heap growth and drain work.
-  if (warm && warm->x.size() == n) {
-    std::vector<double> xw = warm->x;
-    bool ok = true;
-    for (std::size_t j = 0; j < n && ok; ++j) {
-      if (model.vars()[j].integer) {
-        const double snapped = std::round(xw[j]);
-        if (std::abs(xw[j] - snapped) > options.int_tol) {
-          ok = false;
-          break;
-        }
-        xw[j] = snapped;
-      }
-      if (xw[j] < pre.lb[j] - kWarmTol || xw[j] > pre.ub[j] + kWarmTol) {
-        ok = false;
-      }
-    }
-    for (std::size_t i = 0; ok && i < model.n_constraints(); ++i) {
-      const Constraint& con = model.constraints()[i];
-      double act = 0.0;
-      for (const auto& [idx, coeff] : con.terms) {
-        act += coeff * xw[static_cast<std::size_t>(idx)];
-      }
-      switch (con.rel) {
-        case Rel::le: ok = act <= con.rhs + kWarmTol; break;
-        case Rel::ge: ok = act >= con.rhs - kWarmTol; break;
-        case Rel::eq: ok = std::abs(act - con.rhs) <= kWarmTol; break;
-      }
-    }
-    if (ok) {
+  if (warm) {
+    const std::optional<double> wc =
+        detail::warm_cutoff(model, warm->x, pre.lb, pre.ub, options.int_tol);
+    if (wc) {
       have_cutoff = true;
-      cutoff = model.objective_of(xw);
+      cutoff = *wc;
     }
   }
 
-
-  std::vector<PseudoCost> pc(n);
-  std::int64_t pc_observations = 0;
-  double pc_total = 0.0;
-  const auto select_branch = [&](const std::vector<double>& x) {
-    if (pc_observations == 0) {
-      return most_fractional(model, x, options.int_tol);
-    }
-    const double global =
-        pc_total / static_cast<double>(pc_observations);
-    int best = -1;
-    double best_score = -1.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (!model.vars()[j].integer) continue;
-      const double frac = x[j] - std::floor(x[j]);
-      if (std::min(frac, 1.0 - frac) <= options.int_tol) continue;
-      const double down =
-          (pc[j].down_n > 0 ? pc[j].down_sum / pc[j].down_n : global) * frac;
-      const double up = (pc[j].up_n > 0 ? pc[j].up_sum / pc[j].up_n : global) *
-                        (1.0 - frac);
-      const double score =
-          std::max(down, 1e-12) * std::max(up, 1e-12);
-      if (score > best_score) {
-        best_score = score;
-        best = static_cast<int>(j);
-      }
-    }
-    return best;
-  };
+  detail::PseudoCostTable pc(n);
 
   bool have_incumbent = false;
   double incumbent = 0.0;
@@ -274,7 +184,7 @@ MipResult solve_mip_impl(const Model& model, const MipOptions& options,
   // children carry a bound no larger than any integral optimum, so a valid
   // warm cutoff never drops them.
   {
-    const int branch = most_fractional(model, root.x, options.int_tol);
+    const int branch = detail::most_fractional(model, root.x, options.int_tol);
     if (branch < 0) {
       have_incumbent = true;
       incumbent = root.objective;
@@ -320,25 +230,14 @@ MipResult solve_mip_impl(const Model& model, const MipOptions& options,
     if (lp.status != LpStatus::optimal) continue;  // pruned (infeasible)
 
     if (node.branch_var >= 0) {
-      const auto bv = static_cast<std::size_t>(node.branch_var);
-      const double gain = std::max(0.0, lp.objective - node.bound);
-      const double step = node.went_up ? 1.0 - node.frac : node.frac;
-      const double rate = gain / std::max(step, 1e-6);
-      if (node.went_up) {
-        pc[bv].up_sum += rate;
-        ++pc[bv].up_n;
-      } else {
-        pc[bv].down_sum += rate;
-        ++pc[bv].down_n;
-      }
-      ++pc_observations;
-      pc_total += rate;
+      pc.observe(static_cast<std::size_t>(node.branch_var), node.went_up,
+                 node.frac, lp.objective - node.bound);
     }
 
     if (have_incumbent && lp.objective >= incumbent - options.gap_abs) {
       continue;
     }
-    const int branch = select_branch(lp.x);
+    const int branch = pc.select(model, lp.x, options.int_tol);
     if (branch < 0) {
       // Integral: new incumbent.
       have_incumbent = true;
@@ -445,7 +344,8 @@ MipResult solve_mip_pinned(const Model& model, const MipOptions& options) {
     if (have_incumbent && lp.objective >= incumbent - options.gap_abs) {
       continue;
     }
-    const int branch = most_fractional(model, lp.x, options.int_tol);
+    const int branch =
+        detail::most_fractional(model, lp.x, options.int_tol);
     if (branch < 0) {
       // Integral: new incumbent.
       have_incumbent = true;
@@ -488,26 +388,43 @@ MipResult solve_mip_pinned(const Model& model, const MipOptions& options) {
 }  // namespace
 
 MipResult solve_mip(const Model& model, const MipOptions& options,
-                    const MipWarmStart* warm) {
-  if (options.engine == MipEngine::pinned) {
-    return solve_mip_pinned(model, options);
+                    const MipWarmStart* warm, MipBasisHint* hint) {
+  switch (options.engine) {
+    case MipEngine::pinned:
+      return solve_mip_pinned(model, options);
+    case MipEngine::revised:
+      return solve_mip_impl(model, options, warm, hint);
+    case MipEngine::decomposed:
+      return solve_mip_decomposed(model, options, warm, hint);
+    case MipEngine::parallel:
+      return solve_mip_parallel(model, options, warm, hint);
   }
-  return solve_mip_impl(model, options, warm, nullptr);
+  return solve_mip_impl(model, options, warm, hint);  // unreachable
 }
 
 MipResult solve_lexicographic(Model& model,
                               const std::vector<double>& secondary,
                               double eps_rel, double eps_abs,
                               const MipOptions& options,
-                              const MipWarmStart* warm) {
+                              const MipWarmStart* warm, MipBasisHint* hint) {
   if (secondary.size() != model.n_vars()) {
     throw std::invalid_argument{"solve_lexicographic: cost size mismatch"};
   }
   const bool pinned = options.engine == MipEngine::pinned;
-  TreeState tree;
-  const MipResult first = pinned
-                              ? solve_mip_pinned(model, options)
-                              : solve_mip_impl(model, options, warm, &tree);
+  const bool revised = options.engine == MipEngine::revised;
+  // Stage-to-stage basis carry (revised engine). The caller's hint doubles
+  // as the carrier when provided, so cross-replan warm starts compose with
+  // the lexicographic flow; otherwise a local stage-scoped one is used.
+  MipBasisHint local_tree;
+  MipBasisHint* tree = hint ? hint : &local_tree;
+  MipResult first;
+  if (pinned) {
+    first = solve_mip_pinned(model, options);
+  } else if (revised) {
+    first = solve_mip_impl(model, options, warm, tree);
+  } else {
+    first = solve_mip(model, options, warm, hint);
+  }
   if (first.status != LpStatus::optimal) return first;
 
   // Bound the primary objective, then swap in the secondary costs — in
@@ -527,24 +444,35 @@ MipResult solve_lexicographic(Model& model,
     model.vars()[i].cost = secondary[i];
   }
 
-  // Stage 2 warm-starts from stage 1 (revised engine only): the stage-1
-  // optimum satisfies the cap row by construction (incumbent cutoff), and
-  // the stage-1 root basis extended with the new row's logical stays primal
-  // feasible (root basis warm start), skipping phase 1 outright.
+  // Stage 2 warm-starts from stage 1 (revised-family engines): the
+  // stage-1 optimum satisfies the cap row by construction (incumbent
+  // cutoff). With the plain revised engine the stage-1 root basis
+  // extended with the new row's logical additionally stays primal
+  // feasible (root basis warm start), skipping phase 1 outright. The
+  // decomposed engine typically takes its monolithic fallback here —
+  // the cap row couples every block — and the parallel engine runs its
+  // own epoch-batched tree; both only use the incumbent cutoff.
   MipResult second;
   if (pinned) {
     second = solve_mip_pinned(model, options);
-  } else {
-    TreeState tree2;
-    if (!tree.basis.empty()) {
-      tree2.basis = tree.basis;
+  } else if (revised) {
+    MipBasisHint tree2;
+    if (!tree->basis.empty()) {
+      tree2.basis = tree->basis;
       tree2.basis.extend(model.n_vars(), 0, 1);
-      tree2.rows = tree.rows;
+      tree2.n_vars = model.n_vars();
+      tree2.rows = tree->rows;
       tree2.rows.push_back(static_cast<int>(model.n_constraints()) - 1);
     }
     const MipWarmStart stage2_warm{first.x};
     second = solve_mip_impl(model, options, &stage2_warm, &tree2);
+  } else {
+    const MipWarmStart stage2_warm{first.x};
+    second = solve_mip(model, options, &stage2_warm, nullptr);
   }
+  // Surface stage-2 decomposition/warm-start observability; stage 1's
+  // used_basis_hint is the one callers care about (it reflects `hint`).
+  second.used_basis_hint = first.used_basis_hint;
 
   for (std::size_t i = 0; i < model.n_vars(); ++i) {
     model.vars()[i].cost = primary_costs[i];
@@ -554,6 +482,7 @@ MipResult solve_lexicographic(Model& model,
   if (second.status != LpStatus::optimal) {
     // Numerical edge: fall back to the stage-1 solution evaluated under
     // the secondary costs rather than failing the caller.
+    const bool hinted = second.used_basis_hint;
     second = first;
     double obj = 0.0;
     for (std::size_t i = 0; i < secondary.size(); ++i) {
@@ -562,6 +491,7 @@ MipResult solve_lexicographic(Model& model,
     second.objective = obj;
     second.proven_optimal = false;
     second.status = LpStatus::optimal;
+    second.used_basis_hint = hinted;
   }
   return second;
 }

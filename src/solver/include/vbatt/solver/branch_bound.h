@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "vbatt/solver/basis.h"
 #include "vbatt/solver/model.h"
 #include "vbatt/solver/simplex.h"
 
@@ -34,6 +35,19 @@ enum class MipEngine {
   /// pinned engine to 1e-6; the chosen vertex may differ on degenerate
   /// (alternative-optima) models.
   revised,
+  /// Stage-3 decomposition layer (decompose.h): splits the model into
+  /// independent blocks (union-find over shared rows), solves stagewise
+  /// chain blocks with an exact shortest-path master and the rest as
+  /// separate revised B&B subproblems, and stitches the results. Any
+  /// structure it cannot prove separable falls back to the monolithic
+  /// revised path (MipResult::monolithic_fallback). Objectives match the
+  /// monolithic engines to 1e-6.
+  decomposed,
+  /// Deterministic parallel B&B (parallel_bb.h): epoch-batched node
+  /// expansion over util::ThreadPool with a (bound, seq)-keyed frontier
+  /// and serial merge. Bit-identical (incumbent, objective, node count)
+  /// at every VBATT_THREADS, including 1.
+  parallel,
 };
 
 struct MipOptions {
@@ -74,6 +88,39 @@ struct MipWarmStart {
   std::vector<double> x;
 };
 
+/// Cross-solve warm-start state: the root basis (and its row duals) of a
+/// previous solve of a structurally identical model, persisted by callers
+/// between replanning rounds (MipScheduler keeps one per app).
+///
+/// Consumed and refreshed in place by solve_mip for the revised-family
+/// engines: on entry a hint whose shape matches the current presolve
+/// (same variable count, same surviving row subset) primes the root LP
+/// with a primal warm start, skipping phase 1; on an optimal root exit
+/// the hint is overwritten with the new root basis and duals. A hint
+/// that no longer matches is ignored and replaced — never an error.
+/// The pinned engine ignores hints entirely (byte-stability).
+///
+/// `epoch` is owned by the caller: MipScheduler stamps the fault
+/// subsystem's topology epoch at capture and discards hints whose epoch
+/// predates a topology-changing fault (server failure, link flap).
+struct MipBasisHint {
+  Basis basis;
+  /// Row duals (simplex multipliers) at `basis`, in presolve row order.
+  std::vector<double> duals;
+  /// Presolve row subset `basis` is valid for (original row indices).
+  std::vector<int> rows;
+  std::size_t n_vars = 0;
+  std::uint64_t epoch = 0;
+  bool empty() const noexcept { return basis.empty(); }
+  void clear() {
+    basis = Basis{};
+    duals.clear();
+    rows.clear();
+    n_vars = 0;
+    epoch = 0;
+  }
+};
+
 struct MipResult {
   LpStatus status = LpStatus::infeasible;
   double objective = 0.0;
@@ -82,11 +129,28 @@ struct MipResult {
   /// Simplex pivots summed over every node LP (incl. the root).
   std::int64_t pivots = 0;
   bool proven_optimal = false;
+
+  // --- stage-3 observability (zero for the pinned/revised engines
+  // unless noted) ---
+  /// Independent blocks the decomposition layer detected (>= 1 when the
+  /// decomposed engine actually decomposed; 0 on fallback).
+  int blocks = 0;
+  /// Blocks solved by the exact stagewise-chain (shortest-path) master.
+  int chain_blocks = 0;
+  /// Master stitch iterations (decomposed engine).
+  int master_iterations = 0;
+  /// Decomposed engine could not prove separable structure and solved
+  /// the model monolithically with the revised engine instead.
+  bool monolithic_fallback = false;
+  /// The root LP was primed from a valid MipBasisHint.
+  bool used_basis_hint = false;
 };
 
-/// Solve `model` honoring integrality flags.
+/// Solve `model` honoring integrality flags. `hint` (optional, in-out)
+/// carries a cross-solve basis warm start; see MipBasisHint.
 MipResult solve_mip(const Model& model, const MipOptions& options = {},
-                    const MipWarmStart* warm = nullptr);
+                    const MipWarmStart* warm = nullptr,
+                    MipBasisHint* hint = nullptr);
 
 /// Lexicographic bi-objective solve: minimize the model's costs first; then
 /// minimize `secondary` costs subject to primary ≤ opt * (1 + eps_rel) +
@@ -99,10 +163,13 @@ MipResult solve_mip(const Model& model, const MipOptions& options = {},
 /// seeds the incumbent cutoff and its root basis primes the stage-2 root
 /// LP. The pinned engine re-solves stage 2 cold, matching the seed.
 /// `warm` seeds stage 1, same semantics as solve_mip.
+/// `hint` seeds stage 1, same semantics as solve_mip; the stage-2 tree
+/// (with its extra cap row) never touches it.
 MipResult solve_lexicographic(Model& model,
                               const std::vector<double>& secondary,
                               double eps_rel = 0.01, double eps_abs = 1e-6,
                               const MipOptions& options = {},
-                              const MipWarmStart* warm = nullptr);
+                              const MipWarmStart* warm = nullptr,
+                              MipBasisHint* hint = nullptr);
 
 }  // namespace vbatt::solver

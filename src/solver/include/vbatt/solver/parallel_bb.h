@@ -1,0 +1,44 @@
+// Deterministic parallel branch & bound behind MipEngine::parallel.
+//
+// The same epoch-barrier discipline that made the sharded fleet engine
+// bit-identical in parallel, applied to the B&B tree: instead of popping
+// one node at a time, the search pops a fixed-size batch (kBatch = 8,
+// independent of thread count) of non-prunable nodes from the
+// deterministic (bound, seq) best-first frontier, solves their LP
+// relaxations concurrently on util::ThreadPool — item i always uses
+// solver copy i, so results are a pure function of the node, never of
+// thread scheduling — and then merges the results serially in batch
+// order: pseudo-cost updates, incumbent updates, and child pushes (with
+// a serial seq counter) all happen on the calling thread. Batch
+// composition depends only on the frontier and incumbent at the epoch
+// barrier, both of which evolve identically at every thread count, so
+// the incumbent, objective, and node count are bit-identical at every
+// VBATT_THREADS, including 1.
+//
+// Relative to the serial revised engine the tradeoff is speculative
+// work: a batch may LP-solve nodes a one-at-a-time search would have
+// pruned with a fresher incumbent (they are still discarded at merge).
+// Node counts therefore differ from MipEngine::revised, but objectives
+// match to 1e-6 — `solver.parallel_bb_invariance` fuzzes the
+// thread-count contract and the bench cross-checks the objective.
+#pragma once
+
+#include "vbatt/solver/branch_bound.h"
+#include "vbatt/solver/model.h"
+
+namespace vbatt::util {
+class ThreadPool;
+}
+
+namespace vbatt::solver {
+
+/// Entry point dispatched by solve_mip for MipEngine::parallel. `warm`
+/// and `hint` have solve_mip semantics. `pool` is injectable for tests
+/// (serial-vs-parallel bit-identity); nullptr uses ThreadPool::shared().
+MipResult solve_mip_parallel(const Model& model,
+                             const MipOptions& options = {},
+                             const MipWarmStart* warm = nullptr,
+                             MipBasisHint* hint = nullptr,
+                             util::ThreadPool* pool = nullptr);
+
+}  // namespace vbatt::solver

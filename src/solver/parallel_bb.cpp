@@ -1,0 +1,308 @@
+#include "vbatt/solver/parallel_bb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bb_detail.h"
+#include "vbatt/solver/basis.h"
+#include "vbatt/solver/presolve.h"
+#include "vbatt/solver/revised.h"
+#include "vbatt/util/thread_pool.h"
+
+namespace vbatt::solver {
+
+namespace {
+
+using detail::kBoundTol;
+using detail::Node;
+using detail::NodeOrder;
+
+/// Nodes LP-solved per epoch. Fixed — NOT derived from the thread count —
+/// so batch composition (and with it the whole search) is identical at
+/// every VBATT_THREADS. 8 saturates small hosts without over-speculating.
+constexpr std::size_t kBatch = 8;
+
+}  // namespace
+
+MipResult solve_mip_parallel(const Model& model, const MipOptions& options,
+                             const MipWarmStart* warm, MipBasisHint* hint,
+                             util::ThreadPool* pool) {
+  if (pool == nullptr) pool = &util::ThreadPool::shared();
+  MipResult result;
+  const std::size_t n = model.n_vars();
+
+  std::vector<double> lb0;
+  std::vector<double> ub0;
+  lb0.reserve(n);
+  ub0.reserve(n);
+  for (const Variable& v : model.vars()) {
+    if (!std::isfinite(v.lb)) {
+      throw std::invalid_argument{"solve_mip: -inf lower bound"};
+    }
+    lb0.push_back(v.lb);
+    ub0.push_back(v.ub);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(lb0[i] <= ub0[i])) {
+      ++result.nodes_explored;
+      return result;  // infeasible box
+    }
+  }
+
+  const PresolveResult pre = presolve(model, lb0, ub0, /*integrality=*/true);
+  if (pre.infeasible) {
+    ++result.nodes_explored;
+    result.status = LpStatus::infeasible;
+    return result;
+  }
+
+  const bool box_only = pre.rows.empty();
+  // One solver copy per batch slot: item i of every epoch uses solver i,
+  // a thread-independent assignment, so each copy is touched by exactly
+  // one item per epoch and the LP outcome is a pure function of the node.
+  std::vector<RevisedSolver> solvers;
+  if (!box_only) {
+    solvers.reserve(kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) solvers.emplace_back(model, pre.rows);
+  }
+  const std::int64_t lp_budget =
+      options.max_lp_pivots >= 0
+          ? options.max_lp_pivots
+          : 2000 + 60 * static_cast<std::int64_t>(pre.rows.size() + n);
+
+  // Solve one node's LP on a given solver copy. Identical semantics to
+  // the serial revised engine's solve_node.
+  const auto solve_node = [&](RevisedSolver* solver,
+                              const std::vector<double>& nlb,
+                              const std::vector<double>& nub, Basis& basis,
+                              bool allow_dual) -> LpResult {
+    LpResult r;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (nlb[j] > nub[j] + kBoundTol) return r;  // infeasible box
+    }
+    if (box_only) {
+      r.x = nlb;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (nub[j] - nlb[j] <= kBoundTol) continue;
+        if (model.vars()[j].cost < 0.0) {
+          if (!std::isfinite(nub[j])) {
+            r.status = LpStatus::unbounded;
+            r.x.clear();
+            return r;
+          }
+          r.x[j] = nub[j];
+        }
+      }
+      r.status = LpStatus::optimal;
+      r.objective = model.objective_of(r.x);
+      return r;
+    }
+    LpStatus s;
+    if (allow_dual && !basis.empty()) {
+      s = solver->solve_dual(nlb, nub, basis, lp_budget);
+      r.pivots += solver->pivots();
+      if (s == LpStatus::iteration_limit) {
+        basis = Basis{};
+        s = solver->solve_primal(nlb, nub, basis, lp_budget);
+        r.pivots += solver->pivots();
+      }
+    } else {
+      s = solver->solve_primal(nlb, nub, basis, lp_budget);
+      r.pivots += solver->pivots();
+    }
+    r.status = s;
+    if (s == LpStatus::optimal) {
+      r.x = solver->x();
+      r.objective = model.objective_of(r.x);
+    }
+    return r;
+  };
+
+  Basis root_basis;
+  if (hint && !hint->basis.empty() && hint->n_vars == n &&
+      hint->rows == pre.rows) {
+    root_basis = hint->basis;
+    result.used_basis_hint = true;
+  }
+  RevisedSolver* root_solver = box_only ? nullptr : &solvers[0];
+  const LpResult root =
+      solve_node(root_solver, pre.lb, pre.ub, root_basis,
+                 /*allow_dual=*/false);
+  result.pivots += root.pivots;
+  ++result.nodes_explored;
+  if (root.status != LpStatus::optimal) {
+    result.status = root.status;
+    return result;
+  }
+  if (hint) {
+    if (box_only) {
+      hint->clear();
+    } else {
+      hint->basis = root_basis;
+      hint->rows = pre.rows;
+      hint->n_vars = n;
+      if (!solvers[0].compute_duals(root_basis, hint->duals)) {
+        hint->duals.clear();
+      }
+    }
+  }
+
+  bool have_cutoff = false;
+  double cutoff = 0.0;
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  std::uint64_t next_seq = 0;
+  const auto push_child = [&](Node&& node) {
+    const auto bv = static_cast<std::size_t>(node.branch_var);
+    if (node.branch_var >= 0 && node.lb[bv] > node.ub[bv]) return;
+    if (have_cutoff && node.bound > cutoff + options.gap_abs) return;
+    node.seq = next_seq++;
+    open.push(std::move(node));
+  };
+
+  if (warm) {
+    const std::optional<double> wc =
+        detail::warm_cutoff(model, warm->x, pre.lb, pre.ub, options.int_tol);
+    if (wc) {
+      have_cutoff = true;
+      cutoff = *wc;
+    }
+  }
+
+  detail::PseudoCostTable pc(n);
+
+  bool have_incumbent = false;
+  double incumbent = 0.0;
+  std::vector<double> incumbent_x;
+  bool exhausted_cleanly = true;
+
+  // Expand the root in place (see the serial engine).
+  {
+    const int branch = detail::most_fractional(model, root.x, options.int_tol);
+    if (branch < 0) {
+      have_incumbent = true;
+      incumbent = root.objective;
+      incumbent_x = root.x;
+    } else {
+      const auto bi = static_cast<std::size_t>(branch);
+      const double value = root.x[bi];
+      const double frac = value - std::floor(value);
+      Node down{root.objective, 0,     pre.lb, pre.ub, root_basis,
+                branch,         false, frac};
+      down.ub[bi] = std::floor(value);
+      push_child(std::move(down));
+      Node up{root.objective, 0,    pre.lb, pre.ub, std::move(root_basis),
+              branch,         true, frac};
+      up.lb[bi] = std::ceil(value);
+      push_child(std::move(up));
+    }
+  }
+
+  std::vector<Node> batch;
+  std::vector<LpResult> lps;
+  batch.reserve(kBatch);
+  while (!open.empty()) {
+    if (result.nodes_explored >= options.max_nodes) {
+      exhausted_cleanly = false;
+      break;
+    }
+
+    // --- epoch start: assemble a batch of non-prunable nodes ---
+    batch.clear();
+    const std::size_t budget_left = static_cast<std::size_t>(
+        options.max_nodes - result.nodes_explored);
+    while (batch.size() < std::min(kBatch, budget_left) && !open.empty()) {
+      Node nd = open.top();
+      open.pop();
+      if (have_incumbent && nd.bound >= incumbent - options.gap_abs) {
+        continue;  // cannot improve: discarded unsolved, same as serial
+      }
+      batch.push_back(std::move(nd));
+    }
+    if (batch.empty()) continue;  // heap drained of prunables
+
+    // --- fan the LP relaxations across the pool (barrier) ---
+    lps.assign(batch.size(), LpResult{});
+    const auto run_items = [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        lps[i] = solve_node(box_only ? nullptr : &solvers[i], batch[i].lb,
+                            batch[i].ub, batch[i].basis,
+                            /*allow_dual=*/true);
+      }
+    };
+    if (box_only || pool->size() == 0 || batch.size() == 1) {
+      run_items(0, batch.size());
+    } else {
+      pool->parallel_for(batch.size(), run_items);
+    }
+
+    // --- serial merge in batch order ---
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Node& node = batch[i];
+      LpResult& lp = lps[i];
+      result.pivots += lp.pivots;
+      ++result.nodes_explored;
+      if (lp.status == LpStatus::unbounded) {
+        result.status = LpStatus::unbounded;
+        return result;
+      }
+      if (lp.status == LpStatus::iteration_limit) {
+        exhausted_cleanly = false;
+        continue;
+      }
+      if (lp.status != LpStatus::optimal) continue;  // pruned (infeasible)
+
+      if (node.branch_var >= 0) {
+        pc.observe(static_cast<std::size_t>(node.branch_var), node.went_up,
+                   node.frac, lp.objective - node.bound);
+      }
+      if (have_incumbent && lp.objective >= incumbent - options.gap_abs) {
+        continue;  // superseded by an earlier item of this very batch
+      }
+      const int branch = pc.select(model, lp.x, options.int_tol);
+      if (branch < 0) {
+        have_incumbent = true;
+        incumbent = lp.objective;
+        incumbent_x = std::move(lp.x);
+        continue;
+      }
+      const auto bi = static_cast<std::size_t>(branch);
+      const double value = lp.x[bi];
+      const double frac = value - std::floor(value);
+
+      Node down{lp.objective, 0,     node.lb, node.ub, node.basis,
+                branch,       false, frac};
+      down.ub[bi] = std::floor(value);
+      push_child(std::move(down));
+
+      Node up{lp.objective,       0,    std::move(node.lb),
+              std::move(node.ub), std::move(node.basis),
+              branch,             true, frac};
+      up.lb[bi] = std::ceil(value);
+      push_child(std::move(up));
+    }
+  }
+
+  if (!have_incumbent) {
+    result.status =
+        exhausted_cleanly ? LpStatus::infeasible : LpStatus::iteration_limit;
+    return result;
+  }
+  result.status = LpStatus::optimal;
+  result.objective = incumbent;
+  result.x = std::move(incumbent_x);
+  for (std::size_t i = 0; i < result.x.size(); ++i) {
+    if (model.vars()[i].integer) {
+      result.x[i] = std::round(result.x[i]);
+    }
+  }
+  result.proven_optimal = exhausted_cleanly;
+  return result;
+}
+
+}  // namespace vbatt::solver

@@ -121,6 +121,21 @@ bool RevisedSolver::factorize(const Basis& basis) {
   return binv_.refactor(m_, cols);
 }
 
+bool RevisedSolver::compute_duals(const Basis& basis,
+                                  std::vector<double>& out) {
+  if (basis.basic.size() != m_ || basis.status.size() != n_ + m_) {
+    return false;
+  }
+  if (!factorize(basis)) return false;
+  if (cb_.size() < m_) cb_.resize(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    cb_[i] = cost_[static_cast<std::size_t>(basis.basic[i])];
+  }
+  out.assign(m_, 0.0);
+  binv_.btran(cb_, out);
+  return true;
+}
+
 double RevisedSolver::nonbasic_value(const Basis& basis,
                                      std::size_t j) const {
   if (basis.status[j] == VarStatus::at_upper && std::isfinite(up_[j])) {

@@ -23,6 +23,8 @@
 #include "vbatt/fault/injector.h"
 #include "vbatt/fault/schedule.h"
 #include "vbatt/solver/branch_bound.h"
+#include "vbatt/solver/decompose.h"
+#include "vbatt/solver/parallel_bb.h"
 #include "vbatt/solver/reference.h"
 #include "vbatt/testkit/generators.h"
 #include "vbatt/testkit/vm_reference.h"
@@ -598,6 +600,150 @@ CaseResult eval_lexi_restore(const Spec& spec) {
   return CaseResult::pass();
 }
 
+/// Spec for the decomposition/parallel properties: alternates between the
+/// fully random family (usually coupled → monolithic fallback) and a
+/// block-diagonal chain family (several independent trajectory chains →
+/// the DP master), so both sides of the decomposed engine fuzz every run.
+Spec gen_decompose_spec(util::Rng& rng) {
+  Spec spec = gen_model_spec(rng);
+  spec.set("chains", static_cast<std::int64_t>(rng.below(4)));  // 0 = random
+  spec.set("sites", 2 + static_cast<std::int64_t>(rng.below(3)));
+  spec.set("buckets", 2 + static_cast<std::int64_t>(rng.below(4)));
+  return spec;
+}
+
+const std::vector<ShrinkKey> kDecomposeShrink = {
+    {"chains", 0}, {"sites", 2}, {"buckets", 2},
+    {"vars", 1},   {"rows", 0},  {"ints", 0}};
+
+/// `chains` independent trajectory chains (assignment rows + move rows),
+/// the structure the decomposition's DP master is specialized for.
+solver::Model make_chain_model(const Spec& spec) {
+  const auto chains =
+      static_cast<int>(std::clamp<std::int64_t>(spec.get("chains", 1), 1, 4));
+  const auto sites =
+      static_cast<int>(std::clamp<std::int64_t>(spec.get("sites", 2), 2, 5));
+  const auto buckets = static_cast<int>(
+      std::clamp<std::int64_t>(spec.get("buckets", 2), 2, 6));
+  util::Rng rng{spec.child_seed("chain-model")};
+  solver::Model model;
+  for (int c = 0; c < chains; ++c) {
+    std::vector<std::vector<int>> x(static_cast<std::size_t>(buckets));
+    std::vector<std::vector<int>> y(static_cast<std::size_t>(buckets));
+    for (int k = 0; k < buckets; ++k) {
+      for (int s = 0; s < sites; ++s) {
+        x[static_cast<std::size_t>(k)].push_back(
+            model.add_binary("x", rng.uniform(0.0, 50.0)));
+        y[static_cast<std::size_t>(k)].push_back(
+            model.add_var("y", rng.uniform(10.0, 100.0), 0.0, 1.0));
+      }
+    }
+    const int home = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(sites)));
+    for (int k = 0; k < buckets; ++k) {
+      std::vector<std::pair<int, double>> one;
+      for (int s = 0; s < sites; ++s) {
+        one.emplace_back(x[static_cast<std::size_t>(k)]
+                          [static_cast<std::size_t>(s)],
+                         1.0);
+      }
+      model.add_constraint(std::move(one), solver::Rel::eq, 1.0);
+      for (int s = 0; s < sites; ++s) {
+        std::vector<std::pair<int, double>> terms;
+        terms.emplace_back(x[static_cast<std::size_t>(k)]
+                            [static_cast<std::size_t>(s)],
+                           1.0);
+        double rhs = 0.0;
+        if (k > 0) {
+          terms.emplace_back(x[static_cast<std::size_t>(k - 1)]
+                              [static_cast<std::size_t>(s)],
+                             -1.0);
+        } else {
+          rhs = s == home ? 1.0 : 0.0;
+        }
+        terms.emplace_back(y[static_cast<std::size_t>(k)]
+                            [static_cast<std::size_t>(s)],
+                           -1.0);
+        model.add_constraint(std::move(terms), solver::Rel::le, rhs);
+      }
+    }
+  }
+  return model;
+}
+
+solver::Model make_decompose_model(const Spec& spec) {
+  return spec.get("chains", std::int64_t{0}) > 0 ? make_chain_model(spec)
+                                                 : make_model(spec);
+}
+
+CaseResult eval_decomposed_diff(const Spec& spec) {
+  const solver::Model model = make_decompose_model(spec);
+  solver::MipOptions decomposed;
+  decomposed.engine = solver::MipEngine::decomposed;
+  solver::MipOptions monolithic;
+  monolithic.engine = solver::MipEngine::revised;
+  const solver::MipResult got = solver::solve_mip(model, decomposed);
+  const solver::MipResult want = solver::solve_mip(model, monolithic);
+  if (got.status != want.status) {
+    return fail_str("decomposed status " +
+                    std::to_string(static_cast<int>(got.status)) +
+                    " != monolithic " +
+                    std::to_string(static_cast<int>(want.status)));
+  }
+  if (got.status != solver::LpStatus::optimal) return CaseResult::pass();
+  if (!near(got.objective, want.objective, 1e-6)) {
+    return fail_str("decomposed objective " + std::to_string(got.objective) +
+                    " != monolithic " + std::to_string(want.objective));
+  }
+  if (std::string bad = audit_feasibility(model, got.x, 1e-6); !bad.empty()) {
+    return fail_str("decomposed solution infeasible: " + bad);
+  }
+  // A chain family must actually decompose; the fallback defeats the test.
+  if (spec.get("chains", std::int64_t{0}) > 0 && got.monolithic_fallback) {
+    return fail_str("chain-structured model took the monolithic fallback");
+  }
+  return CaseResult::pass();
+}
+
+CaseResult eval_parallel_bb_invariance(const Spec& spec) {
+  const solver::Model model = make_decompose_model(spec);
+  solver::MipOptions options;
+  options.engine = solver::MipEngine::parallel;
+  util::ThreadPool serial{0};
+  util::ThreadPool wide{3};
+  const solver::MipResult one =
+      solver::solve_mip_parallel(model, options, nullptr, nullptr, &serial);
+  const solver::MipResult four =
+      solver::solve_mip_parallel(model, options, nullptr, nullptr, &wide);
+  if (one.status != four.status) return fail_str("status depends on width");
+  if (one.nodes_explored != four.nodes_explored) {
+    return fail_str("node count depends on width: " +
+                    std::to_string(one.nodes_explored) + " vs " +
+                    std::to_string(four.nodes_explored));
+  }
+  if (one.pivots != four.pivots) return fail_str("pivots depend on width");
+  if (one.proven_optimal != four.proven_optimal) {
+    return fail_str("proven_optimal depends on width");
+  }
+  if (one.status == solver::LpStatus::optimal) {
+    if (one.objective != four.objective) {  // bitwise by design
+      return fail_str("incumbent objective bits depend on width");
+    }
+    if (one.x != four.x) return fail_str("incumbent vector depends on width");
+    const solver::MipResult want = solver::reference::solve_mip(model);
+    if (want.status == solver::LpStatus::optimal &&
+        !near(one.objective, want.objective, 1e-6)) {
+      return fail_str("parallel objective " + std::to_string(one.objective) +
+                      " != reference " + std::to_string(want.objective));
+    }
+    if (std::string bad = audit_feasibility(model, one.x, 1e-6);
+        !bad.empty()) {
+      return fail_str("parallel solution infeasible: " + bad);
+    }
+  }
+  return CaseResult::pass();
+}
+
 // --- fault suite ---------------------------------------------------------
 
 CaseResult eval_csv_roundtrip(const Spec& spec) {
@@ -932,6 +1078,10 @@ std::vector<Property> all_properties() {
                       eval_mip_dominance, kModelShrink});
   registry.push_back({"solver", "lexi_restore", gen_model_spec,
                       eval_lexi_restore, kModelShrink});
+  registry.push_back({"solver", "decomposed_diff", gen_decompose_spec,
+                      eval_decomposed_diff, kDecomposeShrink});
+  registry.push_back({"solver", "parallel_bb_invariance", gen_decompose_spec,
+                      eval_parallel_bb_invariance, kDecomposeShrink});
 
   registry.push_back({"fault", "csv_roundtrip",
                       [](util::Rng& rng) {

@@ -1,0 +1,287 @@
+// Determinism contract for the epoch-batched parallel B&B (parallel_bb.h):
+// incumbent, objective, x, node count, and pivot count must be
+// bit-identical at every pool width — the batch composition is fixed at
+// kBatch nodes per epoch regardless of threads, LP solves are pure
+// functions of the node, and the merge is serial in batch order.
+//
+// CMake registers this binary twice (VBATT_THREADS=1 and =4) so the
+// shared-pool path is exercised at both widths; the tests additionally
+// inject explicit pools to compare widths inside one process.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "vbatt/solver/branch_bound.h"
+#include "vbatt/solver/parallel_bb.h"
+#include "vbatt/solver/reference.h"
+#include "vbatt/util/rng.h"
+#include "vbatt/util/thread_pool.h"
+
+namespace vbatt::solver {
+namespace {
+
+constexpr double kObjTol = 1e-6;
+
+MipOptions parallel_options() {
+  MipOptions options;
+  options.engine = MipEngine::parallel;
+  return options;
+}
+
+/// Same trajectory family as the revised-engine tests (heavily degenerate,
+/// so any nondeterminism in tie-breaking shows up as a changed vertex).
+Model trajectory_mip(int sites, int buckets, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Model model;
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(buckets));
+  std::vector<std::vector<int>> y(static_cast<std::size_t>(buckets));
+  for (int k = 0; k < buckets; ++k) {
+    for (int s = 0; s < sites; ++s) {
+      x[static_cast<std::size_t>(k)].push_back(
+          model.add_binary("x", rng.uniform(0.0, 50.0)));
+      y[static_cast<std::size_t>(k)].push_back(
+          model.add_var("y", 100.0, 0.0, 1.0));
+    }
+  }
+  for (int k = 0; k < buckets; ++k) {
+    std::vector<std::pair<int, double>> one;
+    for (int s = 0; s < sites; ++s) {
+      one.emplace_back(
+          x[static_cast<std::size_t>(k)][static_cast<std::size_t>(s)], 1.0);
+    }
+    model.add_constraint(std::move(one), Rel::eq, 1.0);
+    for (int s = 0; s < sites; ++s) {
+      std::vector<std::pair<int, double>> terms;
+      terms.emplace_back(
+          x[static_cast<std::size_t>(k)][static_cast<std::size_t>(s)], 1.0);
+      double rhs = 0.0;
+      if (k > 0) {
+        terms.emplace_back(
+            x[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(s)],
+            -1.0);
+      } else {
+        rhs = s == 0 ? 1.0 : 0.0;
+      }
+      terms.emplace_back(
+          y[static_cast<std::size_t>(k)][static_cast<std::size_t>(s)], -1.0);
+      model.add_constraint(std::move(terms), Rel::le, rhs);
+    }
+  }
+  return model;
+}
+
+/// Random MIPs with enough fractional structure to force real branching.
+Model random_model(std::uint64_t seed) {
+  util::Rng rng{seed};
+  const int n = 3 + static_cast<int>(rng.below(6));
+  const int m = 1 + static_cast<int>(rng.below(5));
+  Model model;
+  for (int i = 0; i < n; ++i) {
+    const double lb = rng.uniform(0.0, 2.0);
+    double ub = lb + rng.uniform(0.0, 8.0);
+    const bool make_int = rng.uniform(0.0, 1.0) < 0.6;
+    (void)model.add_var("v", rng.uniform(-5.0, 5.0), lb,
+                        make_int ? std::floor(ub) + 1.0 : ub, make_int);
+  }
+  for (int r = 0; r < m; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    double max_activity = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.uniform(0.0, 1.0) < 0.3) continue;
+      const double coeff = rng.uniform(0.0, 3.0);
+      terms.emplace_back(i, coeff);
+      max_activity += coeff * model.vars()[static_cast<std::size_t>(i)].ub;
+    }
+    if (terms.empty()) continue;
+    model.add_constraint(std::move(terms), Rel::le,
+                         rng.uniform(0.3, 1.0) * (max_activity + 1.0));
+  }
+  return model;
+}
+
+void expect_bitwise_equal(const MipResult& got, const MipResult& want,
+                          std::uint64_t seed) {
+  ASSERT_EQ(got.status, want.status) << "seed " << seed;
+  EXPECT_EQ(got.nodes_explored, want.nodes_explored) << "seed " << seed;
+  EXPECT_EQ(got.pivots, want.pivots) << "seed " << seed;
+  EXPECT_EQ(got.proven_optimal, want.proven_optimal) << "seed " << seed;
+  if (want.status != LpStatus::optimal) return;
+  EXPECT_EQ(got.objective, want.objective) << "seed " << seed;
+  ASSERT_EQ(got.x.size(), want.x.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < want.x.size(); ++i) {
+    EXPECT_EQ(got.x[i], want.x[i]) << "seed " << seed << " x[" << i << "]";
+  }
+}
+
+TEST(ParallelBb, BitIdenticalAcrossPoolWidths) {
+  util::ThreadPool serial{0};
+  util::ThreadPool wide{3};  // 4 lanes with the caller
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Model model = seed % 2 == 0
+                            ? trajectory_mip(2 + static_cast<int>(seed % 4),
+                                             2 + static_cast<int>(seed % 5),
+                                             seed)
+                            : random_model(seed);
+    const MipResult one =
+        solve_mip_parallel(model, parallel_options(), nullptr, nullptr,
+                           &serial);
+    const MipResult four =
+        solve_mip_parallel(model, parallel_options(), nullptr, nullptr,
+                           &wide);
+    expect_bitwise_equal(four, one, seed);
+  }
+}
+
+TEST(ParallelBb, SharedPoolMatchesInjectedSerialPool) {
+  // The shared pool's width comes from VBATT_THREADS (CMake registers
+  // this binary at 1 and 4): whatever it is, the result must equal the
+  // injected zero-worker pool bit for bit.
+  util::ThreadPool serial{0};
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    const Model model = trajectory_mip(3 + static_cast<int>(seed % 3),
+                                       3 + static_cast<int>(seed % 4), seed);
+    const MipResult injected =
+        solve_mip_parallel(model, parallel_options(), nullptr, nullptr,
+                           &serial);
+    const MipResult shared = solve_mip(model, parallel_options());
+    expect_bitwise_equal(shared, injected, seed);
+  }
+}
+
+TEST(ParallelBb, ObjectiveMatchesReference) {
+  for (std::uint64_t seed = 200; seed < 240; ++seed) {
+    const Model model = seed % 2 == 0
+                            ? random_model(seed)
+                            : trajectory_mip(2 + static_cast<int>(seed % 3),
+                                             2 + static_cast<int>(seed % 4),
+                                             seed);
+    const MipResult want = reference::solve_mip(model);
+    const MipResult got = solve_mip(model, parallel_options());
+    ASSERT_EQ(got.status, want.status) << "seed " << seed;
+    if (want.status != LpStatus::optimal) continue;
+    EXPECT_NEAR(got.objective, want.objective, kObjTol) << "seed " << seed;
+    // Feasibility audit of the (possibly different) vertex.
+    for (std::size_t i = 0; i < got.x.size(); ++i) {
+      const Variable& v = model.vars()[i];
+      EXPECT_GE(got.x[i], v.lb - kObjTol) << "seed " << seed;
+      EXPECT_LE(got.x[i], v.ub + kObjTol) << "seed " << seed;
+      if (v.integer) {
+        EXPECT_NEAR(got.x[i], std::round(got.x[i]), 1e-9);
+      }
+    }
+    for (const Constraint& con : model.constraints()) {
+      double act = 0.0;
+      for (const auto& [idx, coeff] : con.terms) {
+        act += coeff * got.x[static_cast<std::size_t>(idx)];
+      }
+      switch (con.rel) {
+        case Rel::le: EXPECT_LE(act, con.rhs + kObjTol); break;
+        case Rel::ge: EXPECT_GE(act, con.rhs - kObjTol); break;
+        case Rel::eq: EXPECT_NEAR(act, con.rhs, kObjTol); break;
+      }
+    }
+  }
+}
+
+TEST(ParallelBb, WarmCutoffPreservesThreadInvariance) {
+  // A warm incumbent changes which nodes enter the frontier, but the
+  // search must stay bit-identical across pool widths with the same warm
+  // vector, and the returned objective must match the cold optimum.
+  util::ThreadPool serial{0};
+  util::ThreadPool wide{3};
+  for (std::uint64_t seed = 300; seed < 315; ++seed) {
+    const Model model = trajectory_mip(3, 4, seed);
+    const MipResult cold = solve_mip(model, parallel_options());
+    ASSERT_EQ(cold.status, LpStatus::optimal) << "seed " << seed;
+    MipWarmStart warm{cold.x};
+    const MipResult one =
+        solve_mip_parallel(model, parallel_options(), &warm, nullptr,
+                           &serial);
+    const MipResult four =
+        solve_mip_parallel(model, parallel_options(), &warm, nullptr,
+                           &wide);
+    expect_bitwise_equal(four, one, seed);
+    EXPECT_EQ(one.objective, cold.objective) << "seed " << seed;
+  }
+}
+
+TEST(ParallelBb, BasisHintInvariantAcrossPoolWidths) {
+  util::ThreadPool serial{0};
+  util::ThreadPool wide{3};
+  for (std::uint64_t seed = 400; seed < 410; ++seed) {
+    const Model model = trajectory_mip(4, 4, seed);
+    MipBasisHint hint_serial;
+    MipBasisHint hint_wide;
+    // Prime both hints, then re-solve with them at different widths.
+    ASSERT_EQ(solve_mip_parallel(model, parallel_options(), nullptr,
+                                 &hint_serial, &serial)
+                  .status,
+              LpStatus::optimal);
+    ASSERT_EQ(solve_mip_parallel(model, parallel_options(), nullptr,
+                                 &hint_wide, &wide)
+                  .status,
+              LpStatus::optimal);
+    ASSERT_EQ(hint_serial.rows, hint_wide.rows) << "seed " << seed;
+    const MipResult one = solve_mip_parallel(model, parallel_options(),
+                                             nullptr, &hint_serial, &serial);
+    const MipResult four = solve_mip_parallel(model, parallel_options(),
+                                              nullptr, &hint_wide, &wide);
+    EXPECT_TRUE(one.used_basis_hint) << "seed " << seed;
+    expect_bitwise_equal(four, one, seed);
+  }
+}
+
+TEST(ParallelBb, EdgeStatusesMatchSerialEngines) {
+  // Infeasible.
+  {
+    Model m;
+    const int x = m.add_var("x", 1.0, 0.0, 1.0, true);
+    m.add_constraint({{x, 1.0}}, Rel::ge, 2.0);
+    EXPECT_EQ(solve_mip(m, parallel_options()).status, LpStatus::infeasible);
+  }
+  // Box-only model (presolve discharges every row).
+  {
+    Model m;
+    const int x = m.add_var("x", 1.0, 0.0, 10.0, true);
+    const int y = m.add_var("y", 2.0, 0.0, 10.0);
+    m.add_constraint({{x, 1.0}}, Rel::eq, 4.0);
+    m.add_constraint({{y, 2.0}}, Rel::eq, 3.0);
+    const MipResult r = solve_mip(m, parallel_options());
+    ASSERT_EQ(r.status, LpStatus::optimal);
+    EXPECT_NEAR(r.x[0], 4.0, 1e-9);
+    EXPECT_NEAR(r.x[1], 1.5, 1e-9);
+  }
+  // Node budget exhaustion surfaces as unproven, at any width, same count.
+  {
+    util::ThreadPool serial{0};
+    util::ThreadPool wide{3};
+    // Trajectory LPs are often integral at the root, so hunt for a random
+    // model that genuinely branches before applying the budget.
+    Model model;
+    bool found = false;
+    for (std::uint64_t seed = 500; seed < 560; ++seed) {
+      model = random_model(seed);
+      const MipResult full = solve_mip(model, parallel_options());
+      if (full.status == LpStatus::optimal && full.nodes_explored > 6) {
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+    MipOptions strangled = parallel_options();
+    strangled.max_nodes = 3;
+    const MipResult one = solve_mip_parallel(model, strangled, nullptr,
+                                             nullptr, &serial);
+    const MipResult four = solve_mip_parallel(model, strangled, nullptr,
+                                              nullptr, &wide);
+    EXPECT_EQ(one.nodes_explored, four.nodes_explored);
+    EXPECT_EQ(one.proven_optimal, four.proven_optimal);
+    EXPECT_FALSE(one.proven_optimal);
+    EXPECT_EQ(one.status, four.status);
+  }
+}
+
+}  // namespace
+}  // namespace vbatt::solver
