@@ -2,6 +2,7 @@
 
 #include "vbatt/dcsim/site_block.h"
 #include "vbatt/util/arena.h"
+#include "vbatt/util/signal.h"
 
 #include <algorithm>
 #include <bit>
@@ -400,8 +401,10 @@ VmLevelResult run_fleet_simulation(
   std::uint64_t topo_epoch = hooks ? hooks->topology_epoch() : 0;
 
   for (std::size_t i = 0; i < n_ticks; ++i) {
+    if (util::shutdown_requested()) break;
     const auto t = static_cast<util::Tick>(i);
     state.now = t;
+    ++result.base.completed_ticks;
 
     // 0. Serial fault prologue: link transitions apply inside begin_tick;
     //    due server repairs are handed to their shards for phase A. A

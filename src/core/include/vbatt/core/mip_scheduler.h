@@ -126,6 +126,18 @@ class MipScheduler final : public Scheduler {
   /// failure is never fatal.
   std::int64_t fallback_count() const override { return fallback_count_; }
 
+  /// Serialize the placement-bearing caches: cache_now_, bucketized
+  /// capacity/load/traffic ledgers, the subgraph ranking, and the
+  /// prev-trajectory incumbents. The forecast cache is NOT serialized —
+  /// nothing reads it between refreshes, and the next refresh_capacity
+  /// rebuilds it from the graph. Cross-replan basis hints are not
+  /// serialized either and save_state refuses to run with reuse_basis on:
+  /// hints can steer which equal-cost optimum the solver lands on, so a
+  /// restored scheduler could diverge. The service pins reuse_basis (and
+  /// warm_start) off for exactly this reason.
+  void save_state(util::wire::Writer& w) const override;
+  void restore_state(util::wire::Reader& r) override;
+
  private:
   struct Trajectory {
     double cost = 0.0;

@@ -13,6 +13,7 @@
 
 #include "vbatt/core/vb_graph.h"
 #include "vbatt/util/time.h"
+#include "vbatt/util/wire.h"
 #include "vbatt/workload/app.h"
 
 namespace vbatt::core {
@@ -95,6 +96,16 @@ class Scheduler {
   /// (e.g. MIP solver timeout -> shrunken horizon -> greedy). Schedulers
   /// without a fallback ladder report 0.
   virtual std::int64_t fallback_count() const { return 0; }
+
+  /// Serialize decision-bearing internal state (SimStepper save/restore):
+  /// everything a placement or replan between now and the next cache
+  /// refresh reads. Stateless schedulers write nothing. Observability
+  /// counters are deliberately excluded — the stepper accounts for those
+  /// separately (fallback_base_).
+  virtual void save_state(util::wire::Writer& w) const { (void)w; }
+  /// Inverse of save_state(), on a freshly constructed scheduler with the
+  /// same config.
+  virtual void restore_state(util::wire::Reader& r) { (void)r; }
 };
 
 /// The paper's baseline: "always assigns VMs to the site with the most

@@ -70,6 +70,10 @@ struct SimResult {
   std::int64_t stable_vm_downtime_ticks = 0;
   /// Fleet-wide displaced stable cores per tick (p99 recovery analysis).
   std::vector<std::int64_t> displaced_stable_cores_per_tick;
+  /// Ticks fully simulated. Equals the horizon length on a normal run;
+  /// smaller when a cooperative shutdown (util::shutdown_requested) stopped
+  /// the loop early — per-tick series past this index are untouched zeros.
+  std::int64_t completed_ticks = 0;
 
   SimResult(std::size_t n_sites, std::size_t n_ticks)
       : moved_gb(n_ticks, 0.0),

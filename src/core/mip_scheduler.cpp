@@ -475,6 +475,83 @@ MipSchedulerConfig make_mip_config() {
   return config;
 }
 
+void MipScheduler::save_state(util::wire::Writer& w) const {
+  if (config_.reuse_basis) {
+    throw std::runtime_error{
+        "MipScheduler::save_state: basis hints are not serializable; "
+        "construct the scheduler with reuse_basis=false (see header)"};
+  }
+  const auto save_matrix = [&w](const std::vector<std::vector<double>>& m) {
+    w.u64(m.size());
+    for (const std::vector<double>& row : m) w.vec_f64(row);
+  };
+  w.i64(cache_now_);
+  save_matrix(capacity_);
+  save_matrix(load_);
+  w.vec_f64(committed_moves_gb_);
+  w.u64(ranked_.size());
+  for (const RankedSubgraph& sub : ranked_) {
+    w.u64(sub.sites.size());
+    for (const std::size_t s : sub.sites) w.u64(s);
+    w.f64(sub.cov);
+    w.f64(sub.mean_cores);
+  }
+  w.u64(prev_trajectories_.size());
+  for (const auto& [id, trajectory] : prev_trajectories_) {
+    w.i64(id);
+    w.f64(trajectory.cost);
+    w.i64(trajectory.start);
+    w.u64(trajectory.sites.size());
+    for (const std::size_t s : trajectory.sites) w.u64(s);
+  }
+}
+
+void MipScheduler::restore_state(util::wire::Reader& r) {
+  if (config_.reuse_basis) {
+    throw std::runtime_error{
+        "MipScheduler::restore_state: construct with reuse_basis=false"};
+  }
+  const auto load_matrix = [&r] {
+    const std::uint64_t n = r.u64();
+    std::vector<std::vector<double>> m;
+    m.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.push_back(r.vec_f64());
+    return m;
+  };
+  const auto load_sites = [&r] {
+    const std::uint64_t n = r.u64();
+    std::vector<std::size_t> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      v.push_back(static_cast<std::size_t>(r.u64()));
+    }
+    return v;
+  };
+  cache_now_ = r.i64();
+  capacity_ = load_matrix();
+  load_ = load_matrix();
+  committed_moves_gb_ = r.vec_f64();
+  ranked_.clear();
+  const std::uint64_t n_ranked = r.u64();
+  for (std::uint64_t i = 0; i < n_ranked; ++i) {
+    RankedSubgraph sub;
+    sub.sites = load_sites();
+    sub.cov = r.f64();
+    sub.mean_cores = r.f64();
+    ranked_.push_back(std::move(sub));
+  }
+  prev_trajectories_.clear();
+  const std::uint64_t n_prev = r.u64();
+  for (std::uint64_t i = 0; i < n_prev; ++i) {
+    const std::int64_t id = r.i64();
+    Trajectory trajectory;
+    trajectory.cost = r.f64();
+    trajectory.start = r.i64();
+    trajectory.sites = load_sites();
+    prev_trajectories_.emplace(id, std::move(trajectory));
+  }
+}
+
 MipSchedulerConfig make_mip24h_config() {
   MipSchedulerConfig config;
   config.name = "MIP-24h";

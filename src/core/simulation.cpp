@@ -1,334 +1,36 @@
 #include "vbatt/core/simulation.h"
 
-#include <algorithm>
-#include <map>
-#include <queue>
-#include <set>
-#include <stdexcept>
-#include <utility>
+#include "vbatt/core/sim_stepper.h"
+#include "vbatt/util/signal.h"
 
 namespace vbatt::core {
-
-namespace {
-
-/// Move an app between sites in the state ledgers and the per-site index.
-void relocate(FleetState& state, std::vector<std::set<std::int64_t>>& by_site,
-              std::int64_t app_id, LiveApp& app, std::size_t to) {
-  state.stable_cores[app.site] -= app.app.stable_cores();
-  state.degradable_cores[app.site] -=
-      app.active_degradable * app.app.shape.cores;
-  by_site[app.site].erase(app_id);
-  app.site = to;
-  state.stable_cores[to] += app.app.stable_cores();
-  state.degradable_cores[to] += app.active_degradable * app.app.shape.cores;
-  by_site[to].insert(app_id);
-}
-
-}  // namespace
 
 SimResult run_simulation(const VbGraph& graph,
                          const std::vector<workload::Application>& apps,
                          Scheduler& scheduler,
                          const SitePowerModel& power_model,
                          const FaultConfig* faults) {
-  const std::size_t n_sites = graph.n_sites();
+  // Thin batch driver over the incremental stepper (sim_stepper.h): the
+  // stepper owns all per-run state and the phase bodies; this loop only
+  // feeds the arrival trace and polls the cooperative shutdown flag.
+  SimStepper stepper{graph, scheduler, power_model, faults};
   const std::size_t n_ticks = graph.n_ticks();
-  SimResult result{n_sites, n_ticks};
-
-  // Every fault branch below is gated on `hooks` so the no-fault run stays
-  // byte-identical to the pre-fault simulator.
-  FaultHooks* const hooks = faults ? faults->hooks : nullptr;
-  const MoveRetryPolicy retry = faults ? faults->retry : MoveRetryPolicy{};
-  /// A proactive move that could not execute (target blacked out or link
-  /// severed), waiting out its backoff.
-  struct PendingRetry {
-    Move move;
-    int attempts = 0;  // failed attempts so far
-  };
-  std::map<util::Tick, std::vector<PendingRetry>> retry_queue;
-  std::vector<int> avail_cache;  // per-tick available, for the snapshot
-  if (hooks) avail_cache.assign(n_sites, 0);
-
-  FleetState state;
-  state.graph = &graph;
-  state.stable_cores.assign(n_sites, 0);
-  state.degradable_cores.assign(n_sites, 0);
-
-  // Pending proactive moves, per app (replans replace the whole set), plus
-  // a due-tick index so each tick touches only apps with a move due now.
-  std::map<std::int64_t, std::vector<Move>> pending;
-  std::map<util::Tick, std::set<std::int64_t>> due_moves;
-
-  // Departure calendar queue and resident apps per site (app_id-ordered,
-  // so per-site sweeps see the same order the global sweep produced).
-  using AppDeparture = std::pair<util::Tick, std::int64_t>;
-  std::priority_queue<AppDeparture, std::vector<AppDeparture>,
-                      std::greater<AppDeparture>>
-      departures;
-  std::vector<std::set<std::int64_t>> site_apps(n_sites);
-
-  const util::Tick replan_period = scheduler.replan_period_ticks();
   std::size_t next_app = 0;
-  std::uint64_t topo_epoch = hooks ? hooks->topology_epoch() : 0;
 
   for (std::size_t i = 0; i < n_ticks; ++i) {
+    if (util::shutdown_requested()) break;
     const auto t = static_cast<util::Tick>(i);
-    state.now = t;
-
-    // 0. Fault bookkeeping for this tick (link up/down transitions apply
-    //    to the graph inside begin_tick). A topology-epoch advance tells
-    //    the scheduler to drop warm-start state keyed to the old fleet.
-    if (hooks) {
-      hooks->begin_tick(t);
-      if (const std::uint64_t epoch = hooks->topology_epoch();
-          epoch != topo_epoch) {
-        topo_epoch = epoch;
-        scheduler.on_topology_change();
-      }
-    }
-
-    /// Whether `move` can execute right now under active faults.
-    const auto move_blocked = [&](const LiveApp& app, const Move& move) {
-      return hooks->site_down(move.to_site, t) ||
-             !graph.latency().connected(app.site, move.to_site);
-    };
-    /// Charge and apply a proactive move.
-    const auto execute_move = [&](std::int64_t app_id, LiveApp& app,
-                                  const Move& move) {
-      const double gb = app.app.stable_memory_gb();
-      result.ledger.record_out(app.site, t, gb);
-      result.ledger.record_in(move.to_site, t, gb);
-      result.moved_gb[i] += gb;
-      relocate(state, site_apps, app_id, app, move.to_site);
-      ++result.planned_migrations;
-    };
-    /// Re-queue a blocked move with capped exponential backoff, or abandon
-    /// it once the attempt budget is spent.
-    const auto defer_move = [&](const Move& move, int prior_attempts) {
-      const int attempts = prior_attempts + 1;
-      if (attempts >= retry.max_attempts) {
-        ++result.abandoned_moves;
-        return;
-      }
-      util::Tick backoff = retry.base_backoff_ticks;
-      for (int a = 1; a < attempts && backoff < retry.max_backoff_ticks; ++a) {
-        backoff *= 2;
-      }
-      backoff = std::min(backoff, retry.max_backoff_ticks);
-      Move again = move;
-      again.at_tick = t + backoff;
-      retry_queue[again.at_tick].push_back({again, attempts});
-      ++result.retried_moves;
-    };
-
-    // 1. Departures, served from the calendar queue.
-    while (!departures.empty() && departures.top().first <= t) {
-      const std::int64_t app_id = departures.top().second;
-      departures.pop();
-      const auto it = state.apps.find(app_id);
-      if (it == state.apps.end()) continue;  // defensive: apps depart once
-      LiveApp& app = it->second;
-      state.stable_cores[app.site] -= app.app.stable_cores();
-      state.degradable_cores[app.site] -=
-          app.active_degradable * app.app.shape.cores;
-      site_apps[app.site].erase(app_id);
-      pending.erase(app_id);
-      state.apps.erase(it);
-    }
-
-    // 2. Replanning: the returned schedule supersedes all pending moves.
-    if (replan_period > 0 && t > 0 && t % replan_period == 0) {
-      pending.clear();
-      due_moves.clear();
-      retry_queue.clear();  // a replan supersedes every outstanding move
-      for (Move& move : scheduler.replan(state)) {
-        due_moves[move.at_tick].insert(move.app_id);
-        pending[move.app_id].push_back(move);
-      }
-    }
-
-    // 3. Arrivals.
+    stepper.begin_tick(t);
+    stepper.process_departures();
+    stepper.maybe_replan();
     while (next_app < apps.size() && apps[next_app].arrival <= t) {
-      const workload::Application& app = apps[next_app];
-      const Scheduler::Placement placement = scheduler.place(app, state);
-      LiveApp live;
-      live.app = app;
-      live.end_tick = app.lifetime_ticks < 0 ? -1 : t + app.lifetime_ticks;
-      live.site = placement.site;
-      live.allowed = placement.allowed;
-      live.active_degradable = app.n_degradable;
-      state.stable_cores[live.site] += app.stable_cores();
-      state.degradable_cores[live.site] +=
-          live.active_degradable * app.shape.cores;
-      site_apps[live.site].insert(app.app_id);
-      if (live.end_tick >= 0) departures.emplace(live.end_tick, app.app_id);
-      state.apps.emplace(app.app_id, std::move(live));
-      if (!placement.scheduled_moves.empty()) {
-        for (const Move& move : placement.scheduled_moves) {
-          due_moves[move.at_tick].insert(app.app_id);
-        }
-        pending[app.app_id] = placement.scheduled_moves;
-      }
-      ++result.apps_placed;
+      stepper.arrive(apps[next_app]);
       ++next_app;
     }
-
-    // 4. Execute due proactive moves (only apps with a move due now).
-    if (const auto due = due_moves.find(t); due != due_moves.end()) {
-      for (const std::int64_t app_id : due->second) {
-        const auto pend = pending.find(app_id);
-        if (pend == pending.end()) continue;
-        const auto live_it = state.apps.find(app_id);
-        if (live_it == state.apps.end()) continue;
-        LiveApp& app = live_it->second;
-        for (const Move& move : pend->second) {
-          if (move.at_tick > t) break;  // moves are emitted in time order
-          if (move.at_tick == t && move.to_site != app.site) {
-            if (hooks && move_blocked(app, move)) {
-              defer_move(move, 0);
-            } else {
-              execute_move(app_id, app, move);
-            }
-          }
-        }
-      }
-      due_moves.erase(due);
-    }
-
-    // 4b. Retry moves whose backoff expires now (fault runs only).
-    if (hooks) {
-      if (const auto due = retry_queue.find(t); due != retry_queue.end()) {
-        std::vector<PendingRetry> batch = std::move(due->second);
-        retry_queue.erase(due);
-        for (const PendingRetry& pr : batch) {
-          const auto live_it = state.apps.find(pr.move.app_id);
-          if (live_it == state.apps.end()) continue;  // departed meanwhile
-          LiveApp& app = live_it->second;
-          if (pr.move.to_site == app.site) continue;  // already there
-          if (move_blocked(app, pr.move)) {
-            defer_move(pr.move, pr.attempts);
-          } else {
-            execute_move(pr.move.app_id, app, pr.move);
-          }
-        }
-      }
-    }
-
-    // 5. Capacity enforcement, site by site (resident apps only, via the
-    //    per-site index — no fleet-wide app sweep per site). A blacked-out
-    //    site has 0 available cores in the (baked) graph, so the ordering
-    //    below is exactly the emergency path: pause every degradable VM
-    //    first (5a), then force-migrate stable apps out (5b), and count
-    //    whatever cannot leave as displaced.
-    std::int64_t displaced_this_tick = 0;
-    for (std::size_t s = 0; s < n_sites; ++s) {
-      const int avail = graph.available_cores(s, t);
-      if (hooks) avail_cache[s] = avail;
-
-      // 5a. Degradable VMs absorb the dip first: pause until the site's
-      //     stable + active-degradable demand fits (or all are paused).
-      int stable = state.stable_cores[s];
-      int budget = avail - stable;  // cores left for degradable
-      for (const std::int64_t id : site_apps[s]) {
-        LiveApp& app = state.apps.at(id);
-        if (app.app.n_degradable == 0) continue;
-        const int want = app.app.n_degradable;
-        const int can =
-            std::clamp(budget / std::max(1, app.app.shape.cores), 0, want);
-        if (can != app.active_degradable) {
-          state.degradable_cores[s] +=
-              (can - app.active_degradable) * app.app.shape.cores;
-          app.active_degradable = can;
-        }
-        budget -= can * app.app.shape.cores;
-        result.paused_degradable_vm_ticks += want - can;
-        result.degradable_active_vm_ticks += can;
-      }
-
-      // 5b. Forced migration of whole apps while stable demand exceeds
-      //     powered capacity. Snapshot the residents: relocation mutates
-      //     the per-site index mid-iteration.
-      if (stable > avail) {
-        const std::vector<std::int64_t> residents(site_apps[s].begin(),
-                                                  site_apps[s].end());
-        for (const std::int64_t id : residents) {
-          if (stable <= avail) break;
-          LiveApp& app = state.apps.at(id);
-          if (app.site != s) continue;
-          // Best target: allowed site with the most headroom that fits.
-          std::size_t target = s;
-          int best_headroom = 0;
-          for (const std::size_t cand : app.allowed) {
-            if (cand == s) continue;
-            const int headroom = graph.available_cores(cand, t) -
-                                 state.stable_cores[cand] -
-                                 state.degradable_cores[cand];
-            if (headroom >= app.app.stable_cores() &&
-                headroom > best_headroom) {
-              target = cand;
-              best_headroom = headroom;
-            }
-          }
-          if (target == s) continue;  // nowhere to go
-          const double gb = app.app.stable_memory_gb();
-          result.ledger.record_out(s, t, gb);
-          result.ledger.record_in(target, t, gb);
-          result.moved_gb[i] += gb;
-          relocate(state, site_apps, id, app, target);
-          ++result.forced_migrations;
-          stable = state.stable_cores[s];
-        }
-        if (stable > avail) {
-          result.displaced_stable_core_ticks += stable - avail;
-          displaced_this_tick += stable - avail;
-          // Attribute the shortfall to resident apps (ascending id) so the
-          // availability report can rank per-app impact.
-          int deficit = stable - avail;
-          for (const std::int64_t id : site_apps[s]) {
-            if (deficit <= 0) break;
-            const LiveApp& app = state.apps.at(id);
-            const int hit = std::min(deficit, app.app.stable_cores());
-            result.displaced_by_app[id] += hit;
-            deficit -= hit;
-          }
-        }
-      }
-    }
-
-    // 6. Compute energy accounting (goal iii): powered servers draw idle
-    //    power, active cores draw incremental power.
-    const double hours_per_tick = graph.axis().minutes_per_tick() / 60.0;
-    for (std::size_t s = 0; s < n_sites; ++s) {
-      const int active = state.stable_cores[s] + state.degradable_cores[s];
-      if (active <= 0) continue;
-      const int servers =
-          (active + power_model.cores_per_server - 1) /
-          power_model.cores_per_server;
-      const double watts = servers * power_model.server_idle_watts +
-                           active * power_model.watts_per_active_core;
-      const double mwh = watts * hours_per_tick / 1e6;
-      result.energy_mwh += mwh;
-      result.energy_mwh_per_tick[i] += mwh;
-    }
-
-    // 7. Fault accounting and end-of-tick observation.
-    result.displaced_stable_cores_per_tick[i] = displaced_this_tick;
-    if (hooks) {
-      if (displaced_this_tick > 0) ++result.stable_vm_downtime_ticks;
-      for (std::size_t s = 0; s < n_sites; ++s) {
-        if (hooks->site_degraded(s, t)) ++result.faulted_site_ticks;
-      }
-      TickSnapshot snap;
-      snap.t = t;
-      snap.available = &avail_cache;
-      snap.stable_cores = &state.stable_cores;
-      snap.degradable_cores = &state.degradable_cores;
-      snap.displaced_stable_cores = displaced_this_tick;
-      hooks->on_tick_end(snap);
-    }
+    stepper.execute_due_moves();
+    stepper.enforce_and_meter();
   }
-  result.fallback_activations = scheduler.fallback_count();
-  return result;
+  return stepper.take_result();
 }
 
 }  // namespace vbatt::core

@@ -1,6 +1,7 @@
 #include "vbatt/core/vm_level_sim.h"
 
 #include "vbatt/util/dense_index.h"
+#include "vbatt/util/signal.h"
 
 #include <algorithm>
 #include <deque>
@@ -210,8 +211,10 @@ VmLevelResult run_vm_level_simulation(
   std::uint64_t topo_epoch = hooks ? hooks->topology_epoch() : 0;
 
   for (std::size_t i = 0; i < n_ticks; ++i) {
+    if (util::shutdown_requested()) break;
     const auto t = static_cast<util::Tick>(i);
     state.now = t;
+    ++result.base.completed_ticks;
 
     // 0. Fault bookkeeping: link transitions apply inside begin_tick, and
     //    servers whose outage ends now come back (empty, placeable again).

@@ -113,4 +113,30 @@ void save_schedule_csv(const FaultSchedule& schedule, const std::string& path);
 /// later via FaultSchedule::validate.
 FaultSchedule load_schedule_csv(const std::string& path);
 
+/// Structural limits for strict CSV loading. Operator-facing paths (CLI
+/// --chaos-csv, the control-plane service) know the graph they will replay
+/// against, so the loader can reject what FaultSchedule::validate would
+/// only catch later — but with the line and column of the offending row.
+struct ScheduleLoadLimits {
+  std::size_t n_sites = 0;
+  std::size_t n_ticks = 0;
+};
+
+/// Strict variant: everything the plain loader rejects, plus sites/peers
+/// >= limits.n_sites, start/end ticks outside [0, n_ticks], and windows of
+/// the same kind overlapping on the same site (same endpoint pair for
+/// link_down) — an operator schedule with two blackouts covering the same
+/// (site, tick) is almost certainly a typo, and silently compounding
+/// overlapping brownouts is worse. Errors name line and column; overlap
+/// errors also name the line of the earlier window.
+FaultSchedule load_schedule_csv(const std::string& path,
+                                const ScheduleLoadLimits& limits);
+
+/// Reject out-of-range ChaosConfig fields (negative intensity or rates,
+/// non-positive durations, alpha/sigma/fraction outside their domains)
+/// with a std::runtime_error naming the offending field. Shared by every
+/// surface that accepts operator-supplied chaos knobs (CLI flags, service
+/// reconfigure commands) so the message is identical everywhere.
+void validate_chaos_config(const ChaosConfig& config);
+
 }  // namespace vbatt::fault

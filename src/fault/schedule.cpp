@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
@@ -244,7 +245,10 @@ void save_schedule_csv(const FaultSchedule& schedule,
   }
 }
 
-FaultSchedule load_schedule_csv(const std::string& path) {
+namespace {
+
+FaultSchedule load_schedule_csv_impl(const std::string& path,
+                                     const ScheduleLoadLimits* limits) {
   std::ifstream in{path};
   if (!in) {
     throw std::runtime_error{"load_schedule_csv: cannot open " + path};
@@ -253,6 +257,17 @@ FaultSchedule load_schedule_csv(const std::string& path) {
   if (!std::getline(in, line)) {
     throw std::runtime_error{"load_schedule_csv: empty file " + path};
   }
+
+  /// Accepted windows per (kind, site, peer), with the line that declared
+  /// each — overlap rejection names both rows.
+  struct SeenWindow {
+    util::Tick start;
+    util::Tick end;
+    std::size_t line_no;
+  };
+  std::map<std::tuple<int, std::size_t, std::size_t>,
+           std::vector<SeenWindow>>
+      seen;
 
   FaultSchedule schedule;
   std::size_t line_no = 1;
@@ -282,9 +297,109 @@ FaultSchedule load_schedule_csv(const std::string& path) {
     e.count = static_cast<int>(parse_number(cells[7], line_no, 7));
     if (e.end <= e.start) reject("end must exceed start", line_no, 2);
     if (e.sigma < 0.0) reject("negative sigma", line_no, 6);
+
+    if (limits != nullptr) {
+      if (e.start < 0 ||
+          e.start >= static_cast<util::Tick>(limits->n_ticks)) {
+        reject("start tick outside [0, " + std::to_string(limits->n_ticks) +
+                   ")",
+               line_no, 1);
+      }
+      if (e.end > static_cast<util::Tick>(limits->n_ticks)) {
+        reject("end tick past the horizon (" +
+                   std::to_string(limits->n_ticks) + ")",
+               line_no, 2);
+      }
+      if (e.site >= limits->n_sites) {
+        reject("site outside [0, " + std::to_string(limits->n_sites) + ")",
+               line_no, 3);
+      }
+      if (e.kind == FaultKind::link_down && e.peer >= limits->n_sites) {
+        reject("peer outside [0, " + std::to_string(limits->n_sites) + ")",
+               line_no, 4);
+      }
+      // Overlap check within the same (kind, site[, peer]) lane. Links are
+      // undirected: canonicalize the endpoint pair.
+      std::size_t a = e.site;
+      std::size_t b = e.kind == FaultKind::link_down ? e.peer : 0;
+      if (a > b && e.kind == FaultKind::link_down) std::swap(a, b);
+      const auto key = std::make_tuple(static_cast<int>(e.kind), a, b);
+      for (const SeenWindow& w : seen[key]) {
+        if (e.start < w.end && w.start < e.end) {
+          reject("window [" + std::to_string(e.start) + ", " +
+                     std::to_string(e.end) + ") overlaps the " +
+                     std::string{to_string(e.kind)} + " window from line " +
+                     std::to_string(w.line_no) + " on the same site",
+                 line_no, 1);
+        }
+      }
+      seen[key].push_back({e.start, e.end, line_no});
+    }
     schedule.events.push_back(e);
   }
   return schedule;
+}
+
+}  // namespace
+
+FaultSchedule load_schedule_csv(const std::string& path) {
+  return load_schedule_csv_impl(path, nullptr);
+}
+
+FaultSchedule load_schedule_csv(const std::string& path,
+                                const ScheduleLoadLimits& limits) {
+  return load_schedule_csv_impl(path, &limits);
+}
+
+void validate_chaos_config(const ChaosConfig& config) {
+  const auto bad = [](const std::string& field, const std::string& why) {
+    throw std::runtime_error{"ChaosConfig: field '" + field + "' " + why};
+  };
+  if (config.intensity < 0.0) bad("intensity", "must not be negative");
+  if (config.ticks_per_day <= 0) bad("ticks_per_day", "must be positive");
+  if (config.blackouts_per_site_week < 0.0) {
+    bad("blackouts_per_site_week", "must not be negative");
+  }
+  if (config.blackout_mean_ticks <= 0) {
+    bad("blackout_mean_ticks", "must be positive");
+  }
+  if (config.brownouts_per_site_week < 0.0) {
+    bad("brownouts_per_site_week", "must not be negative");
+  }
+  if (config.brownout_mean_ticks <= 0) {
+    bad("brownout_mean_ticks", "must be positive");
+  }
+  if (config.brownout_alpha < 0.0 || config.brownout_alpha >= 1.0) {
+    bad("brownout_alpha", "must lie in [0, 1)");
+  }
+  if (config.forecast_errors_per_site_week < 0.0) {
+    bad("forecast_errors_per_site_week", "must not be negative");
+  }
+  if (config.forecast_error_mean_ticks <= 0) {
+    bad("forecast_error_mean_ticks", "must be positive");
+  }
+  if (config.forecast_bias < -1.0) {
+    bad("forecast_bias", "must not fall below -1");
+  }
+  if (config.forecast_sigma < 0.0) {
+    bad("forecast_sigma", "must not be negative");
+  }
+  if (config.link_downs_per_link_week < 0.0) {
+    bad("link_downs_per_link_week", "must not be negative");
+  }
+  if (config.link_down_mean_ticks <= 0) {
+    bad("link_down_mean_ticks", "must be positive");
+  }
+  if (config.server_failures_per_site_week < 0.0) {
+    bad("server_failures_per_site_week", "must not be negative");
+  }
+  if (config.server_repair_mean_ticks <= 0) {
+    bad("server_repair_mean_ticks", "must be positive");
+  }
+  if (config.server_failure_frac <= 0.0 || config.server_failure_frac > 1.0) {
+    bad("server_failure_frac", "must lie in (0, 1]");
+  }
+  if (config.server_cores <= 0) bad("server_cores", "must be positive");
 }
 
 }  // namespace vbatt::fault

@@ -1,0 +1,191 @@
+#include "vbatt/svc/event.h"
+
+#include <stdexcept>
+
+#include "vbatt/util/wire.h"
+
+namespace vbatt::svc {
+
+namespace {
+
+bool valid_kind(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(EventKind::tick_advance) &&
+         k <= static_cast<std::uint8_t>(EventKind::reconfigure);
+}
+
+void encode_app(util::wire::Writer& w, const workload::Application& a) {
+  w.i64(a.app_id);
+  w.i64(a.arrival);
+  w.i64(a.lifetime_ticks);
+  w.i64(a.shape.cores);
+  w.f64(a.shape.memory_gb);
+  w.i64(a.n_stable);
+  w.i64(a.n_degradable);
+}
+
+workload::Application decode_app(util::wire::Reader& r) {
+  workload::Application a;
+  a.app_id = r.i64();
+  a.arrival = r.i64();
+  a.lifetime_ticks = r.i64();
+  a.shape.cores = static_cast<int>(r.i64());
+  a.shape.memory_gb = r.f64();
+  a.n_stable = static_cast<int>(r.i64());
+  a.n_degradable = static_cast<int>(r.i64());
+  return a;
+}
+
+void encode_fault(util::wire::Writer& w, const fault::FaultEvent& f) {
+  w.u8(static_cast<std::uint8_t>(f.kind));
+  w.i64(f.start);
+  w.i64(f.end);
+  w.u64(f.site);
+  w.u64(f.peer);
+  w.f64(f.alpha);
+  w.f64(f.sigma);
+  w.i64(f.count);
+}
+
+fault::FaultEvent decode_fault(util::wire::Reader& r) {
+  fault::FaultEvent f;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(fault::FaultKind::server_failure)) {
+    throw std::runtime_error{"decode_event: unknown fault kind " +
+                             std::to_string(kind)};
+  }
+  f.kind = static_cast<fault::FaultKind>(kind);
+  f.start = r.i64();
+  f.end = r.i64();
+  f.site = static_cast<std::size_t>(r.u64());
+  f.peer = static_cast<std::size_t>(r.u64());
+  f.alpha = r.f64();
+  f.sigma = r.f64();
+  f.count = static_cast<int>(r.i64());
+  return f;
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::tick_advance:
+      return "tick_advance";
+    case EventKind::power_reading:
+      return "power_reading";
+    case EventKind::forecast_update:
+      return "forecast_update";
+    case EventKind::vm_arrival:
+      return "vm_arrival";
+    case EventKind::vm_departure:
+      return "vm_departure";
+    case EventKind::fault_report:
+      return "fault_report";
+    case EventKind::heartbeat:
+      return "heartbeat";
+    case EventKind::drain_site:
+      return "drain_site";
+    case EventKind::undrain_site:
+      return "undrain_site";
+    case EventKind::pause:
+      return "pause";
+    case EventKind::resume:
+      return "resume";
+    case EventKind::reconfigure:
+      return "reconfigure";
+  }
+  return "unknown";
+}
+
+std::string encode_event(const Event& e) {
+  util::wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.u64(e.seq);
+  switch (e.kind) {
+    case EventKind::tick_advance:
+    case EventKind::pause:
+    case EventKind::resume:
+      break;
+    case EventKind::power_reading:
+      w.u64(e.site);
+      w.i64(e.tick);
+      w.vec_f64(e.values);
+      break;
+    case EventKind::forecast_update:
+      w.u64(e.site);
+      w.u64(e.lead);
+      w.i64(e.tick);
+      w.vec_f64(e.values);
+      break;
+    case EventKind::vm_arrival:
+      encode_app(w, e.app);
+      break;
+    case EventKind::vm_departure:
+      w.i64(e.app_id);
+      break;
+    case EventKind::fault_report:
+      encode_fault(w, e.fault);
+      break;
+    case EventKind::heartbeat:
+    case EventKind::drain_site:
+    case EventKind::undrain_site:
+      w.u64(e.site);
+      break;
+    case EventKind::reconfigure:
+      w.str(e.text);
+      break;
+  }
+  return w.take();
+}
+
+Event decode_event(std::string_view payload) {
+  util::wire::Reader r{payload};
+  const std::uint8_t kind = r.u8();
+  if (!valid_kind(kind)) {
+    throw std::runtime_error{"decode_event: unknown event kind " +
+                             std::to_string(kind)};
+  }
+  Event e;
+  e.kind = static_cast<EventKind>(kind);
+  e.seq = r.u64();
+  switch (e.kind) {
+    case EventKind::tick_advance:
+    case EventKind::pause:
+    case EventKind::resume:
+      break;
+    case EventKind::power_reading:
+      e.site = static_cast<std::size_t>(r.u64());
+      e.tick = r.i64();
+      e.values = r.vec_f64();
+      break;
+    case EventKind::forecast_update:
+      e.site = static_cast<std::size_t>(r.u64());
+      e.lead = static_cast<std::size_t>(r.u64());
+      e.tick = r.i64();
+      e.values = r.vec_f64();
+      break;
+    case EventKind::vm_arrival:
+      e.app = decode_app(r);
+      break;
+    case EventKind::vm_departure:
+      e.app_id = r.i64();
+      break;
+    case EventKind::fault_report:
+      e.fault = decode_fault(r);
+      break;
+    case EventKind::heartbeat:
+    case EventKind::drain_site:
+    case EventKind::undrain_site:
+      e.site = static_cast<std::size_t>(r.u64());
+      break;
+    case EventKind::reconfigure:
+      e.text = r.str();
+      break;
+  }
+  if (!r.done()) {
+    throw std::runtime_error{"decode_event: trailing bytes after " +
+                             std::string{to_string(e.kind)} + " payload"};
+  }
+  return e;
+}
+
+}  // namespace vbatt::svc

@@ -1,0 +1,131 @@
+#include "vbatt/svc/health.h"
+
+#include <stdexcept>
+
+#include "vbatt/util/wire.h"
+
+namespace vbatt::svc {
+
+const char* to_string(SiteHealth h) noexcept {
+  switch (h) {
+    case SiteHealth::alive:
+      return "alive";
+    case SiteHealth::suspect:
+      return "suspect";
+    case SiteHealth::dead:
+      return "dead";
+    case SiteHealth::recovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+HealthTracker::HealthTracker(std::size_t n_sites, const HealthConfig& config)
+    : config_{config},
+      states_(n_sites, SiteHealth::alive),
+      last_beat_(n_sites, util::Tick{-1}),
+      recover_streak_(n_sites, 0) {}
+
+std::vector<HealthTracker::Transition> HealthTracker::heartbeat(
+    std::size_t site, util::Tick now) {
+  std::vector<Transition> out;
+  if (!config_.enabled) return out;
+  if (site >= states_.size()) {
+    throw std::runtime_error{"HealthTracker: heartbeat for site " +
+                             std::to_string(site) + " out of range (fleet has " +
+                             std::to_string(states_.size()) + " sites)"};
+  }
+  last_beat_[site] = now;
+  switch (states_[site]) {
+    case SiteHealth::alive:
+      break;
+    case SiteHealth::suspect:
+      out.push_back({site, SiteHealth::suspect, SiteHealth::alive});
+      states_[site] = SiteHealth::alive;
+      break;
+    case SiteHealth::dead:
+      out.push_back({site, SiteHealth::dead, SiteHealth::recovering});
+      states_[site] = SiteHealth::recovering;
+      recover_streak_[site] = 1;
+      break;
+    case SiteHealth::recovering:
+      ++recover_streak_[site];
+      break;
+  }
+  return out;
+}
+
+std::vector<HealthTracker::Transition> HealthTracker::advance(util::Tick now) {
+  std::vector<Transition> out;
+  if (!config_.enabled) return out;
+  for (std::size_t site = 0; site < states_.size(); ++site) {
+    const util::Tick silence = now - last_beat_[site];
+    switch (states_[site]) {
+      case SiteHealth::alive:
+        if (silence > config_.dead_after) {
+          // A site can skip straight past Suspect when the timeouts are
+          // reconfigured downward mid-silence; emit both edges so the
+          // operator log never shows an impossible Alive -> Dead jump.
+          out.push_back({site, SiteHealth::alive, SiteHealth::suspect});
+          out.push_back({site, SiteHealth::suspect, SiteHealth::dead});
+          states_[site] = SiteHealth::dead;
+        } else if (silence > config_.suspect_after) {
+          out.push_back({site, SiteHealth::alive, SiteHealth::suspect});
+          states_[site] = SiteHealth::suspect;
+        }
+        break;
+      case SiteHealth::suspect:
+        if (silence > config_.dead_after) {
+          out.push_back({site, SiteHealth::suspect, SiteHealth::dead});
+          states_[site] = SiteHealth::dead;
+        }
+        break;
+      case SiteHealth::dead:
+        break;
+      case SiteHealth::recovering:
+        if (silence > config_.suspect_after) {
+          // Went quiet again before finishing recovery: back to Dead.
+          out.push_back({site, SiteHealth::recovering, SiteHealth::dead});
+          states_[site] = SiteHealth::dead;
+          recover_streak_[site] = 0;
+        } else if (recover_streak_[site] >= config_.recovering_ticks) {
+          out.push_back({site, SiteHealth::recovering, SiteHealth::alive});
+          states_[site] = SiteHealth::alive;
+          recover_streak_[site] = 0;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void HealthTracker::save(util::wire::Writer& w) const {
+  w.u64(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    w.u8(static_cast<std::uint8_t>(states_[i]));
+    w.i64(last_beat_[i]);
+    w.i64(recover_streak_[i]);
+  }
+}
+
+void HealthTracker::restore(util::wire::Reader& r) {
+  const std::size_t n = static_cast<std::size_t>(r.u64());
+  if (n != states_.size()) {
+    throw std::runtime_error{"HealthTracker::restore: snapshot has " +
+                             std::to_string(n) + " sites, tracker has " +
+                             std::to_string(states_.size())};
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = r.u8();
+    if (s > static_cast<std::uint8_t>(SiteHealth::recovering)) {
+      throw std::runtime_error{
+          "HealthTracker::restore: invalid site health state " +
+          std::to_string(s)};
+    }
+    states_[i] = static_cast<SiteHealth>(s);
+    last_beat_[i] = r.i64();
+    recover_streak_[i] = r.i64();
+  }
+}
+
+}  // namespace vbatt::svc

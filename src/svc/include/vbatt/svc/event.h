@@ -1,0 +1,85 @@
+// Typed events for the resident control-plane service.
+//
+// The service is an event-sourced state machine: every externally visible
+// state change enters as one Event, and the full history of accepted
+// events (plus the initial graph and config) determines the state
+// bit-exactly. That single property buys everything else in this module —
+// the append-only log is just the accepted-event sequence, a snapshot is a
+// serialization shortcut, and recovery is re-application.
+//
+// Events are flat and tagged rather than a class hierarchy: one struct
+// carries the union of payload fields, and `kind` says which are live.
+// This keeps encode/decode a single switch over fixed-width wire fields
+// (see encode_event), with no dynamic dispatch in the hot ingest path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vbatt/fault/schedule.h"
+#include "vbatt/util/time.h"
+#include "vbatt/workload/app.h"
+
+namespace vbatt::svc {
+
+enum class EventKind : std::uint8_t {
+  /// Advance the logical clock by one tick: run the full tick pipeline
+  /// (health sweep, departures, replan, buffered arrivals, moves,
+  /// enforcement). The only event that moves time.
+  tick_advance = 1,
+  /// Telemetry: actual normalized power for `site`, ticks
+  /// [tick, tick + values.size()). Future ticks only.
+  power_reading = 2,
+  /// Telemetry: forecast series for `site`, lead index `lead`.
+  forecast_update = 3,
+  /// A new application (`app`) to place at the next tick_advance.
+  vm_arrival = 4,
+  /// Application `app_id` leaves at the next tick_advance.
+  vm_departure = 5,
+  /// A fault observed in the field (`fault`); start must be in the future.
+  fault_report = 6,
+  /// Liveness report from `site`; feeds the health state machine.
+  heartbeat = 7,
+  /// Operator: evacuate `site` gracefully (capacity to zero, no fault).
+  drain_site = 8,
+  /// Operator: restore a drained site.
+  undrain_site = 9,
+  /// Operator: freeze the clock (tick_advance becomes a no-op).
+  pause = 10,
+  /// Operator: thaw the clock.
+  resume = 11,
+  /// Operator: adjust runtime config; `text` holds "key=value;..." pairs
+  /// (see apply_reconfigure in config.h).
+  reconfigure = 12,
+};
+
+/// Wire/debug name of an event kind.
+const char* to_string(EventKind kind) noexcept;
+
+struct Event {
+  EventKind kind = EventKind::tick_advance;
+  /// Log sequence number, assigned by the service when the event is
+  /// accepted (1-based; 0 = not yet accepted).
+  std::uint64_t seq = 0;
+
+  std::size_t site = 0;                 // power/forecast/heartbeat/drain
+  std::size_t lead = 0;                 // forecast_update
+  util::Tick tick = 0;                  // series start tick
+  std::vector<double> values;           // power/forecast payload
+  workload::Application app{};          // vm_arrival
+  std::int64_t app_id = 0;              // vm_departure
+  fault::FaultEvent fault{};            // fault_report
+  std::string text;                     // reconfigure
+};
+
+/// Serialize to the log payload format (little-endian, fixed widths; only
+/// the fields live for `kind` are written).
+std::string encode_event(const Event& e);
+
+/// Inverse of encode_event. Throws std::runtime_error on a malformed or
+/// truncated payload.
+Event decode_event(std::string_view payload);
+
+}  // namespace vbatt::svc

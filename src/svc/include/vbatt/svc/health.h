@@ -1,0 +1,89 @@
+// Per-site liveness state machine driven by heartbeats.
+//
+//            silence > suspect_after        silence > dead_after
+//   Alive ───────────────────────▶ Suspect ─────────────────────▶ Dead
+//     ▲                              │                             │
+//     │ heartbeat                    │ heartbeat                   │ heartbeat
+//     │ (recovering_ticks            ▼                             ▼
+//     │  of renewed beats)         Alive                       Recovering
+//     └──────────────────────────────────────────────────────────────┘
+//
+// Transitions are surfaced to the service, which maps Dead -> admin_down
+// (site zeroed, topology epoch bumped) and the Recovering -> Alive edge
+// -> admin_up. The tracker itself never touches the fleet — it is a pure
+// clock-and-counters machine, which keeps it trivially serializable and
+// keeps the fault semantics in one place (the StreamInjector).
+//
+// Determinism: advance(now) visits sites in index order, so the transition
+// list — and therefore the admin events and epoch bumps derived from it —
+// is a pure function of the heartbeat history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vbatt/svc/config.h"
+#include "vbatt/util/time.h"
+
+namespace vbatt::util::wire {
+class Writer;
+class Reader;
+}  // namespace vbatt::util::wire
+
+namespace vbatt::svc {
+
+enum class SiteHealth : std::uint8_t {
+  alive = 0,
+  suspect = 1,
+  dead = 2,
+  recovering = 3,
+};
+
+const char* to_string(SiteHealth h) noexcept;
+
+class HealthTracker {
+ public:
+  struct Transition {
+    std::size_t site = 0;
+    SiteHealth from = SiteHealth::alive;
+    SiteHealth to = SiteHealth::alive;
+  };
+
+  /// All sites start Alive with an implicit heartbeat at tick -1, so a
+  /// fleet that never beats starts decaying immediately once enabled.
+  HealthTracker(std::size_t n_sites, const HealthConfig& config);
+
+  /// Record a heartbeat observed at `now`. Suspect -> Alive instantly;
+  /// Dead -> Recovering; Recovering beats accumulate toward Alive (the
+  /// Recovering -> Alive edge itself fires in advance()). Returns the
+  /// transition if one occurred.
+  std::vector<Transition> heartbeat(std::size_t site, util::Tick now);
+
+  /// Advance the clock to `now` (called once per tick, before the tick is
+  /// simulated) and decay silent sites. Returns transitions in site order.
+  std::vector<Transition> advance(util::Tick now);
+
+  SiteHealth state(std::size_t site) const { return states_.at(site); }
+  std::size_t n_sites() const noexcept { return states_.size(); }
+  const HealthConfig& config() const noexcept { return config_; }
+
+  /// Swap in new timeouts mid-run (reconfigure); takes effect at the next
+  /// advance(). Existing states and heartbeat history are kept.
+  void set_config(const HealthConfig& config) { config_ = config; }
+
+  void save(util::wire::Writer& w) const;
+  /// Restore into a tracker constructed with the same n_sites; the config
+  /// is NOT serialized here (it lives in the ServiceConfig snapshot).
+  void restore(util::wire::Reader& r);
+
+ private:
+  HealthConfig config_;
+  std::vector<SiteHealth> states_;
+  std::vector<util::Tick> last_beat_;
+  /// Consecutive in-Recovering beats; Alive again once it reaches
+  /// config_.recovering_ticks.
+  std::vector<util::Tick> recover_streak_;
+};
+
+}  // namespace vbatt::svc

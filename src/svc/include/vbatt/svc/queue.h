@@ -1,0 +1,43 @@
+// Deterministic single-consumer event queue.
+//
+// The service is single-threaded by design: determinism comes from a total
+// order over accepted events, and the cheapest way to guarantee a total
+// order is to never have two consumers. Producers (stdin script, scenario
+// feeder, tests) push; the service drains in FIFO order. No locks — if a
+// concurrent producer ever appears it must marshal onto the service thread
+// first, because interleaving at the queue would destroy replayability.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "vbatt/svc/event.h"
+
+namespace vbatt::svc {
+
+class EventQueue {
+ public:
+  void push(Event e) {
+    q_.push_back(std::move(e));
+    ++pushed_;
+  }
+
+  bool empty() const noexcept { return q_.empty(); }
+  std::size_t size() const noexcept { return q_.size(); }
+  /// Total events ever pushed (ingest-rate observability).
+  std::uint64_t pushed() const noexcept { return pushed_; }
+
+  /// FIFO pop; undefined on an empty queue (check empty() first).
+  Event pop() {
+    Event e = std::move(q_.front());
+    q_.pop_front();
+    return e;
+  }
+
+ private:
+  std::deque<Event> q_;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace vbatt::svc

@@ -1,0 +1,133 @@
+#include "vbatt/svc/scenario.h"
+
+#include "vbatt/energy/site.h"
+#include "vbatt/util/time.h"
+#include "vbatt/util/wire.h"
+
+namespace vbatt::svc {
+
+Scenario make_scenario(const ScenarioConfig& config) {
+  energy::FleetConfig fleet_config;
+  fleet_config.n_solar = config.n_solar;
+  fleet_config.n_wind = config.n_wind;
+  fleet_config.region_km = config.region_km;
+  fleet_config.enable_storms = config.storms;
+  const std::size_t n_ticks = 96 * config.days;
+  const energy::Fleet fleet =
+      energy::generate_fleet(fleet_config, util::TimeAxis{15}, n_ticks);
+
+  core::VbGraphConfig graph_config;
+  graph_config.cores_per_mw = config.cores_per_mw;
+
+  workload::AppGeneratorConfig app_config;
+  app_config.apps_per_hour = config.apps_per_hour;
+
+  Scenario scenario{core::VbGraph{fleet, graph_config},
+                    workload::generate_apps(app_config, util::TimeAxis{15},
+                                            n_ticks),
+                    {}};
+  if (config.chaos_intensity > 0.0) {
+    fault::ChaosConfig chaos;
+    chaos.intensity = config.chaos_intensity;
+    scenario.schedule =
+        fault::make_chaos_schedule(scenario.graph, chaos, config.chaos_seed);
+  }
+  return scenario;
+}
+
+std::vector<Event> scenario_events(const Scenario& scenario, bool heartbeats) {
+  std::vector<Event> events;
+  const std::size_t n_sites = scenario.graph.n_sites();
+  const std::size_t n_ticks = scenario.graph.n_ticks();
+
+  // Telemetry upfront: stream every site's full power and forecast series
+  // as readings starting at tick 0 (the service starts at now = -1).
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    const core::VbSite& site = scenario.graph.sites()[s];
+    Event power;
+    power.kind = EventKind::power_reading;
+    power.site = s;
+    power.tick = 0;
+    power.values = site.power_norm;
+    events.push_back(std::move(power));
+    for (std::size_t lead = 0; lead < site.forecast_norm.size(); ++lead) {
+      Event fc;
+      fc.kind = EventKind::forecast_update;
+      fc.site = s;
+      fc.lead = lead;
+      fc.tick = 0;
+      fc.values = site.forecast_norm[lead];
+      events.push_back(std::move(fc));
+    }
+  }
+
+  // Fault reports in schedule order (same order FaultInjector consumes the
+  // schedule, so forecast-noise child streams line up).
+  for (const fault::FaultEvent& f : scenario.schedule.events) {
+    Event e;
+    e.kind = EventKind::fault_report;
+    e.fault = f;
+    events.push_back(std::move(e));
+  }
+
+  // Per tick: the arrivals due that tick (apps are generated in arrival
+  // order), optional heartbeats, then the tick itself.
+  std::size_t next_app = 0;
+  for (std::size_t t = 0; t < n_ticks; ++t) {
+    const auto tick = static_cast<util::Tick>(t);
+    while (next_app < scenario.apps.size() &&
+           scenario.apps[next_app].arrival <= tick) {
+      Event e;
+      e.kind = EventKind::vm_arrival;
+      e.app = scenario.apps[next_app];
+      events.push_back(std::move(e));
+      ++next_app;
+    }
+    if (heartbeats) {
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        Event beat;
+        beat.kind = EventKind::heartbeat;
+        beat.site = s;
+        events.push_back(std::move(beat));
+      }
+    }
+    Event advance;
+    advance.kind = EventKind::tick_advance;
+    events.push_back(std::move(advance));
+  }
+  return events;
+}
+
+std::string result_fingerprint(const core::SimResult& result) {
+  util::wire::Writer w;
+  w.i64(result.completed_ticks);
+  w.i64(result.apps_placed);
+  w.i64(result.planned_migrations);
+  w.i64(result.forced_migrations);
+  w.i64(result.displaced_stable_core_ticks);
+  w.i64(result.paused_degradable_vm_ticks);
+  w.i64(result.degradable_active_vm_ticks);
+  w.f64(result.energy_mwh);
+  w.i64(result.faulted_site_ticks);
+  w.i64(result.retried_moves);
+  w.i64(result.abandoned_moves);
+  w.i64(result.fallback_activations);
+  w.i64(result.stable_vm_downtime_ticks);
+  w.vec_f64(result.moved_gb);
+  w.vec_f64(result.energy_mwh_per_tick);
+  w.vec_i64(result.displaced_stable_cores_per_tick);
+  w.u64(result.displaced_by_app.size());
+  for (const auto& [app_id, core_ticks] : result.displaced_by_app) {
+    w.i64(app_id);
+    w.i64(core_ticks);
+  }
+  const net::MigrationLedger& ledger = result.ledger;
+  w.u64(ledger.n_sites());
+  for (std::size_t s = 0; s < ledger.n_sites(); ++s) {
+    w.vec_f64(ledger.out_series(s));
+    w.vec_f64(ledger.in_series(s));
+  }
+  return w.take();
+}
+
+}  // namespace vbatt::svc

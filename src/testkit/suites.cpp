@@ -20,9 +20,15 @@
 #include "vbatt/dcsim/site.h"
 #include "vbatt/energy/aggregate.h"
 #include "vbatt/energy/site.h"
+#include "vbatt/core/simulation.h"
 #include "vbatt/fault/injector.h"
 #include "vbatt/fault/schedule.h"
+#include "vbatt/fault/stream.h"
 #include "vbatt/solver/branch_bound.h"
+#include "vbatt/svc/config.h"
+#include "vbatt/svc/event_log.h"
+#include "vbatt/svc/scenario.h"
+#include "vbatt/svc/service.h"
 #include "vbatt/solver/decompose.h"
 #include "vbatt/solver/parallel_bb.h"
 #include "vbatt/solver/reference.h"
@@ -788,6 +794,11 @@ CaseResult eval_csv_malformed(const Spec& spec) {
     const char* body;
     int line;
     int column;
+    /// When true, load through the strict graph-aware overload with these
+    /// limits (the permissive loader accepts the body).
+    bool strict = false;
+    std::size_t sites = 0;
+    std::size_t ticks = 0;
   };
   static const BadCsv kCorpus[] = {
       // unknown kind
@@ -819,6 +830,27 @@ CaseResult eval_csv_malformed(const Spec& spec) {
       {"kind,start,end,site,peer,alpha,sigma,count\n"
        "site_brownout,0,4,-2,0,0.5,0,0\n",
        2, 3},
+      // strict: overlapping same-site blackout windows
+      {"kind,start,end,site,peer,alpha,sigma,count\n"
+       "site_blackout,0,8,0,0,0,0,0\n"
+       "site_blackout,5,12,0,0,0,0,0\n",
+       3, 1, true, 4, 96},
+      // strict: start tick past the horizon
+      {"kind,start,end,site,peer,alpha,sigma,count\n"
+       "site_blackout,200,210,0,0,0,0,0\n",
+       2, 1, true, 4, 96},
+      // strict: end tick past the horizon
+      {"kind,start,end,site,peer,alpha,sigma,count\n"
+       "site_brownout,90,120,0,0,0.5,0,0\n",
+       2, 2, true, 4, 96},
+      // strict: site outside the fleet
+      {"kind,start,end,site,peer,alpha,sigma,count\n"
+       "server_failure,0,4,9,0,0,0,2\n",
+       2, 3, true, 4, 96},
+      // strict: link peer outside the fleet
+      {"kind,start,end,site,peer,alpha,sigma,count\n"
+       "link_down,0,4,1,7,0,0,0\n",
+       2, 4, true, 4, 96},
   };
   const auto n_cases = static_cast<std::int64_t>(std::size(kCorpus));
   const BadCsv& bad = kCorpus[static_cast<std::size_t>(
@@ -831,7 +863,12 @@ CaseResult eval_csv_malformed(const Spec& spec) {
   }
   std::string verdict = "load_schedule_csv accepted malformed CSV";
   try {
-    (void)fault::load_schedule_csv(path.string());
+    if (bad.strict) {
+      (void)fault::load_schedule_csv(
+          path.string(), fault::ScheduleLoadLimits{bad.sites, bad.ticks});
+    } else {
+      (void)fault::load_schedule_csv(path.string());
+    }
   } catch (const std::runtime_error& e) {
     const std::string want = "at line " + std::to_string(bad.line) +
                              ", column " + std::to_string(bad.column);
@@ -1013,6 +1050,141 @@ CaseResult eval_stable_monotone(const Spec& spec) {
   return CaseResult::pass();
 }
 
+// --- svc suite -----------------------------------------------------------
+
+/// Small spec-driven scenario for the control-plane service. Sizes are
+/// clamped hard: every case runs the full tick pipeline twice (streamed
+/// and batch), so this is the most expensive eval per case in the suite.
+svc::ScenarioConfig svc_scenario_config(const Spec& spec) {
+  svc::ScenarioConfig config;
+  config.days = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(spec.get("days", 1), 1, 2));
+  config.n_solar = static_cast<int>(
+      std::clamp<std::int64_t>(spec.get("solar", 2), 0, 4));
+  config.n_wind = static_cast<int>(
+      std::clamp<std::int64_t>(spec.get("wind", 2), 0, 4));
+  if (config.n_solar + config.n_wind == 0) config.n_solar = 1;
+  config.apps_per_hour =
+      std::max<std::int64_t>(0, spec.get("aph100", 120)) / 100.0;
+  config.chaos_intensity =
+      std::max<std::int64_t>(0, spec.get("i100", 0)) / 100.0;
+  config.chaos_seed = spec.child_seed("chaos");
+  return config;
+}
+
+svc::ServiceConfig svc_service_config(const Spec& spec) {
+  svc::ServiceConfig config;
+  config.policy = spec.get("sched", std::string{"greedy"}) == "mip24h"
+                      ? "mip24h"
+                      : "greedy";
+  config.noise_seed = spec.child_seed("noise");
+  return config;
+}
+
+/// The batch half of the equivalence contract: run_simulation over the
+/// same scenario, with every scheduled fault pre-injected into a
+/// StreamInjector so hook-gated accounting matches the service (same
+/// construction as vbatt_svc --verify).
+core::SimResult svc_run_batch(const svc::Scenario& scenario,
+                              const svc::ServiceConfig& config) {
+  fault::StreamInjector injector{scenario.graph, config.noise_seed};
+  for (const fault::FaultEvent& f : scenario.schedule.events) {
+    injector.inject(f, -1);
+  }
+  const std::unique_ptr<core::Scheduler> scheduler =
+      svc::make_service_scheduler(config.policy);
+  core::FaultConfig faults{&injector, config.retry};
+  return core::run_simulation(injector.graph(), scenario.apps, *scheduler,
+                              config.power_model, &faults);
+}
+
+/// Feeding a scenario's event stream through the ControlPlane must
+/// reproduce the batch engine's SimResult bit-exactly — telemetry,
+/// faults, arrivals, and (when enabled) per-tick heartbeats included.
+CaseResult eval_svc_batch_diff(const Spec& spec) {
+  const svc::Scenario scenario = svc::make_scenario(svc_scenario_config(spec));
+  svc::ServiceConfig config = svc_service_config(spec);
+  // Per-tick heartbeats keep every site Alive, so enabling health tracking
+  // must not perturb the simulation.
+  const bool beats = spec.get("beats", 0) != 0;
+  config.health.enabled = beats;
+
+  svc::ControlPlane service{scenario.graph, config};
+  for (svc::Event& e : svc::scenario_events(scenario, beats)) {
+    try {
+      service.submit(std::move(e));
+    } catch (const std::exception& ex) {
+      return fail_str(std::string{"service rejected a scenario event: "} +
+                      ex.what());
+    }
+  }
+  const core::SimResult streamed = service.finish();
+  const core::SimResult batch = svc_run_batch(scenario, config);
+  if (svc::result_fingerprint(streamed) != svc::result_fingerprint(batch)) {
+    return fail_str("streamed result diverges from the batch engine");
+  }
+  return CaseResult::pass();
+}
+
+/// Recovery identity: a snapshot taken at any point of a run, plus replay
+/// of the durable log, must land on the exact bytes of the uninterrupted
+/// run — and replay must be idempotent (a second pass applies nothing).
+CaseResult eval_svc_replay_identity(const Spec& spec) {
+  const svc::Scenario scenario = svc::make_scenario(svc_scenario_config(spec));
+  const svc::ServiceConfig config = svc_service_config(spec);
+  std::vector<svc::Event> events = svc::scenario_events(scenario, false);
+  const std::size_t cut = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(spec.get("cut100", 50), 0, 100));
+  const std::size_t split = events.size() * cut / 100;
+
+  const std::filesystem::path log_path = temp_file(spec, "evlog");
+  std::string verdict;
+  try {
+    svc::ControlPlane a{scenario.graph, config};
+    a.attach_log(
+        std::make_unique<svc::EventLogWriter>(log_path.string(), true));
+    std::string mid;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (i == split) mid = a.snapshot_bytes();
+      a.submit(std::move(events[i]));
+    }
+    if (split >= events.size()) mid = a.snapshot_bytes();
+    const std::string final_state = a.snapshot_bytes();
+    a.attach_log(nullptr);  // close the log before reading it back
+
+    const svc::EventLogContents log = svc::read_event_log(log_path.string());
+    if (log.torn_tail()) {
+      verdict = "log written by a clean run reports a torn tail";
+    }
+
+    // Snapshot + replay of the full log == the uninterrupted run.
+    svc::ControlPlane b{scenario.graph, config};
+    b.restore_snapshot(mid);
+    b.replay(log.records);
+    if (verdict.empty() && b.snapshot_bytes() != final_state) {
+      verdict = "snapshot@" + std::to_string(split) +
+                " + replay diverges from the live run";
+    }
+    // Replay is idempotent: every record's seq is already covered.
+    if (verdict.empty() && b.replay(log.records) != 0) {
+      verdict = "second replay re-applied already-covered records";
+    }
+    if (verdict.empty() && b.snapshot_bytes() != final_state) {
+      verdict = "double replay changed the state";
+    }
+    // Cold start (no snapshot) must converge to the same bytes too.
+    svc::ControlPlane c{scenario.graph, config};
+    c.replay(log.records);
+    if (verdict.empty() && c.snapshot_bytes() != final_state) {
+      verdict = "genesis replay diverges from the live run";
+    }
+  } catch (const std::exception& ex) {
+    verdict = std::string{"replay identity threw: "} + ex.what();
+  }
+  std::filesystem::remove(log_path);
+  return verdict.empty() ? CaseResult::pass() : fail_str(std::move(verdict));
+}
+
 }  // namespace
 
 std::vector<Property> all_properties() {
@@ -1100,7 +1272,7 @@ std::vector<Property> all_properties() {
                         spec.set("seed",
                                  static_cast<std::int64_t>(rng.next() >> 1));
                         spec.set("case",
-                                 static_cast<std::int64_t>(rng.below(7)));
+                                 static_cast<std::int64_t>(rng.below(12)));
                         return spec;
                       },
                       eval_csv_malformed,
@@ -1123,6 +1295,39 @@ std::vector<Property> all_properties() {
                       },
                       eval_chaos_invariants,
                       kScenarioShrink});
+
+  const auto svc_gen = [](util::Rng& rng) {
+    Spec spec;
+    spec.set("seed", static_cast<std::int64_t>(rng.next() >> 1));
+    spec.set("days", 1);
+    spec.set("solar", static_cast<std::int64_t>(rng.below(4)));
+    spec.set("wind", static_cast<std::int64_t>(rng.below(4)));
+    spec.set("aph100", 40 + static_cast<std::int64_t>(rng.below(200)));
+    if (rng.chance(0.5)) {
+      spec.set("i100", static_cast<std::int64_t>(rng.below(300)));
+    }
+    if (rng.chance(0.125)) spec.set("sched", std::string{"mip24h"});
+    return spec;
+  };
+  const std::vector<ShrinkKey> svc_shrink = {{"days", 1},   {"solar", 0},
+                                             {"wind", 0},   {"aph100", 0},
+                                             {"i100", 0},   {"cut100", 0}};
+
+  registry.push_back({"svc", "batch_diff",
+                      [svc_gen](util::Rng& rng) {
+                        Spec spec = svc_gen(rng);
+                        if (rng.chance(0.25)) spec.set("beats", 1);
+                        return spec;
+                      },
+                      eval_svc_batch_diff, svc_shrink});
+  registry.push_back({"svc", "replay_identity",
+                      [svc_gen](util::Rng& rng) {
+                        Spec spec = svc_gen(rng);
+                        spec.set("cut100",
+                                 static_cast<std::int64_t>(rng.below(101)));
+                        return spec;
+                      },
+                      eval_svc_replay_identity, svc_shrink});
 
   registry.push_back({"energy", "trace_range", gen_fleet_spec,
                       eval_trace_range,

@@ -1,0 +1,33 @@
+// Cooperative shutdown flag for long-running drivers.
+//
+// The CLI and the control-plane service install SIGINT/SIGTERM handlers
+// that set one process-wide atomic; the simulation loops poll it once per
+// tick and break out cleanly, leaving partial results flushable. Library
+// users that never call install_shutdown_handlers() see a flag that is
+// permanently false, so batch behavior is untouched.
+#pragma once
+
+namespace vbatt::util {
+
+/// Install SIGINT + SIGTERM handlers that set the shutdown flag. Safe to
+/// call more than once.
+void install_shutdown_handlers();
+
+/// True once a handled signal has been delivered (or request_shutdown()
+/// was called).
+bool shutdown_requested() noexcept;
+
+/// Programmatic trigger (tests; also usable from a service event).
+void request_shutdown() noexcept;
+
+/// Reset the flag (tests only — handlers stay installed).
+void reset_shutdown_flag() noexcept;
+
+/// The signal that triggered shutdown (0 if none / programmatic).
+int shutdown_signal() noexcept;
+
+/// Exit code drivers use for a signal-interrupted-but-flushed run; distinct
+/// from success (0), usage errors (2), and script errors (3).
+inline constexpr int kInterruptedExitCode = 40;
+
+}  // namespace vbatt::util

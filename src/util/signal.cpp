@@ -1,0 +1,42 @@
+#include "vbatt/util/signal.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace vbatt::util {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
+
+bool shutdown_requested() noexcept {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() noexcept {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+void reset_shutdown_flag() noexcept {
+  g_shutdown.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+int shutdown_signal() noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace vbatt::util

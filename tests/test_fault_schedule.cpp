@@ -165,5 +165,120 @@ TEST_F(ScheduleCsvTest, RejectsInvertedWindow) {
   EXPECT_NE(load_error().find("end must exceed start"), std::string::npos);
 }
 
+class StrictScheduleCsvTest : public ScheduleCsvTest {
+ protected:
+  ScheduleLoadLimits limits_{4, 96};
+
+  std::string strict_error() {
+    try {
+      load_schedule_csv(path_, limits_);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return {};
+  }
+};
+
+TEST_F(StrictScheduleCsvTest, AcceptsDisjointWindows) {
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "site_blackout,0,8,0,0,0,0,0\n";
+    out << "site_blackout,8,16,0,0,0,0,0\n";   // adjacent, not overlapping
+    out << "site_blackout,4,12,1,0,0,0,0\n";   // other site, free to overlap
+    out << "site_brownout,4,12,0,0,0.5,0,0\n";  // other kind, same site
+  }
+  EXPECT_EQ(strict_error(), "");
+}
+
+TEST_F(StrictScheduleCsvTest, RejectsOverlappingWindowsNamingBothLines) {
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "site_blackout,0,10,2,0,0,0,0\n";
+    out << "site_blackout,6,14,2,0,0,0,0\n";
+  }
+  const std::string what = strict_error();
+  EXPECT_NE(what.find("overlaps"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("from line 2"), std::string::npos) << what;
+}
+
+TEST_F(StrictScheduleCsvTest, RejectsOutOfRangeTicksAndSites) {
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "site_blackout,100,110,0,0,0,0,0\n";  // start past 96-tick trace
+  }
+  std::string what = strict_error();
+  EXPECT_NE(what.find("start tick outside"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 2, column 1"), std::string::npos) << what;
+
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "site_blackout,90,110,0,0,0,0,0\n";  // end past the horizon
+  }
+  what = strict_error();
+  EXPECT_NE(what.find("end tick past the horizon"), std::string::npos) << what;
+
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "site_blackout,0,8,7,0,0,0,0\n";  // site 7 of a 4-site fleet
+  }
+  what = strict_error();
+  EXPECT_NE(what.find("site outside [0, 4)"), std::string::npos) << what;
+  EXPECT_NE(what.find("column 3"), std::string::npos) << what;
+
+  {
+    std::ofstream out{path_};
+    out << "kind,start,end,site,peer,alpha,sigma,count\n";
+    out << "link_down,0,8,1,6,0,0,0\n";  // peer 6 of a 4-site fleet
+  }
+  what = strict_error();
+  EXPECT_NE(what.find("peer outside [0, 4)"), std::string::npos) << what;
+  EXPECT_NE(what.find("column 4"), std::string::npos) << what;
+}
+
+TEST(ChaosConfigValidation, NamesTheOffendingField) {
+  EXPECT_NO_THROW(validate_chaos_config(ChaosConfig{}));
+
+  const auto expect_field = [](ChaosConfig config, const char* field) {
+    try {
+      validate_chaos_config(config);
+      FAIL() << "config with bad " << field << " accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string{e.what()}.find(std::string{"'"} + field + "'"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+
+  ChaosConfig config;
+  config.intensity = -0.5;
+  expect_field(config, "intensity");
+
+  config = ChaosConfig{};
+  config.ticks_per_day = 0;
+  expect_field(config, "ticks_per_day");
+
+  config = ChaosConfig{};
+  config.brownout_alpha = 1.0;  // derating must stay below total blackout
+  expect_field(config, "brownout_alpha");
+
+  config = ChaosConfig{};
+  config.blackout_mean_ticks = -4;
+  expect_field(config, "blackout_mean_ticks");
+
+  config = ChaosConfig{};
+  config.forecast_sigma = -0.1;
+  expect_field(config, "forecast_sigma");
+
+  config = ChaosConfig{};
+  config.server_failure_frac = 1.5;
+  expect_field(config, "server_failure_frac");
+}
+
 }  // namespace
 }  // namespace vbatt::fault

@@ -1,0 +1,153 @@
+#include "vbatt/svc/event.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace vbatt::svc {
+namespace {
+
+void expect_roundtrip(const Event& e) {
+  const std::string payload = encode_event(e);
+  const Event d = decode_event(payload);
+  EXPECT_EQ(d.kind, e.kind);
+  EXPECT_EQ(d.seq, e.seq);
+  EXPECT_EQ(d.site, e.site);
+  EXPECT_EQ(d.lead, e.lead);
+  EXPECT_EQ(d.tick, e.tick);
+  EXPECT_EQ(d.values, e.values);
+  EXPECT_EQ(d.app_id, e.app_id);
+  EXPECT_EQ(d.text, e.text);
+  EXPECT_EQ(d.app.app_id, e.app.app_id);
+  EXPECT_EQ(d.app.arrival, e.app.arrival);
+  EXPECT_EQ(d.app.n_stable, e.app.n_stable);
+  EXPECT_EQ(d.app.n_degradable, e.app.n_degradable);
+  EXPECT_EQ(d.app.shape.cores, e.app.shape.cores);
+  EXPECT_EQ(d.app.shape.memory_gb, e.app.shape.memory_gb);
+  EXPECT_EQ(d.app.lifetime_ticks, e.app.lifetime_ticks);
+  EXPECT_EQ(d.fault.kind, e.fault.kind);
+  EXPECT_EQ(d.fault.start, e.fault.start);
+  EXPECT_EQ(d.fault.end, e.fault.end);
+  EXPECT_EQ(d.fault.site, e.fault.site);
+  EXPECT_EQ(d.fault.peer, e.fault.peer);
+  EXPECT_EQ(d.fault.alpha, e.fault.alpha);
+  EXPECT_EQ(d.fault.sigma, e.fault.sigma);
+  EXPECT_EQ(d.fault.count, e.fault.count);
+  // Re-encoding the decoded event must reproduce the bytes exactly.
+  EXPECT_EQ(encode_event(d), payload);
+}
+
+TEST(SvcEvent, RoundTripsEveryKind) {
+  Event tick;
+  tick.kind = EventKind::tick_advance;
+  tick.seq = 12;
+  expect_roundtrip(tick);
+
+  Event power;
+  power.kind = EventKind::power_reading;
+  power.seq = 3;
+  power.site = 5;
+  power.tick = 17;
+  power.values = {0.25, 0.0, 1.0, 0.625};
+  expect_roundtrip(power);
+
+  Event forecast;
+  forecast.kind = EventKind::forecast_update;
+  forecast.site = 2;
+  forecast.lead = 4;
+  forecast.tick = 9;
+  forecast.values = {0.5, 0.5};
+  expect_roundtrip(forecast);
+
+  Event arrival;
+  arrival.kind = EventKind::vm_arrival;
+  arrival.app.app_id = 42;
+  arrival.app.arrival = 8;
+  arrival.app.n_stable = 3;
+  arrival.app.n_degradable = 1;
+  arrival.app.shape.cores = 4;
+  arrival.app.shape.memory_gb = 16.0;
+  arrival.app.lifetime_ticks = 96;
+  expect_roundtrip(arrival);
+
+  Event departure;
+  departure.kind = EventKind::vm_departure;
+  departure.app_id = 42;
+  expect_roundtrip(departure);
+
+  Event report;
+  report.kind = EventKind::fault_report;
+  report.fault.kind = fault::FaultKind::site_brownout;
+  report.fault.start = 10;
+  report.fault.end = 20;
+  report.fault.site = 1;
+  report.fault.alpha = 0.5;
+  expect_roundtrip(report);
+
+  Event beat;
+  beat.kind = EventKind::heartbeat;
+  beat.site = 7;
+  expect_roundtrip(beat);
+
+  Event drain;
+  drain.kind = EventKind::drain_site;
+  drain.site = 3;
+  expect_roundtrip(drain);
+  drain.kind = EventKind::undrain_site;
+  expect_roundtrip(drain);
+
+  Event pause;
+  pause.kind = EventKind::pause;
+  expect_roundtrip(pause);
+  pause.kind = EventKind::resume;
+  expect_roundtrip(pause);
+
+  Event reconf;
+  reconf.kind = EventKind::reconfigure;
+  reconf.text = "health.enabled=1;health.suspect_after=6";
+  expect_roundtrip(reconf);
+}
+
+TEST(SvcEvent, DecodeRejectsGarbage) {
+  EXPECT_THROW((void)decode_event(""), std::runtime_error);
+  EXPECT_THROW((void)decode_event("x"), std::runtime_error);
+
+  // Unknown kind tag.
+  Event e;
+  e.kind = EventKind::heartbeat;
+  std::string payload = encode_event(e);
+  payload[0] = static_cast<char>(200);
+  EXPECT_THROW((void)decode_event(payload), std::runtime_error);
+}
+
+TEST(SvcEvent, DecodeRejectsTrailingBytes) {
+  Event e;
+  e.kind = EventKind::vm_departure;
+  e.app_id = 9;
+  std::string payload = encode_event(e);
+  payload.push_back('\0');
+  EXPECT_THROW((void)decode_event(payload), std::runtime_error);
+}
+
+TEST(SvcEvent, DecodeRejectsTruncation) {
+  Event e;
+  e.kind = EventKind::power_reading;
+  e.site = 1;
+  e.tick = 5;
+  e.values = {0.5, 0.25, 0.75};
+  const std::string payload = encode_event(e);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW((void)decode_event(payload.substr(0, len)),
+                 std::runtime_error)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(SvcEvent, KindNamesAreDistinct) {
+  EXPECT_STREQ(to_string(EventKind::tick_advance), "tick_advance");
+  EXPECT_STRNE(to_string(EventKind::pause), to_string(EventKind::resume));
+}
+
+}  // namespace
+}  // namespace vbatt::svc

@@ -1,0 +1,155 @@
+#include "vbatt/svc/health.h"
+
+#include <gtest/gtest.h>
+
+#include "vbatt/util/wire.h"
+
+namespace vbatt::svc {
+namespace {
+
+HealthConfig enabled_config() {
+  HealthConfig config;
+  config.enabled = true;
+  config.suspect_after = 4;
+  config.dead_after = 12;
+  config.recovering_ticks = 2;
+  return config;
+}
+
+TEST(SvcHealth, SilenceDecaysAliveToSuspectToDead) {
+  HealthTracker tracker{2, enabled_config()};
+  // All sites carry an implicit beat at tick -1. Silence at tick t is
+  // t - (-1); the threshold is strict (> suspect_after).
+  for (util::Tick t = 0; t <= 3; ++t) {
+    EXPECT_TRUE(tracker.advance(t).empty()) << "tick " << t;
+  }
+  auto transitions = tracker.advance(4);  // silence 5 > 4
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].site, 0u);
+  EXPECT_EQ(transitions[0].from, SiteHealth::alive);
+  EXPECT_EQ(transitions[0].to, SiteHealth::suspect);
+  EXPECT_EQ(transitions[1].site, 1u);
+  EXPECT_EQ(tracker.state(0), SiteHealth::suspect);
+
+  for (util::Tick t = 5; t <= 11; ++t) {
+    EXPECT_TRUE(tracker.advance(t).empty()) << "tick " << t;
+  }
+  transitions = tracker.advance(12);  // silence 13 > 12
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].from, SiteHealth::suspect);
+  EXPECT_EQ(transitions[0].to, SiteHealth::dead);
+  EXPECT_EQ(tracker.state(1), SiteHealth::dead);
+}
+
+TEST(SvcHealth, HeartbeatClearsSuspicion) {
+  HealthTracker tracker{1, enabled_config()};
+  tracker.advance(4);
+  ASSERT_EQ(tracker.state(0), SiteHealth::suspect);
+  const auto transitions = tracker.heartbeat(0, 5);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, SiteHealth::suspect);
+  EXPECT_EQ(transitions[0].to, SiteHealth::alive);
+  // The beat resets the silence clock.
+  EXPECT_TRUE(tracker.advance(6).empty());
+  EXPECT_EQ(tracker.state(0), SiteHealth::alive);
+}
+
+TEST(SvcHealth, DeadRecoversAfterSustainedBeats) {
+  HealthTracker tracker{1, enabled_config()};
+  tracker.advance(12);
+  ASSERT_EQ(tracker.state(0), SiteHealth::dead);
+
+  auto transitions = tracker.heartbeat(0, 13);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, SiteHealth::recovering);
+
+  // One beat is not enough (recovering_ticks = 2) ...
+  EXPECT_TRUE(tracker.advance(13).empty());
+  tracker.heartbeat(0, 14);
+  // ... the second sustained beat flips it back in advance().
+  transitions = tracker.advance(14);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, SiteHealth::recovering);
+  EXPECT_EQ(transitions[0].to, SiteHealth::alive);
+}
+
+TEST(SvcHealth, RecoveringRelapsesToDeadOnSilence) {
+  HealthTracker tracker{1, enabled_config()};
+  tracker.advance(12);
+  tracker.heartbeat(0, 13);
+  ASSERT_EQ(tracker.state(0), SiteHealth::recovering);
+  // Goes silent again mid-recovery.
+  const auto transitions = tracker.advance(18);  // silence 5 > suspect_after
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, SiteHealth::recovering);
+  EXPECT_EQ(transitions[0].to, SiteHealth::dead);
+}
+
+TEST(SvcHealth, ReconfiguredTimeoutsCanKillInOneSweep) {
+  HealthTracker tracker{1, enabled_config()};
+  EXPECT_TRUE(tracker.advance(2).empty());
+  // Timeouts tightened mid-run: the next sweep crosses both thresholds at
+  // once and must surface both edges (the service turns Suspect->Dead into
+  // an admin_down).
+  HealthConfig tight = enabled_config();
+  tight.suspect_after = 1;
+  tight.dead_after = 2;
+  tracker.set_config(tight);
+  const auto transitions = tracker.advance(3);  // silence 4 > both
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].from, SiteHealth::alive);
+  EXPECT_EQ(transitions[0].to, SiteHealth::suspect);
+  EXPECT_EQ(transitions[1].from, SiteHealth::suspect);
+  EXPECT_EQ(transitions[1].to, SiteHealth::dead);
+  EXPECT_EQ(tracker.state(0), SiteHealth::dead);
+}
+
+TEST(SvcHealth, DisabledTrackerNeverTransitions) {
+  HealthConfig config;  // enabled = false
+  HealthTracker tracker{3, config};
+  EXPECT_TRUE(tracker.heartbeat(0, 5).empty());
+  EXPECT_TRUE(tracker.advance(1000).empty());
+  EXPECT_EQ(tracker.state(2), SiteHealth::alive);
+}
+
+TEST(SvcHealth, SaveRestoreRoundTripsMidDecay) {
+  HealthTracker tracker{3, enabled_config()};
+  tracker.advance(4);
+  tracker.heartbeat(1, 5);
+  tracker.advance(12);
+  tracker.heartbeat(2, 13);
+
+  util::wire::Writer w;
+  tracker.save(w);
+  util::wire::Reader r{w.data()};
+  HealthTracker restored{3, enabled_config()};
+  restored.restore(r);
+  EXPECT_TRUE(r.done());
+
+  // Same states now, and the same future: both decay identically.
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(restored.state(s), tracker.state(s)) << "site " << s;
+  }
+  for (util::Tick t = 14; t < 40; ++t) {
+    const auto a = tracker.advance(t);
+    const auto b = restored.advance(t);
+    ASSERT_EQ(a.size(), b.size()) << "tick " << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].site, b[i].site);
+      EXPECT_EQ(a[i].from, b[i].from);
+      EXPECT_EQ(a[i].to, b[i].to);
+    }
+  }
+}
+
+TEST(SvcHealth, RestoreRejectsWrongSiteCount) {
+  HealthTracker tracker{2, enabled_config()};
+  util::wire::Writer w;
+  tracker.save(w);
+  util::wire::Reader r{w.data()};
+  HealthTracker other{3, enabled_config()};
+  EXPECT_THROW(other.restore(r), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vbatt::svc

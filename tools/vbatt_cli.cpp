@@ -188,14 +188,23 @@ int cmd_schedule(const Args& args) {
   std::unique_ptr<fault::FaultInjector> injector;
   if (chaos) {
     fault::FaultSchedule schedule;
-    const auto chaos_seed =
-        static_cast<std::uint64_t>(args.number("chaos-seed", 7));
+    const double seed_arg = args.number("chaos-seed", 7);
+    if (seed_arg < 0) {
+      std::fprintf(stderr, "ChaosConfig: field 'chaos-seed' must be >= 0, "
+                           "got %g\n", seed_arg);
+      return 2;
+    }
+    const auto chaos_seed = static_cast<std::uint64_t>(seed_arg);
     if (args.flag("chaos-csv")) {
-      schedule = fault::load_schedule_csv(args.get("chaos-csv", ""));
-      schedule.validate(graph.n_sites(), graph.n_ticks());
+      // The strict loader rejects out-of-range sites/ticks and overlapping
+      // same-site windows with line/column positions.
+      schedule = fault::load_schedule_csv(
+          args.get("chaos-csv", ""),
+          fault::ScheduleLoadLimits{graph.n_sites(), graph.n_ticks()});
     } else {
       fault::ChaosConfig chaos_config;
       chaos_config.intensity = args.number("chaos", 1.0);
+      fault::validate_chaos_config(chaos_config);
       schedule = fault::make_chaos_schedule(graph, chaos_config, chaos_seed);
     }
     injector = std::make_unique<fault::FaultInjector>(
@@ -249,6 +258,17 @@ int cmd_schedule(const Args& args) {
     }
   }
 
+  const bool interrupted = util::shutdown_requested();
+  if (interrupted) {
+    // Flush what we have: series past completed_ticks are untouched zeros,
+    // so the summary below covers exactly the simulated prefix.
+    std::fprintf(stderr,
+                 "interrupted by signal %d: partial results over %lld of %zu "
+                 "ticks\n",
+                 util::shutdown_signal(),
+                 static_cast<long long>(result.completed_ticks),
+                 graph.n_ticks());
+  }
   const core::PolicyRow row = core::summarize(policy, result);
   std::printf("%s over %zu days (%zu apps):\n", policy.c_str(), days,
               apps.size());
@@ -278,7 +298,7 @@ int cmd_schedule(const Args& args) {
                 static_cast<long long>(result.fallback_activations),
                 static_cast<long long>(result.stable_vm_downtime_ticks));
   }
-  return 0;
+  return interrupted ? util::kInterruptedExitCode : 0;
 }
 
 int cmd_forecast(const Args& args) {
@@ -315,12 +335,18 @@ int usage() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  util::install_shutdown_handlers();
   const std::string command = argv[1];
   const Args args{argc, argv, 2};
-  if (command == "trace") return cmd_trace(args);
-  if (command == "fleet") return cmd_fleet(args);
-  if (command == "site-sim") return cmd_site_sim(args);
-  if (command == "schedule") return cmd_schedule(args);
-  if (command == "forecast") return cmd_forecast(args);
+  try {
+    if (command == "trace") return cmd_trace(args);
+    if (command == "fleet") return cmd_fleet(args);
+    if (command == "site-sim") return cmd_site_sim(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "forecast") return cmd_forecast(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vbatt: %s\n", e.what());
+    return 2;
+  }
   return usage();
 }
