@@ -163,17 +163,23 @@ bool write_fleet_json(const std::string& path,
     json.field("days", r.days);
     json.field("apps", r.apps);
     json.field("vms", r.vms);
-    json.field("unsharded_ms", r.unsharded_ms);
+    // Unchecked cells (too big to run the unsharded engine against) have
+    // no cross-check timing: omit unsharded_ms/speedup entirely rather
+    // than emit a 0.0 a reader could mistake for a measurement. The
+    // "checked": false flag marks the omission.
+    if (r.checked) {
+      json.field("unsharded_ms", r.unsharded_ms);
+    }
     json.field("fleet_serial_ms", r.fleet_serial_ms);
     json.field("fleet_pool_ms", r.fleet_pool_ms);
     // Best fleet configuration at this thread count: on a multi-core
     // host the pooled run wins; on a single hardware thread the serial
     // discipline does (both produce bit-identical results).
-    json.field("speedup",
-               r.checked ? r.unsharded_ms /
-                               std::max(1e-9, std::min(r.fleet_serial_ms,
-                                                       r.fleet_pool_ms))
-                         : 0.0);
+    if (r.checked) {
+      json.field("speedup",
+                 r.unsharded_ms / std::max(1e-9, std::min(r.fleet_serial_ms,
+                                                          r.fleet_pool_ms)));
+    }
     json.field("checked", r.checked);
     json.field("bit_identical", r.bit_identical);
     json.field("headline", r.headline);

@@ -20,15 +20,18 @@
 // the sweep (per-stage timings, blocks, master iterations, warm-start hit
 // rate, nodes per thread) so CI can archive the perf trajectory as
 // BENCH_solver.json.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "vbatt/solver/branch_bound.h"
+#include "vbatt/solver/incremental.h"
 #include "vbatt/solver/reference.h"
 #include "vbatt/util/rng.h"
 #include "vbatt/util/thread_pool.h"
@@ -82,12 +85,40 @@ solver::Model trajectory_mip(int sites, int buckets, std::uint64_t seed) {
   return model;
 }
 
+/// Re-draw the drifting part of a trajectory MIP in place: the x costs
+/// (the forecast-dependent deficit penalties). Replays the exact rng
+/// stream trajectory_mip draws for `seed`, so a patched model is bitwise
+/// identical to a scratch build with the same seed — the incremental-build
+/// contract MipScheduler relies on, exercised here on the bench's own
+/// model family.
+void patch_trajectory_mip(solver::Model& model, int sites, int buckets,
+                          std::uint64_t seed) {
+  util::Rng rng{seed};
+  for (int k = 0; k < buckets; ++k) {
+    for (int s = 0; s < sites; ++s) {
+      // Interleaved layout: x[k][s] at 2*(k*sites+s), y right after.
+      const auto xi = static_cast<std::size_t>(2 * (k * sites + s));
+      model.vars()[xi].cost = rng.uniform(0.0, 50.0);
+    }
+  }
+}
+
+/// Consecutive replans the steady-state build must amortize over.
+constexpr int kReplanRounds = 4;
+
 struct CellResult {
   int sites = 0;
   int k = 0;
   int horizon_hours = 0;
   int buckets = 0;
   double build_ms = 0.0;       // round-2 model construction, untimed below
+  // Amortized replan series: from-scratch build of every app's model
+  // (first replan) vs patching the cached models in place (every replan
+  // after), over kReplanRounds of drifting forecasts.
+  double build_first_ms = 0.0;
+  double build_steady_ms = 0.0;
+  bool delta_identical = true;  // patched == scratch, bitwise
+  const char* engine_selected = "";  // resolve_engine on this cell's models
   double ref_ms = 0.0;         // reference engine, round-2 (replan) solves
   double revised_ms = 0.0;     // revised engine, warm + basis-hinted
   double decomposed_ms = 0.0;  // serial decomposition (chain DP master)
@@ -238,6 +269,61 @@ CellResult run_cell(int sites, int k, int horizon_hours) {
       ++cell.monolithic_fallbacks;
     }
   }
+
+  // Adaptive engine selection: what auto_select dispatches this cell's
+  // models to (a pure function of shape — every app in the cell shares
+  // it), cross-checked against the reference on one untimed pass.
+  cell.engine_selected =
+      solver::engine_name(solver::resolve_engine(round2[0]));
+  solver::MipOptions adaptive;
+  adaptive.engine = solver::MipEngine::auto_select;
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    check(solver::solve_mip(round2[a], adaptive), ref_results[a]);
+  }
+
+  // Amortized replan series (incremental model build): replan 1 builds
+  // every app's model from scratch into a ModelCache; replans 2..N patch
+  // the cached models' drifting costs in place, the way MipScheduler's
+  // incremental builder does. Steady state is the min patch round; the
+  // patched model is checked bitwise against a scratch build of the same
+  // forecast so the fast path provably changes nothing.
+  {
+    solver::ModelCache cache;
+    const auto drift_seed = [&](int round, int a) {
+      return static_cast<std::uint64_t>(9000000 + 100000 * round +
+                                        1000 * sites + 100 * k +
+                                        10 * horizon_hours + a);
+    };
+    const auto key_of = [](int a) {
+      return solver::ModelCache::Key{a, 0, 0};
+    };
+    cell.build_first_ms = wall_ms([&] {
+      for (int a = 0; a < apps; ++a) {
+        cache.get(key_of(a), [&] {
+          return trajectory_mip(k, cell.buckets, drift_seed(0, a));
+        });
+      }
+    });
+    const auto no_build = [&]() -> solver::Model {
+      cell.delta_identical = false;  // cache miss on a steady round
+      return trajectory_mip(k, cell.buckets, 0);
+    };
+    cell.build_steady_ms = 1e300;
+    for (int round = 1; round <= kReplanRounds; ++round) {
+      cell.build_steady_ms = std::min(cell.build_steady_ms, wall_ms([&] {
+        for (int a = 0; a < apps; ++a) {
+          patch_trajectory_mip(cache.get(key_of(a), no_build), k,
+                               cell.buckets, drift_seed(round, a));
+        }
+      }));
+    }
+    const solver::Model scratch =
+        trajectory_mip(k, cell.buckets, drift_seed(kReplanRounds, 0));
+    if (!solver::models_bitwise_equal(cache.get(key_of(0), no_build),
+                                      scratch)) {
+      cell.delta_identical = false;
+    }
+  }
   return cell;
 }
 
@@ -256,6 +342,12 @@ bool write_json(const std::string& path, const std::vector<CellResult>& rows,
     json.field("horizon_hours", r.horizon_hours);
     json.field("buckets", r.buckets);
     json.field("build_ms", r.build_ms);
+    json.field("build_first_ms", r.build_first_ms);
+    json.field("build_steady_ms", r.build_steady_ms);
+    json.field("build_amortization",
+               r.build_first_ms / std::max(1e-9, r.build_steady_ms));
+    json.field("delta_identical", r.delta_identical);
+    json.field("engine_selected", r.engine_selected);
     json.field("ref_ms", r.ref_ms);
     json.field("revised_ms", r.revised_ms);
     json.field("decomposed_ms", r.decomposed_ms);
@@ -293,12 +385,16 @@ bool write_json(const std::string& path, const std::vector<CellResult>& rows,
 
 int main(int argc, char** argv) {
   std::string json_path;
+  int max_sites = 1 << 30;  // --max-sites caps the sweep (perf_smoke)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--max-sites" && i + 1 < argc) {
+      max_sites = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json out.json] [--max-sites n]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -310,20 +406,24 @@ int main(int argc, char** argv) {
       "parallel (%d lane%s)\n",
       threads, threads == 1 ? "" : "s");
   std::printf(
-      "  %5s %2s %8s %7s %8s | %9s %9s %9s %9s | %7s %7s | %6s %6s %5s | "
-      "%5s | %s\n",
-      "sites", "k", "horizon", "buckets", "build", "ref ms", "rev ms",
-      "dec ms", "par ms", "spd", "dec spd", "blocks", "master", "fall",
-      "hit%", "match");
+      "  %5s %2s %8s %7s %7s %7s %6s | %9s %9s %9s %9s | %7s %7s | %6s %6s "
+      "%5s | %5s | %-10s | %s\n",
+      "sites", "k", "horizon", "buckets", "bld1 ms", "bldN ms", "amort",
+      "ref ms", "rev ms", "dec ms", "par ms", "spd", "dec spd", "blocks",
+      "master", "fall", "hit%", "engine", "match");
 
   std::vector<CellResult> rows;
   bool all_match = true;
-  double acceptance_speedup = -1.0;  // 100-site / k=4 / 24h cell
+  bool all_delta_identical = true;
+  double acceptance_speedup = -1.0;      // 100-site / k=4 / 24h cell
+  double build_amortization = -1.0;      // 250-site / k=4 / 168h cell
   for (const int sites : {10, 25, 100, 250}) {
+    if (sites > max_sites) continue;
     for (const int k : {2, 4}) {
       for (const int horizon_hours : {24, 168}) {
         const CellResult cell = run_cell(sites, k, horizon_hours);
         all_match = all_match && cell.objectives_match;
+        all_delta_identical = all_delta_identical && cell.delta_identical;
         rows.push_back(cell);
         const double speedup = cell.ref_ms / std::max(1e-9, cell.revised_ms);
         const double dec_speedup =
@@ -331,18 +431,25 @@ int main(int argc, char** argv) {
         if (sites == 100 && k == 4 && horizon_hours == 24) {
           acceptance_speedup = dec_speedup;
         }
+        const double amortization =
+            cell.build_first_ms / std::max(1e-9, cell.build_steady_ms);
+        if (sites == 250 && k == 4 && horizon_hours == 168) {
+          build_amortization = amortization;
+        }
         std::printf(
-            "  %5d %2d %7dh %7d %7.2f | %9.2f %9.2f %9.2f %9.2f | %6.1fx "
-            "%6.1fx | %6d %6d %5d | %4.0f%% | %s\n",
+            "  %5d %2d %7dh %7d %7.2f %7.2f %5.1fx | %9.2f %9.2f %9.2f "
+            "%9.2f | %6.1fx %6.1fx | %6d %6d %5d | %4.0f%% | %-10s | %s\n",
             cell.sites, cell.k, cell.horizon_hours, cell.buckets,
-            cell.build_ms, cell.ref_ms, cell.revised_ms, cell.decomposed_ms,
+            cell.build_first_ms, cell.build_steady_ms, amortization,
+            cell.ref_ms, cell.revised_ms, cell.decomposed_ms,
             cell.parallel_ms, speedup, dec_speedup, cell.blocks,
             cell.master_iterations, cell.monolithic_fallbacks,
             cell.warm_offers > 0
                 ? 100.0 * static_cast<double>(cell.warm_hits) /
                       static_cast<double>(cell.warm_offers)
                 : 0.0,
-            cell.objectives_match ? "yes" : "NO");
+            cell.engine_selected,
+            cell.objectives_match && cell.delta_identical ? "yes" : "NO");
       }
     }
   }
@@ -359,11 +466,25 @@ int main(int argc, char** argv) {
                  "FAIL: an engine diverged from the reference solver\n");
     return 1;
   }
+  if (!all_delta_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a patched model diverged bitwise from its scratch "
+                 "build\n");
+    return 1;
+  }
   if (acceptance_speedup >= 0.0 && acceptance_speedup < 3.0) {
     std::fprintf(stderr,
                  "FAIL: decomposed speedup %.2fx < 3x on the 100-site "
                  "k=4 24h acceptance cell\n",
                  acceptance_speedup);
+    return 1;
+  }
+  if (build_amortization >= 0.0 && build_amortization < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state model build only %.2fx faster than "
+                 "first-replan build on the 250-site k=4 168h cell (>= 3x "
+                 "required)\n",
+                 build_amortization);
     return 1;
   }
   return 0;

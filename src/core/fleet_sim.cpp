@@ -359,6 +359,7 @@ VmLevelResult run_fleet_simulation(
   std::vector<double> site_mwh(n_sites, 0.0);
   std::vector<int> avail(n_sites, 0);
   std::vector<dcsim::SiteBlock::Evicted> failed_evicted;
+  std::vector<ServerOutage> outages;    // this tick's server failures
   std::vector<std::int32_t> departing;  // slots departing this tick
   // Replan scratch: per-shard slices of the rebuilt FleetState.apps.
   std::vector<std::vector<std::pair<std::int64_t, LiveApp>>> replan_parts(
@@ -468,7 +469,7 @@ VmLevelResult run_fleet_simulation(
     // between the end of tick t-1 and the mutations below, so the fused
     // reading is exact), apply server repairs, fill the tick's power
     // budget, and detach departing VMs.
-    run_sharded([&](std::size_t k) {
+    const auto phase_a = [&](std::size_t k) {
       Shard& shard = shards[k];
       if (i > 0) {
         for (std::size_t s = shard.lo; s < shard.hi; ++s) {
@@ -493,7 +494,54 @@ VmLevelResult run_fleet_simulation(
             id, static_cast<std::size_t>(vm_recs[static_cast<std::size_t>(id)]
                                              .site));
       }
-    });
+    };
+
+    // Phase B (parallel over shards): power shrinks are site-local; each
+    // shard also reports its max headroom so the coordinator's
+    // "can anything fit anywhere" checks stay O(shards).
+    const auto phase_b = [&](std::size_t k) {
+      Shard& shard = shards[k];
+      int max_headroom = std::numeric_limits<int>::min();
+      for (std::size_t s = shard.lo; s < shard.hi; ++s) {
+        evicted_by_site[s].clear();
+        shard.block.shrink_to(s - shard.lo, avail[s], evicted_by_site[s]);
+        max_headroom = std::max(
+            max_headroom, avail[s] - shard.block.allocated_cores(s - shard.lo));
+      }
+      shard.max_headroom = max_headroom;
+    };
+
+    // Quiet-tick detection: when no serial step between phases A and B
+    // touches shard blocks or the avail budget — no replan, no arrivals,
+    // no due or retried moves, no server failures — phase B commutes with
+    // the serial middle (energy reduction and departure bookkeeping write
+    // only coordinator aggregates), so both phases fuse into a single
+    // pooled dispatch per tick. Each shard runs A then B over its own
+    // sites in the same order the split dispatches would, so the fused
+    // tick is bit-identical; the common steady-state tick pays one
+    // barrier instead of two. The events that *would* add same-tick work
+    // after this test (a replan or arrival scheduling a move due now)
+    // already force their flag, so quiet never misses them.
+    const bool replan_tick =
+        replan_period > 0 && t > 0 && t % replan_period == 0;
+    const bool has_arrivals =
+        next_app < apps.size() && apps[next_app].arrival <= t;
+    const bool has_due_moves =
+        due_moves.find(t) != due_moves.end() ||
+        (hooks && retry_queue.find(t) != retry_queue.end());
+    outages.clear();
+    if (hooks) outages = hooks->server_outages_at(t);
+    const bool quiet =
+        !replan_tick && !has_arrivals && !has_due_moves && outages.empty();
+
+    if (quiet) {
+      run_sharded([&](std::size_t k) {
+        phase_a(k);
+        phase_b(k);
+      });
+    } else {
+      run_sharded(phase_a);
+    }
     state.avail_cache = &avail;
 
     // Epoch barrier: serial reductions in global site order. Energy for
@@ -748,8 +796,9 @@ VmLevelResult run_fleet_simulation(
         }
       }
 
-      // 4c. Server failures beginning this tick.
-      for (const ServerOutage& outage : hooks->server_outages_at(t)) {
+      // 4c. Server failures beginning this tick (fetched up top for the
+      //     quiet-tick test; the injector lookup is a pure map read).
+      for (const ServerOutage& outage : outages) {
         if (outage.site >= n_sites || outage.count <= 0) continue;
         Shard& shard = shard_of(outage.site);
         failed_evicted.clear();
@@ -762,20 +811,10 @@ VmLevelResult run_fleet_simulation(
       }
     }
 
-    // Phase B (parallel over shards): power shrinks are site-local; each
-    // shard also reports its max headroom so the coordinator's
-    // "can anything fit anywhere" checks stay O(shards).
-    run_sharded([&](std::size_t k) {
-      Shard& shard = shards[k];
-      int max_headroom = std::numeric_limits<int>::min();
-      for (std::size_t s = shard.lo; s < shard.hi; ++s) {
-        evicted_by_site[s].clear();
-        shard.block.shrink_to(s - shard.lo, avail[s], evicted_by_site[s]);
-        max_headroom = std::max(
-            max_headroom, avail[s] - shard.block.allocated_cores(s - shard.lo));
-      }
-      shard.max_headroom = max_headroom;
-    });
+    // Phase B dispatch: already ran fused with phase A on quiet ticks;
+    // eventful ticks (replan/arrival/move/outage mutated shard blocks
+    // since phase A) re-shrink here, after all serial mutations.
+    if (!quiet) run_sharded(phase_b);
     // 5. Eviction bookkeeping merges serially in global site order.
     for (std::size_t s = 0; s < n_sites; ++s) {
       absorb_evicted(s, evicted_by_site[s]);

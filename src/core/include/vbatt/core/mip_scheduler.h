@@ -27,6 +27,7 @@
 #include "vbatt/core/forecast_cache.h"
 #include "vbatt/core/scheduler.h"
 #include "vbatt/solver/branch_bound.h"
+#include "vbatt/solver/incremental.h"
 
 namespace vbatt::core {
 
@@ -81,6 +82,21 @@ struct MipSchedulerConfig {
   /// simulator reports a topology change (on_topology_change) — a basis
   /// for a fleet that lost a link or a rack describes the wrong polytope.
   bool reuse_basis = true;
+  /// Reuse the previous structurally-identical model across solves: the
+  /// trajectory MIP's shape is fully determined by (buckets, candidate
+  /// sites, has-current-site), so between replans only the cost vectors
+  /// and the k=0 move-row rhs change. On a cache hit those are patched in
+  /// place instead of rebuilding — the patched model is bitwise-identical
+  /// to a scratch build (same arithmetic, same order), so every engine
+  /// including pinned produces byte-identical schedules. The cache is
+  /// dropped wholesale by on_topology_change.
+  bool incremental_build = true;
+  /// Debug cross-check: after every patch, also build from scratch and
+  /// require bitwise equality (solver::models_bitwise_equal), throwing
+  /// std::logic_error with the first divergence. Expensive — it negates
+  /// the build savings — so it is reserved for tests and the
+  /// solver.delta_model_identity fuzz property.
+  bool verify_incremental_build = false;
   solver::MipOptions mip{};
 };
 
@@ -98,11 +114,16 @@ class MipScheduler final : public Scheduler {
 
   /// Topology changed under us (link flap, server-failure start/repair):
   /// every persisted basis describes a stale polytope — drop them all and
-  /// let the next replan solve cold.
+  /// let the next replan solve cold. The cached models go too: their
+  /// structure would still be right, but a from-scratch rebuild on epoch
+  /// bumps keeps the invalidation story uniform and cheap to reason about.
   void on_topology_change() override {
     basis_hint_invalidations_ +=
         static_cast<std::int64_t>(basis_hints_.size());
     basis_hints_.clear();
+    model_cache_invalidations_ +=
+        static_cast<std::int64_t>(model_cache_.size());
+    model_cache_.clear();
   }
 
   /// Total per-app MIP solves performed (observability / tests).
@@ -118,6 +139,20 @@ class MipScheduler final : public Scheduler {
   std::int64_t basis_hint_invalidations() const noexcept {
     return basis_hint_invalidations_;
   }
+
+  /// Incremental-build observability: models constructed from scratch /
+  /// cache hits patched in place / cached models dropped by topology
+  /// invalidation.
+  std::int64_t model_build_count() const noexcept { return model_builds_; }
+  std::int64_t model_patch_count() const noexcept { return model_patches_; }
+  std::int64_t model_cache_invalidations() const noexcept {
+    return model_cache_invalidations_;
+  }
+
+  /// Cumulative wall time spent constructing or patching solver models,
+  /// for replan-latency decomposition (bench_svc reports it alongside
+  /// total replan time). Observability only — never serialized.
+  double model_build_ms() const override { return model_build_ms_; }
 
   /// Fallback-ladder activations: a solver failure (node budget exhausted,
   /// infeasible) first shrinks the horizon to half the buckets, then
@@ -177,6 +212,10 @@ class MipScheduler final : public Scheduler {
   std::int64_t basis_hint_hits_ = 0;
   std::int64_t basis_hint_misses_ = 0;
   std::int64_t basis_hint_invalidations_ = 0;
+  std::int64_t model_builds_ = 0;
+  std::int64_t model_patches_ = 0;
+  std::int64_t model_cache_invalidations_ = 0;
+  double model_build_ms_ = 0.0;
 
   // Per-replan caches, keyed to the `now` they were computed at.
   util::Tick cache_now_ = -1;
@@ -194,6 +233,12 @@ class MipScheduler final : public Scheduler {
   /// the revised-family engines). Pruned with prev_trajectories_; cleared
   /// wholesale by on_topology_change.
   std::map<std::int64_t, solver::MipBasisHint> basis_hints_;
+  /// Built trajectory models keyed by structural family (buckets,
+  /// candidate-set size, has-current-site); hits are patched in place
+  /// (costs + k=0 rhs) instead of rebuilt. Pure derived state — never
+  /// serialized; the patch makes any cached entry exact before use.
+  /// Cleared wholesale by on_topology_change.
+  solver::ModelCache model_cache_;
 };
 
 /// Convenience factories for the paper's four policies (Table 1).

@@ -97,6 +97,12 @@ class Scheduler {
   /// without a fallback ladder report 0.
   virtual std::int64_t fallback_count() const { return 0; }
 
+  /// Cumulative wall-clock milliseconds this scheduler spent constructing
+  /// (or incrementally patching) solver models, as opposed to solving
+  /// them. Lets replan latency decompose into build vs solve the same way
+  /// bench_solver reports it. Schedulers without a model stage report 0.
+  virtual double model_build_ms() const { return 0.0; }
+
   /// Serialize decision-bearing internal state (SimStepper save/restore):
   /// everything a placement or replan between now and the next cache
   /// refresh reads. Stateless schedulers write nothing. Observability

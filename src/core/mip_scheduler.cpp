@@ -1,8 +1,10 @@
 #include "vbatt/core/mip_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "vbatt/stats/quantile.h"
 #include "vbatt/util/thread_pool.h"
@@ -115,61 +117,141 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
   /// Build and solve the model over `nb` buckets; nullopt when the solver
   /// fails (infeasible or node budget exhausted).
   const auto attempt = [&](const int nb) -> std::optional<Trajectory> {
-  solver::Model model;
+  const bool has_y0 = current_site.has_value();
+  const int y_k0 = has_y0 ? 0 : 1;  // first bucket carrying y vars
 
-  // x[k][s]: app resides at sites[s] during bucket b0 + k.
-  std::vector<std::vector<int>> x(static_cast<std::size_t>(nb));
-  for (int k = 0; k < nb; ++k) {
-    for (std::size_t s = 0; s < n_sites; ++s) {
-      const std::size_t b = static_cast<std::size_t>(b0 + k);
-      const double cap =
-          config_.capacity_safety * capacity_[sites[s]][b];
-      const double overflow = load_[sites[s]][b] + demand - cap;
-      const double deficit_frac =
-          demand > 0.0 ? std::clamp(overflow / demand, 0.0, 1.0) : 0.0;
-      const double discount =
-          std::pow(config_.discount_per_bucket, static_cast<double>(k));
-      x[static_cast<std::size_t>(k)].push_back(model.add_binary(
-          "x",
-          stable_mem_gb * deficit_frac * config_.deficit_penalty * discount));
-    }
-  }
-  // y[k][s]: move-in indicators (continuous; the x-differences they bound
-  // are integral at optimality).
-  std::vector<std::vector<int>> y(static_cast<std::size_t>(nb));
-  for (int k = 0; k < nb; ++k) {
-    const bool has_reference = k > 0 || current_site.has_value();
-    if (!has_reference) continue;  // initial placement transfers no state
+  // Variable layout, fixed per structural family (nb, n_sites, has_y0):
+  // the x block first, k-major — x[k][s] = "app resides at sites[s]
+  // during bucket b0+k" — then the y block, also k-major (move-in
+  // indicators; continuous, the x-differences they bound are integral at
+  // optimality). Initial placements transfer no state, so k=0 has no y.
+  const auto x_index = [n_sites](int k, std::size_t s) {
+    return static_cast<std::size_t>(k) * n_sites + s;
+  };
+  const auto y_index = [nb, n_sites, y_k0](int k, std::size_t s) {
+    return static_cast<std::size_t>(nb) * n_sites +
+           static_cast<std::size_t>(k - y_k0) * n_sites + s;
+  };
+  const auto has_y = [has_y0](int k) { return k > 0 || has_y0; };
+
+  // The replan-dependent data: cost vectors and the k=0 move-row rhs.
+  // Scratch build and in-place patch both evaluate these expressions in
+  // the same order, which is what makes a patched model bitwise-identical
+  // to a rebuilt one.
+  const auto x_cost = [&](int k, std::size_t s) {
+    const std::size_t b = static_cast<std::size_t>(b0 + k);
+    const double cap = config_.capacity_safety * capacity_[sites[s]][b];
+    const double overflow = load_[sites[s]][b] + demand - cap;
+    const double deficit_frac =
+        demand > 0.0 ? std::clamp(overflow / demand, 0.0, 1.0) : 0.0;
     const double discount =
         std::pow(config_.discount_per_bucket, static_cast<double>(k));
-    for (std::size_t s = 0; s < n_sites; ++s) {
-      y[static_cast<std::size_t>(k)].push_back(
-          model.add_var("y", stable_mem_gb * discount, 0.0, 1.0));
-    }
-  }
+    return stable_mem_gb * deficit_frac * config_.deficit_penalty * discount;
+  };
+  const auto y_cost = [&](int k) {
+    return stable_mem_gb *
+           std::pow(config_.discount_per_bucket, static_cast<double>(k));
+  };
+  const auto k0_rhs = [&](std::size_t s) {
+    return has_y0 && sites[s] == *current_site ? 1.0 : 0.0;
+  };
 
-  for (int k = 0; k < nb; ++k) {
-    std::vector<std::pair<int, double>> one;
-    for (std::size_t s = 0; s < n_sites; ++s) {
-      one.emplace_back(x[static_cast<std::size_t>(k)][s], 1.0);
-    }
-    model.add_constraint(std::move(one), solver::Rel::eq, 1.0);
-
-    if (y[static_cast<std::size_t>(k)].empty()) continue;
-    for (std::size_t s = 0; s < n_sites; ++s) {
-      // x[k][s] - x[k-1][s] - y[k][s] <= (k==0 ? [s==current] : 0)
-      std::vector<std::pair<int, double>> terms;
-      terms.emplace_back(x[static_cast<std::size_t>(k)][s], 1.0);
-      double rhs = 0.0;
-      if (k > 0) {
-        terms.emplace_back(x[static_cast<std::size_t>(k - 1)][s], -1.0);
-      } else if (sites[s] == *current_site) {
-        rhs = 1.0;
+  const auto build_scratch = [&]() {
+    solver::Model fresh_model;
+    for (int k = 0; k < nb; ++k) {
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        fresh_model.add_binary("x", x_cost(k, s));
       }
-      terms.emplace_back(y[static_cast<std::size_t>(k)][s], -1.0);
-      model.add_constraint(std::move(terms), solver::Rel::le, rhs);
     }
+    for (int k = y_k0; k < nb; ++k) {
+      const double cost = y_cost(k);
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        fresh_model.add_var("y", cost, 0.0, 1.0);
+      }
+    }
+    for (int k = 0; k < nb; ++k) {
+      std::vector<std::pair<int, double>> one;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        one.emplace_back(static_cast<int>(x_index(k, s)), 1.0);
+      }
+      fresh_model.add_constraint(std::move(one), solver::Rel::eq, 1.0);
+
+      if (!has_y(k)) continue;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        // x[k][s] - x[k-1][s] - y[k][s] <= (k==0 ? [s==current] : 0)
+        std::vector<std::pair<int, double>> terms;
+        terms.emplace_back(static_cast<int>(x_index(k, s)), 1.0);
+        double rhs = 0.0;
+        if (k > 0) {
+          terms.emplace_back(static_cast<int>(x_index(k - 1, s)), -1.0);
+        } else {
+          rhs = k0_rhs(s);
+        }
+        terms.emplace_back(static_cast<int>(y_index(k, s)), -1.0);
+        fresh_model.add_constraint(std::move(terms), solver::Rel::le, rhs);
+      }
+    }
+    return fresh_model;
+  };
+
+  // Patch a cached model of the same family in place: every allocation
+  // (variable vector, term vectors, name strings) is reused; only costs
+  // and the k=0 move-row rhs are rewritten.
+  const auto patch = [&](solver::Model& cached) {
+    for (int k = 0; k < nb; ++k) {
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        cached.vars()[x_index(k, s)].cost = x_cost(k, s);
+      }
+    }
+    for (int k = y_k0; k < nb; ++k) {
+      const double cost = y_cost(k);
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        cached.vars()[y_index(k, s)].cost = cost;
+      }
+    }
+    if (has_y0) {
+      // Row layout: k=0's eq row sits at 0 followed by its n_sites move
+      // rows — the only rows whose rhs depends on replan data (the
+      // current-site position).
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        cached.set_rhs(1 + s, k0_rhs(s));
+      }
+    }
+  };
+
+  solver::Model scratch_model;  // used when incremental build is off
+  solver::Model* model_ptr = nullptr;
+  const auto build_t0 = std::chrono::steady_clock::now();
+  if (config_.incremental_build) {
+    const solver::ModelCache::Key key{
+        nb, static_cast<std::int64_t>(n_sites), has_y0 ? 1 : 0};
+    bool fresh = false;
+    solver::Model& cached = model_cache_.get(key, build_scratch, &fresh);
+    if (fresh) {
+      ++model_builds_;
+    } else {
+      patch(cached);
+      ++model_patches_;
+      if (config_.verify_incremental_build) {
+        const solver::Model rebuilt = build_scratch();
+        const std::string diff = solver::diff_models_bitwise(cached, rebuilt);
+        if (!diff.empty()) {
+          throw std::logic_error{
+              "MipScheduler: patched model diverged from scratch build: " +
+              diff};
+        }
+      }
+    }
+    model_ptr = &cached;
+  } else {
+    scratch_model = build_scratch();
+    ++model_builds_;
+    model_ptr = &scratch_model;
   }
+  model_build_ms_ += std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - build_t0)
+                         .count();
+  solver::Model& model = *model_ptr;
 
   // Warm-start incumbent: the previous round's trajectory re-aligned to
   // this horizon (held site extended past its end), expressed in this
@@ -196,13 +278,12 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
         break;
       }
       const auto s = static_cast<std::size_t>(found - sites.begin());
-      warm.x[static_cast<std::size_t>(x[static_cast<std::size_t>(k)][s])] =
-          1.0;
+      warm.x[x_index(k, s)] = 1.0;
       warm_col[static_cast<std::size_t>(k)] = s;
     }
     if (have_warm) {
       for (int k = 0; k < nb; ++k) {
-        if (y[static_cast<std::size_t>(k)].empty()) continue;
+        if (!has_y(k)) continue;
         for (std::size_t s = 0; s < n_sites; ++s) {
           const double here =
               warm_col[static_cast<std::size_t>(k)] == s ? 1.0 : 0.0;
@@ -210,9 +291,7 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
               k > 0 ? (warm_col[static_cast<std::size_t>(k - 1)] == s ? 1.0
                                                                       : 0.0)
                     : (sites[s] == *current_site ? 1.0 : 0.0);
-          warm.x[static_cast<std::size_t>(
-              y[static_cast<std::size_t>(k)][s])] =
-              std::max(0.0, here - before);
+          warm.x[y_index(k, s)] = std::max(0.0, here - before);
         }
       }
     }
@@ -257,10 +336,10 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
     const int peak = model.add_var("peak", 1.0);
     int peak_rows = 0;
     for (int k = 0; k < nb; ++k) {
-      if (y[static_cast<std::size_t>(k)].empty()) continue;
+      if (!has_y(k)) continue;
       std::vector<std::pair<int, double>> terms;
       for (std::size_t s = 0; s < n_sites; ++s) {
-        terms.emplace_back(y[static_cast<std::size_t>(k)][s], stable_mem_gb);
+        terms.emplace_back(static_cast<int>(y_index(k, s)), stable_mem_gb);
       }
       terms.emplace_back(peak, -1.0);
       model.add_constraint(
@@ -276,12 +355,10 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
       stage2_warm.x.resize(model.n_vars(), 0.0);
       double peak_value = 0.0;
       for (int k = 0; k < nb; ++k) {
-        if (y[static_cast<std::size_t>(k)].empty()) continue;
+        if (!has_y(k)) continue;
         double volume = committed_moves_gb_[static_cast<std::size_t>(b0 + k)];
         for (std::size_t s = 0; s < n_sites; ++s) {
-          volume += stable_mem_gb *
-                    primary.x[static_cast<std::size_t>(
-                        y[static_cast<std::size_t>(k)][s])];
+          volume += stable_mem_gb * primary.x[y_index(k, s)];
         }
         peak_value = std::max(peak_value, volume);
       }
@@ -311,8 +388,7 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
   for (int k = 0; k < nb; ++k) {
     std::size_t site = sites[0];
     for (std::size_t s = 0; s < n_sites; ++s) {
-      if (chosen.x[static_cast<std::size_t>(
-              x[static_cast<std::size_t>(k)][s])] > 0.5) {
+      if (chosen.x[x_index(k, s)] > 0.5) {
         site = sites[s];
         break;
       }

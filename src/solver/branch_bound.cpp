@@ -387,6 +387,91 @@ MipResult solve_mip_pinned(const Model& model, const MipOptions& options) {
 
 }  // namespace
 
+MipEngine resolve_engine(const Model& model) {
+  const std::size_t nv = model.n_vars();
+  const std::size_t nc = model.n_constraints();
+  // Tiny models solve in microseconds on the monolithic path; any probing
+  // or decomposition bookkeeping would dominate.
+  if (nv < 24 || nc < 12) return MipEngine::revised;
+
+  // Block count: union-find over variables coupled by shared rows — the
+  // same notion of separability the decomposed engine uses, at O(nnz α).
+  std::vector<int> parent(nv);
+  for (std::size_t i = 0; i < nv; ++i) parent[i] = static_cast<int>(i);
+  const auto find = [&parent](int i) {
+    while (parent[static_cast<std::size_t>(i)] != i) {
+      parent[static_cast<std::size_t>(i)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(i)])];
+      i = parent[static_cast<std::size_t>(i)];
+    }
+    return i;
+  };
+  std::vector<char> constrained(nv, 0);
+  for (const Constraint& row : model.constraints()) {
+    if (row.terms.empty()) continue;
+    const int first = find(row.terms.front().first);
+    for (const auto& [idx, coeff] : row.terms) {
+      (void)coeff;
+      constrained[static_cast<std::size_t>(idx)] = 1;
+      parent[static_cast<std::size_t>(find(idx))] = first;
+    }
+  }
+  std::size_t blocks = 0;
+  for (std::size_t i = 0; i < nv; ++i) {
+    if (constrained[i] && find(static_cast<int>(i)) == static_cast<int>(i)) {
+      ++blocks;
+    }
+  }
+
+  // Chain signature (necessary conditions only — decomposed verifies the
+  // real thing and falls back if the probe guessed wrong): assignment-style
+  // eq rows with all-unit coefficients over binaries, every other row a
+  // short coupling row. That is the trajectory family's shape.
+  bool chainish = true;
+  std::size_t eq_unit_rows = 0;
+  for (const Constraint& row : model.constraints()) {
+    if (!chainish) break;
+    if (row.rel == Rel::eq) {
+      for (const auto& [idx, coeff] : row.terms) {
+        const Variable& var = model.vars()[static_cast<std::size_t>(idx)];
+        if (coeff != 1.0 || !var.integer || var.lb != 0.0 || var.ub != 1.0) {
+          chainish = false;
+          break;
+        }
+      }
+      ++eq_unit_rows;
+    } else if (row.terms.size() > 3) {
+      chainish = false;
+    }
+  }
+  chainish = chainish && eq_unit_rows >= 2;
+
+  if (blocks > 1 || chainish) return MipEngine::decomposed;
+  // Large monolithic model with nothing to split: the epoch-batched
+  // parallel tree is the only engine that amortizes a deep search, and it
+  // stays bit-identical at every thread count so picking it never breaks
+  // VBATT_THREADS invariance.
+  if (nc >= 256) return MipEngine::parallel;
+  return MipEngine::revised;
+}
+
+const char* engine_name(MipEngine engine) noexcept {
+  switch (engine) {
+    case MipEngine::pinned:
+      return "pinned";
+    case MipEngine::revised:
+      return "revised";
+    case MipEngine::decomposed:
+      return "decomposed";
+    case MipEngine::parallel:
+      return "parallel";
+    case MipEngine::auto_select:
+      return "auto";
+  }
+  return "unknown";
+}
+
 MipResult solve_mip(const Model& model, const MipOptions& options,
                     const MipWarmStart* warm, MipBasisHint* hint) {
   switch (options.engine) {
@@ -398,6 +483,11 @@ MipResult solve_mip(const Model& model, const MipOptions& options,
       return solve_mip_decomposed(model, options, warm, hint);
     case MipEngine::parallel:
       return solve_mip_parallel(model, options, warm, hint);
+    case MipEngine::auto_select: {
+      MipOptions resolved = options;
+      resolved.engine = resolve_engine(model);
+      return solve_mip(model, resolved, warm, hint);
+    }
   }
   return solve_mip_impl(model, options, warm, hint);  // unreachable
 }

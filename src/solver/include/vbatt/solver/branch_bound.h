@@ -48,7 +48,39 @@ enum class MipEngine {
   /// and serial merge. Bit-identical (incumbent, objective, node count)
   /// at every VBATT_THREADS, including 1.
   parallel,
+  /// Adaptive: resolve_engine(model) picks one of the concrete engines
+  /// above from the model's shape (see its contract), then dispatches.
+  /// Never resolves to pinned — callers who need byte-stability must ask
+  /// for it explicitly — and the choice is a pure function of the model,
+  /// independent of thread count, so results stay invariant across
+  /// VBATT_THREADS for the engines that guarantee it.
+  auto_select,
 };
+
+/// The engine auto_select dispatches `model` to: a deterministic, pure
+/// function of model shape.
+///
+///   - tiny models (few vars or rows): revised — the decomposition probe
+///     costs more than it saves;
+///   - multi-block or chain-shaped models (unit-coefficient eq rows over
+///     binaries plus short coupling rows — the trajectory family's
+///     signature): decomposed, whose union-find + chain-DP master beats
+///     the monolithic engines on every benchmarked cell and falls back to
+///     revised when the probe was wrong;
+///   - large single-block models with no chain signature: parallel, whose
+///     epoch-batched tree search amortizes deep non-chain trees and stays
+///     bit-identical at every thread count;
+///   - everything else: revised.
+///
+/// BENCH_solver.json documents the shape→engine map this encodes: on the
+/// trajectory sweep decomposed wins every cell, parallel loses every cell
+/// (batching overhead dwarfs the near-root searches), so parallel is only
+/// picked where decomposition has provably nothing to split.
+MipEngine resolve_engine(const Model& model);
+
+/// Stable lower-case name for an engine ("pinned", "revised", ...), for
+/// logs and bench JSON.
+const char* engine_name(MipEngine engine) noexcept;
 
 struct MipOptions {
   /// Node budget; on exhaustion the incumbent (if any) is returned with

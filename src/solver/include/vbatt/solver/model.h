@@ -87,6 +87,16 @@ class Model {
     vars_.pop_back();
   }
 
+  /// Overwrite one row's right-hand side in place. The structural patch
+  /// primitive for incremental model reuse: between replans of the same
+  /// planning family only costs and a handful of rhs values change.
+  void set_rhs(std::size_t row, double rhs) {
+    if (row >= constraints_.size()) {
+      throw std::out_of_range{"set_rhs: bad row index"};
+    }
+    constraints_[row].rhs = rhs;
+  }
+
   std::size_t n_vars() const noexcept { return vars_.size(); }
   std::size_t n_constraints() const noexcept { return constraints_.size(); }
   const std::vector<Variable>& vars() const noexcept { return vars_; }

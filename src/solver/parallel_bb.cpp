@@ -28,6 +28,15 @@ using detail::NodeOrder;
 /// every VBATT_THREADS. 8 saturates small hosts without over-speculating.
 constexpr std::size_t kBatch = 8;
 
+/// Explored-node count below which epochs hold a single node and skip the
+/// pool entirely. Near the root, best-first order is at its most
+/// informative and most searches finish outright — batching there only
+/// speculates on nodes the serial search would have pruned and pays a
+/// dispatch barrier for each. The gate reads result.nodes_explored, which
+/// is itself bit-identical at every VBATT_THREADS, so batching engages at
+/// the same point of the search regardless of thread count.
+constexpr int kBatchNodeThreshold = 64;
+
 }  // namespace
 
 MipResult solve_mip_parallel(const Model& model, const MipOptions& options,
@@ -216,7 +225,10 @@ MipResult solve_mip_parallel(const Model& model, const MipOptions& options,
     batch.clear();
     const std::size_t budget_left = static_cast<std::size_t>(
         options.max_nodes - result.nodes_explored);
-    while (batch.size() < std::min(kBatch, budget_left) && !open.empty()) {
+    const std::size_t epoch_width =
+        result.nodes_explored < kBatchNodeThreshold ? 1 : kBatch;
+    while (batch.size() < std::min(epoch_width, budget_left) &&
+           !open.empty()) {
       Node nd = open.top();
       open.pop();
       if (have_incumbent && nd.bound >= incumbent - options.gap_abs) {

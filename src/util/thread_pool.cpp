@@ -14,12 +14,19 @@ namespace {
 /// to fail fast instead of deadlocking (see assert_not_own_worker).
 thread_local const ThreadPool* t_worker_pool = nullptr;
 
+/// The pool whose parallel_for this thread is currently publishing (it
+/// holds that pool's job_gate_). A re-entrant parallel_for from inside
+/// one of the publisher's own chunks would self-deadlock on the gate, so
+/// it degrades to the serial inline fallback instead — identical results
+/// by the per-index-slot contract, just no extra fan-out.
+thread_local const ThreadPool* t_job_publisher = nullptr;
+
 /// A worker that calls parallel_for or drain on its own pool blocks on
 /// work only the pool's (now occupied) workers could run: parallel_for
-/// waits on chunks that sit in the queue behind the very tasks the
-/// workers are stuck in, and drain waits for running_ to hit zero while
-/// the caller itself is counted in running_. Both are silent deadlocks
-/// when every worker nests, so they are rejected deterministically.
+/// waits on a job whose lanes include the caller's own, and drain waits
+/// for running_ to hit zero while the caller itself is counted in
+/// running_. Both are silent deadlocks when every worker nests, so they
+/// are rejected deterministically.
 void assert_not_own_worker(const ThreadPool* pool, const char* what) {
   if (t_worker_pool == pool) {
     throw std::logic_error{
@@ -28,6 +35,24 @@ void assert_not_own_worker(const ThreadPool* pool, const char* what) {
         "blocking on the same pool deadlocks once every worker nests. "
         "Run the nested loop serially or use a separate pool."};
   }
+}
+
+constexpr std::uint64_t kIdxBits = 12;
+constexpr std::uint64_t kIdxMask = (std::uint64_t{1} << kIdxBits) - 1;
+
+/// Chunks per lane: over-chunking past the lane count lets fast lanes
+/// steal tail work from slow ones; each extra chunk costs only one CAS.
+constexpr std::size_t kChunksPerLane = 4;
+
+/// Spin budget before a worker parks / the caller blocks on the job cv.
+/// Yield periodically so a single-core host hands the CPU back to
+/// whichever thread actually holds unfinished chunks.
+constexpr int kSpinIters = 2048;
+constexpr int kSpinYieldEvery = 16;
+
+std::uint64_t pack_job(std::size_t n_chunks, std::size_t next) {
+  return (static_cast<std::uint64_t>(n_chunks) << kIdxBits) |
+         static_cast<std::uint64_t>(next);
 }
 
 }  // namespace
@@ -42,30 +67,124 @@ ThreadPool::ThreadPool(std::size_t n_workers) {
 ThreadPool::~ThreadPool() {
   {
     const std::lock_guard<std::mutex> lock{mutex_};
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_relaxed);
   }
   ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::job_available() const {
+  const std::uint64_t w = job_word_.load(std::memory_order_acquire);
+  return (w & kIdxMask) < ((w >> kIdxBits) & kIdxMask);
+}
+
+bool ThreadPool::try_claim(std::size_t& chunk) {
+  std::uint64_t w = job_word_.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint64_t next = w & kIdxMask;
+    const std::uint64_t chunks = (w >> kIdxBits) & kIdxMask;
+    if (next >= chunks) return false;
+    // On success the acquire half synchronizes with the publisher's
+    // release-store, making the job descriptor fields visible. A stale
+    // `w` can only win the CAS if it still equals the current word, in
+    // which case `next` is the current job's next chunk — claims can
+    // never leak across jobs.
+    if (job_word_.compare_exchange_weak(w, w + 1, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      chunk = static_cast<std::size_t>(next);
+      return true;
+    }
+  }
+}
+
+void ThreadPool::run_chunk(std::size_t chunk) {
+  const std::size_t n = job_n_;
+  const std::size_t chunks = job_chunks_;
+  const std::size_t begin = chunk * n / chunks;
+  const std::size_t end = (chunk + 1) * n / chunks;
+  try {
+    (*job_body_)(begin, end);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock{job_error_mutex_};
+    if (!job_error_) job_error_ = std::current_exception();
+  }
+  // The error write above must precede this increment: the publisher
+  // reads job_error_ unguarded after observing done == chunks.
+  if (job_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+    // Last chunk may finish on a worker while the caller is parked; the
+    // empty critical section pairs with the caller's predicate check.
+    const std::lock_guard<std::mutex> lock{job_wait_mutex_};
+    job_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::run_job_chunks() {
+  bool any = false;
+  std::size_t chunk = 0;
+  while (try_claim(chunk)) {
+    any = true;
+    // Wake chain: pass the baton to one more sleeper while unclaimed
+    // chunks remain, instead of the publisher waking everyone up front.
+    if (job_available() && sleepers_.load(std::memory_order_relaxed) > 0) {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      ready_.notify_one();
+    }
+    run_chunk(chunk);
+  }
+  return any;
+}
+
+bool ThreadPool::run_one_task() {
+  if (pending_tasks_.load(std::memory_order_acquire) == 0) return false;
+  std::function<void()> task;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+    pending_tasks_.fetch_sub(1, std::memory_order_relaxed);
+    ++running_;
+  }
+  task();
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (--running_ == 0 && tasks_.empty()) idle_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   t_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock{mutex_};
-      ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      // Drain the queue even when stopping: destruction must not drop
-      // queued work (parallel_for callers are still waiting on it).
-      if (tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
-      ++running_;
+    if (run_job_chunks()) continue;
+    if (run_one_task()) continue;
+    // Spin-then-park: barriers usually arrive back-to-back, so burn a
+    // short budget polling before paying the futex round-trip.
+    bool found = false;
+    for (int spin = 0; spin < kSpinIters; ++spin) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (job_available() ||
+          pending_tasks_.load(std::memory_order_relaxed) > 0) {
+        found = true;
+        break;
+      }
+      if ((spin & (kSpinYieldEvery - 1)) == kSpinYieldEvery - 1) {
+        std::this_thread::yield();
+      }
     }
-    task();
-    {
-      const std::lock_guard<std::mutex> lock{mutex_};
-      if (--running_ == 0 && tasks_.empty()) idle_.notify_all();
+    if (found) continue;
+    std::unique_lock<std::mutex> lock{mutex_};
+    ++sleepers_;
+    ready_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_relaxed) || !tasks_.empty() ||
+             job_available();
+    });
+    --sleepers_;
+    // Drain the queue even when stopping: destruction must not drop
+    // queued work (drain() callers are still waiting on it).
+    if (stopping_.load(std::memory_order_relaxed) && tasks_.empty() &&
+        !job_available()) {
+      return;
     }
   }
 }
@@ -88,6 +207,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock{mutex_};
     tasks_.push(std::move(guarded));
+    pending_tasks_.fetch_add(1, std::memory_order_release);
   }
   ready_.notify_one();
 }
@@ -111,55 +231,61 @@ void ThreadPool::parallel_for(
   assert_not_own_worker(this, "parallel_for");
   if (n == 0) return;
   const std::size_t lanes = workers_.size() + 1;
-  if (lanes == 1 || n == 1) {
+  if (lanes == 1 || n == 1 || t_job_publisher == this) {
     body(0, n);
     return;
   }
-  const std::size_t chunks = std::min(lanes, n);
-  const std::size_t base = n / chunks;
-  const std::size_t extra = n % chunks;  // first `extra` chunks get +1
 
-  struct State {
-    std::size_t remaining;  // guarded by mutex
-    std::mutex mutex;
-    std::condition_variable done;
-    std::exception_ptr error;  // first exception wins, guarded by mutex
-  };
-  State state;
-  state.remaining = chunks;
-
-  const auto run_chunk = [&body, &state](std::size_t begin, std::size_t end) {
-    std::exception_ptr error;
-    try {
-      body(begin, end);
-    } catch (...) {
-      error = std::current_exception();
+  // One job in flight at a time; concurrent external callers queue here.
+  const std::lock_guard<std::mutex> gate{job_gate_};
+  struct PublisherScope {
+    const ThreadPool* prev;
+    explicit PublisherScope(const ThreadPool* pool) : prev{t_job_publisher} {
+      t_job_publisher = pool;
     }
-    // Decrement and notify under the lock: the waiter may destroy State
-    // the moment it observes remaining == 0, which it can only do after
-    // this scope released the mutex.
-    const std::lock_guard<std::mutex> lock{state.mutex};
-    if (error && !state.error) state.error = std::move(error);
-    if (--state.remaining == 0) state.done.notify_all();
-  };
-
-  std::size_t begin = base + (extra > 0 ? 1 : 0);  // chunk 0 is the caller's
-  {
+    ~PublisherScope() { t_job_publisher = prev; }
+  } publisher_scope{this};
+  const std::size_t chunks =
+      std::min({n, lanes * kChunksPerLane, static_cast<std::size_t>(kIdxMask)});
+  job_body_ = &body;
+  job_n_ = n;
+  job_chunks_ = chunks;
+  job_done_.store(0, std::memory_order_relaxed);
+  job_error_ = nullptr;
+  job_word_.store(pack_job(chunks, 0), std::memory_order_release);
+  // Wake at most one parked worker; claimants chain further wakeups. A
+  // stale sleepers_ read only costs this job some parallelism — the
+  // caller's claim loop below completes the job regardless.
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
     const std::lock_guard<std::mutex> lock{mutex_};
-    for (std::size_t c = 1; c < chunks; ++c) {
-      const std::size_t width = base + (c < extra ? 1 : 0);
-      const std::size_t end = begin + width;
-      tasks_.push([run_chunk, begin, end] { run_chunk(begin, end); });
-      begin = end;
+    ready_.notify_one();
+  }
+
+  // Caller participation: claim until nothing is left. On a host where
+  // workers never get scheduled in time this runs every chunk inline.
+  std::size_t chunk = 0;
+  while (try_claim(chunk)) run_chunk(chunk);
+
+  if (job_done_.load(std::memory_order_acquire) != chunks) {
+    for (int spin = 0;
+         spin < kSpinIters && job_done_.load(std::memory_order_acquire) != chunks;
+         ++spin) {
+      if ((spin & (kSpinYieldEvery - 1)) == kSpinYieldEvery - 1) {
+        std::this_thread::yield();
+      }
+    }
+    if (job_done_.load(std::memory_order_acquire) != chunks) {
+      std::unique_lock<std::mutex> lock{job_wait_mutex_};
+      job_cv_.wait(lock, [this, chunks] {
+        return job_done_.load(std::memory_order_acquire) == chunks;
+      });
     }
   }
-  ready_.notify_all();
-
-  run_chunk(0, base + (extra > 0 ? 1 : 0));
-
-  std::unique_lock<std::mutex> lock{state.mutex};
-  state.done.wait(lock, [&state] { return state.remaining == 0; });
-  if (state.error) std::rethrow_exception(state.error);
+  if (job_error_) {
+    std::exception_ptr error = std::move(job_error_);
+    job_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 std::size_t ThreadPool::parse_threads(const char* value, std::size_t fallback) {

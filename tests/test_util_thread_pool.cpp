@@ -149,18 +149,38 @@ TEST(ThreadPool, NestedParallelForFromWorkerFailsFast) {
   // A worker re-entering parallel_for on its own pool would block in the
   // nested wait while occupying the lane the nested chunks need — with
   // every lane nested, a silent deadlock. The pool must refuse instead.
+  // submit() is the deterministic way to land on a worker: parallel_for
+  // chunks are claimed greedily and may all run on the caller.
   ThreadPool pool{2};
   std::atomic<int> caught{0};
-  pool.parallel_for(4, [&](std::size_t begin, std::size_t end) {
-    (void)begin;
-    (void)end;
+  pool.submit([&] {
     try {
       pool.parallel_for(2, [](std::size_t, std::size_t) {});
     } catch (const std::logic_error&) {
       caught.fetch_add(1, std::memory_order_relaxed);
     }
   });
+  pool.drain();
   EXPECT_GT(caught.load(), 0);
+
+  // The external caller, by contrast, may re-enter parallel_for from one
+  // of its own chunks: the nested call degrades to the serial inline
+  // fallback instead of deadlocking on the in-flight job. A chunk that
+  // happens to land on a worker is still refused — either way the outer
+  // call must complete.
+  std::atomic<std::size_t> nested_sum{0};
+  pool.parallel_for(4, [&](std::size_t begin, std::size_t end) {
+    (void)begin;
+    (void)end;
+    try {
+      pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+        nested_sum.fetch_add(e - b, std::memory_order_relaxed);
+      });
+    } catch (const std::logic_error&) {
+      // chunk ran on a worker: nesting correctly refused
+    }
+  });
+  EXPECT_EQ(nested_sum.load() % 8, 0u);  // inner loops ran whole or not at all
 
   // Zero items must be rejected too: whether the guard fires cannot
   // depend on the data size, or small inputs would mask the bug.
