@@ -1,0 +1,74 @@
+// Shared replay check for the econ-objective bench cells (bench_carbon,
+// bench_economics): the lexicographic cost/carbon stage prices a
+// trajectory in undiscounted real units, so replaying the per-tick signal
+// over the committed plan must reproduce the stage value exactly. The
+// acceptance gate is 1e-6; a miss aborts the bench.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "vbatt/core/mip_scheduler.h"
+#include "vbatt/energy/signal.h"
+#include "vbatt/util/time.h"
+#include "vbatt/workload/app.h"
+
+namespace vbatt::bench {
+
+/// Replay a committed trajectory against the signal exactly as the econ
+/// stage priced it: per-bucket signal sum × cores × kW/core × h/tick /
+/// 1000, summed over the trajectory's buckets.
+inline double replay_trajectory(const core::MipScheduler::Trajectory& t,
+                                const energy::SiteSeries& signal,
+                                int stable_cores,
+                                const core::MipSchedulerConfig& config,
+                                const util::TimeAxis& axis,
+                                util::Tick trace_end) {
+  const double scale = static_cast<double>(stable_cores) *
+                       config.objective_kw_per_core *
+                       (axis.minutes_per_tick() / 60.0) / 1000.0;
+  double value = 0.0;
+  for (std::size_t k = 0; k < t.sites.size(); ++k) {
+    const util::Tick begin =
+        t.start + static_cast<util::Tick>(k) * config.bucket_ticks;
+    const util::Tick end = std::min(trace_end, begin + config.bucket_ticks);
+    double sum = 0.0;
+    for (util::Tick tick = begin; tick < end; ++tick) {
+      sum += signal.value(t.sites[k], static_cast<double>(tick));
+    }
+    value += sum * scale;
+  }
+  return value;
+}
+
+/// Max |objective_cost − replayed ledger| over every committed trajectory;
+/// aborts the bench when the accounting identity breaks (> 1e-6).
+inline double check_replay(const core::MipScheduler& scheduler,
+                           const energy::SiteSeries& signal,
+                           const std::vector<workload::Application>& apps,
+                           const core::MipSchedulerConfig& config,
+                           const util::TimeAxis& axis, util::Tick trace_end) {
+  std::map<std::int64_t, int> cores_by_app;
+  for (const workload::Application& app : apps) {
+    cores_by_app.emplace(app.app_id, app.stable_cores());
+  }
+  double max_err = 0.0;
+  for (const auto& [app_id, trajectory] : scheduler.trajectories()) {
+    const double replayed = replay_trajectory(
+        trajectory, signal, cores_by_app.at(app_id), config, axis, trace_end);
+    max_err =
+        std::max(max_err, std::abs(trajectory.objective_cost - replayed));
+  }
+  if (max_err > 1e-6) {
+    std::fprintf(stderr,
+                 "FAIL: econ objective diverges from per-tick replay by %g\n",
+                 max_err);
+    std::exit(1);
+  }
+  return max_err;
+}
+
+}  // namespace vbatt::bench

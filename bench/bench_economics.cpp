@@ -2,10 +2,14 @@
 // Paper: ~10% of DC opex saved by eliminating transmission (20% power
 // share x 50% transmission share); curtailment (up to ~6% of renewable
 // generation) becomes recoverable compute energy.
+#include "bench_econ_util.h"
 #include "bench_util.h"
+#include "vbatt/core/simulation.h"
 #include "vbatt/energy/cost.h"
+#include "vbatt/energy/site.h"
 #include "vbatt/energy/wind.h"
 #include "vbatt/util/csv.h"
+#include "vbatt/workload/generator.h"
 
 namespace {
 
@@ -42,6 +46,52 @@ void reproduce() {
     }
   }
   bench::note("sensitivity sweep -> " + bench::out_path("economics_sweep.csv"));
+
+  // Price-objective cell: a week-long fleet run with a per-site day-ahead
+  // price series attached to the econ ledger, under plain MIP (ledger
+  // only) and MIP-cost (lexicographic electricity-cost stage). Every
+  // committed trajectory's stage value must replay against the per-tick
+  // price within 1e-6 — check_replay aborts otherwise.
+  const util::TimeAxis axis{15};
+  constexpr std::size_t kSpan = 96u * 7u;
+  energy::FleetConfig fleet_config;
+  fleet_config.n_solar = 4;
+  fleet_config.n_wind = 6;
+  fleet_config.region_km = 2500.0;
+  const energy::Fleet fleet = energy::generate_fleet(fleet_config, axis, kSpan);
+  core::VbGraphConfig graph_config;
+  graph_config.cores_per_mw = 20.0;
+  const core::VbGraph graph{fleet, graph_config};
+  workload::AppGeneratorConfig app_config;
+  app_config.apps_per_hour = 2.2;
+  const auto apps = workload::generate_apps(app_config, axis, kSpan);
+
+  const energy::SiteSeries price =
+      energy::make_price_series({}, axis, graph.n_sites(), kSpan);
+  core::ScenarioExtensions ext;
+  ext.price = &price;
+  util::CsvWriter price_csv{bench::out_path("price_objective.csv"),
+                            {"policy", "cost_usd", "energy_mwh",
+                             "replay_max_err"}};
+  const auto run_priced = [&](core::MipSchedulerConfig config) {
+    core::MipScheduler scheduler{config};
+    const core::SimResult result =
+        core::run_simulation(graph, apps, scheduler, {}, nullptr, &ext);
+    const double err =
+        config.objective == core::MipSchedulerConfig::Objective::none
+            ? 0.0
+            : bench::check_replay(scheduler, price, apps, config, axis,
+                                  static_cast<util::Tick>(kSpan));
+    std::printf("  %-9s electricity $%9.2f  %7.1f MWh  replay err %.2g\n",
+                config.name.c_str(), result.cost_usd, result.energy_mwh, err);
+    price_csv.labeled_row(config.name,
+                          {result.cost_usd, result.energy_mwh, err});
+    return result.cost_usd;
+  };
+  const double baseline_usd = run_priced(core::make_mip_config());
+  const double aware_usd = run_priced(core::make_mip_cost_config(&price));
+  bench::row("cost-aware MIP electricity spend (vs MIP)", baseline_usd,
+             aware_usd, "USD");
 }
 
 void bm_evaluate_economics(benchmark::State& state) {

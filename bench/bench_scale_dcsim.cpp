@@ -27,10 +27,13 @@
 #include "bench_util.h"
 #include "vbatt/core/fleet_sim.h"
 #include "vbatt/core/vm_level_sim.h"
+#include "vbatt/energy/carbon.h"
+#include "vbatt/energy/cost.h"
 #include "vbatt/energy/site.h"
 #include "vbatt/testkit/vm_reference.h"
 #include "vbatt/util/thread_pool.h"
 #include "vbatt/workload/app.h"
+#include "vbatt/workload/batch.h"
 
 namespace {
 
@@ -130,6 +133,10 @@ struct FleetCase {
   bool check = true;  // run the unsharded engine and demand bit-identity
   bool headline = false;
   bool speedup_cell = false;  // the acceptance cell (100 sites, 30 days)
+  // "base" is the plain service workload; "mixed_econ" layers the batch
+  // overlay (deadline jobs + harvest fillers) plus price and carbon
+  // metering on the same fleet — the scenario cells perf_smoke gates.
+  const char* scenario = "base";
 };
 
 struct FleetRow {
@@ -144,6 +151,7 @@ struct FleetRow {
   bool checked = false;
   bool bit_identical = true;
   bool headline = false;
+  std::string scenario = "base";
 };
 
 bool write_fleet_json(const std::string& path,
@@ -159,6 +167,7 @@ bool write_fleet_json(const std::string& path,
   for (const FleetRow& r : rows) {
     json.begin_object();
     json.field("sites", r.sites);
+    json.field("scenario", r.scenario);
     json.field("servers_per_site", r.servers);
     json.field("days", r.days);
     json.field("apps", r.apps);
@@ -201,14 +210,18 @@ int run_fleet_sweep(const std::string& json_path, int max_sites,
       {100, 70.0, 24.0, 30, true, false, true},   // acceptance speedup cell
       {250, 70.0, 40.0, 90, false, false, false},
       {1000, 70.0, 60.0, 365, false, true, false},  // headline
+      // Scenario cells: the same fleets with the batch overlay plus price
+      // and carbon metering attached, still cross-checked bit-identical.
+      {10, 70.0, 6.0, 30, true, false, false, "mixed_econ"},
+      {50, 70.0, 12.0, 30, true, false, false, "mixed_econ"},
   };
 
   std::printf("fleet sweep (%zu thread%s)\n",
               util::ThreadPool::default_threads(),
               util::ThreadPool::default_threads() == 1 ? "" : "s");
-  std::printf("  %5s %7s %5s %7s %9s | %9s %9s %9s | %7s | %s\n", "sites",
-              "servers", "days", "apps", "vms", "unshrd ms", "serial ms",
-              "pool ms", "speedup", "identical");
+  std::printf("  %5s %-10s %7s %5s %7s %9s | %9s %9s %9s | %7s | %s\n",
+              "sites", "scenario", "servers", "days", "apps", "vms",
+              "unshrd ms", "serial ms", "pool ms", "speedup", "identical");
 
   std::vector<FleetRow> rows;
   bool all_identical = true;
@@ -232,7 +245,29 @@ int run_fleet_sweep(const std::string& json_path, int max_sites,
     }
     row.checked = c.check;
     row.headline = c.headline;
+    row.scenario = c.scenario;
     const int repeats = c.n_sites >= 250 ? 1 : 3;
+
+    // Scenario cells attach the batch overlay and both econ meters; the
+    // base cells run with an empty config, byte-identical to the sweep
+    // before scenarios existed.
+    const bool econ = row.scenario == "mixed_econ";
+    workload::BatchWorkload batch;
+    energy::SiteSeries price{1, 1};
+    energy::SiteSeries carbon{1, 1};
+    core::ScenarioExtensions ext;
+    core::VmLevelConfig config;
+    if (econ) {
+      batch = workload::generate_batch({}, util::TimeAxis{15}, ticks);
+      price = energy::make_price_series({}, util::TimeAxis{15},
+                                        graph.n_sites(), ticks);
+      carbon = energy::make_carbon_series({}, util::TimeAxis{15},
+                                          graph.n_sites(), ticks);
+      ext.batch = &batch;
+      ext.price = &price;
+      ext.carbon = &carbon;
+      config.ext = &ext;
+    }
 
     core::VmLevelResult unsharded{graph.n_sites(), ticks};
     core::VmLevelResult fleet_serial{graph.n_sites(), ticks};
@@ -240,8 +275,8 @@ int run_fleet_sweep(const std::string& json_path, int max_sites,
     if (c.check) {
       row.unsharded_ms = best_of_ms(repeats, [&] {
         core::GreedyScheduler scheduler;
-        unsharded =
-            core::run_vm_level_simulation(graph, apps, scheduler, {}, nullptr);
+        unsharded = core::run_vm_level_simulation(graph, apps, scheduler,
+                                                  config, nullptr);
       });
     }
     row.fleet_serial_ms = best_of_ms(repeats, [&] {
@@ -249,14 +284,14 @@ int run_fleet_sweep(const std::string& json_path, int max_sites,
       core::FleetSimOptions options;
       options.n_shards = 8;
       fleet_serial =
-          core::run_fleet_simulation(graph, apps, scheduler, {}, options);
+          core::run_fleet_simulation(graph, apps, scheduler, config, options);
     });
     row.fleet_pool_ms = best_of_ms(repeats, [&] {
       core::GreedyScheduler scheduler;
       core::FleetSimOptions options;
       options.pool = pool;  // shard count follows the pool width
       fleet_pool =
-          core::run_fleet_simulation(graph, apps, scheduler, {}, options);
+          core::run_fleet_simulation(graph, apps, scheduler, config, options);
     });
     if (c.check) {
       row.bit_identical =
@@ -280,9 +315,9 @@ int run_fleet_sweep(const std::string& json_path, int max_sites,
     rows.push_back(row);
 
     std::printf(
-        "  %5d %7d %5zu %7zu %9zu | %9.1f %9.1f %9.1f | %6.1fx | %s\n",
-        row.sites, row.servers, row.days, row.apps, row.vms, row.unsharded_ms,
-        row.fleet_serial_ms, row.fleet_pool_ms,
+        "  %5d %-10s %7d %5zu %7zu %9zu | %9.1f %9.1f %9.1f | %6.1fx | %s\n",
+        row.sites, row.scenario.c_str(), row.servers, row.days, row.apps,
+        row.vms, row.unsharded_ms, row.fleet_serial_ms, row.fleet_pool_ms,
         row.checked
             ? row.unsharded_ms /
                   std::max(1e-9,

@@ -365,6 +365,23 @@ VmLevelResult run_fleet_simulation(
   std::vector<std::vector<std::pair<std::int64_t, LiveApp>>> replan_parts(
       n_shards);
 
+  // Opt-in scenario extensions (coordinator-only state, so the shard count
+  // cannot perturb them). The overlay steps at the same serial point as the
+  // unsharded engine; econ terms accumulate in the deferred-metering
+  // reductions below in the identical (tick, site) order.
+  const bool has_overlay = config.ext != nullptr &&
+                           config.ext->batch != nullptr &&
+                           !config.ext->batch->empty();
+  workload::BatchOverlay overlay =
+      has_overlay ? workload::BatchOverlay{*config.ext->batch}
+                  : workload::BatchOverlay{};
+  const energy::SiteSeries* price =
+      config.ext != nullptr ? config.ext->price : nullptr;
+  const energy::SiteSeries* carbon =
+      config.ext != nullptr ? config.ext->carbon : nullptr;
+  std::vector<std::int64_t> overlay_free;
+  if (has_overlay) overlay_free.assign(n_sites, 0);
+
   const auto run_sharded = [&](const auto& body) {
     if (pool != nullptr && n_shards > 1) {
       pool->parallel_for(n_shards, [&](std::size_t lo, std::size_t hi) {
@@ -551,6 +568,18 @@ VmLevelResult run_fleet_simulation(
         result.powered_server_ticks += site_powered[s];
         result.base.energy_mwh += site_mwh[s];
         result.base.energy_mwh_per_tick[i - 1] += site_mwh[s];
+        if (price != nullptr) {
+          const double usd =
+              price->value(s, static_cast<double>(i - 1)) * site_mwh[s];
+          result.base.cost_usd += usd;
+          result.base.cost_usd_per_tick[i - 1] += usd;
+        }
+        if (carbon != nullptr) {
+          const double kg =
+              carbon->value(s, static_cast<double>(i - 1)) * site_mwh[s];
+          result.base.carbon_kg += kg;
+          result.base.carbon_kg_per_tick[i - 1] += kg;
+        }
       }
     }
 
@@ -926,6 +955,19 @@ VmLevelResult run_fleet_simulation(
     result.base.paused_degradable_vm_ticks += fleet_paused;
     result.base.degradable_active_vm_ticks += fleet_degradable_ids;
 
+    // 7b. Batch overlay (serial): identical free-core formula and step
+    //     point as the unsharded engine, so the overlay trajectory is
+    //     bit-identical at every shard/thread count.
+    if (has_overlay) {
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        const std::int64_t free = static_cast<std::int64_t>(avail[s]) -
+                                  state.stable_cores[s] -
+                                  state.degradable_cores[s];
+        overlay_free[s] = free > 0 ? free : 0;
+      }
+      overlay.step(t, overlay_free);
+    }
+
     // 8. Energy for this tick is metered in the next tick's phase A (or
     //    the trailing pass below for the last tick): the site counters it
     //    reads do not change between here and there.
@@ -965,9 +1007,25 @@ VmLevelResult run_fleet_simulation(
       result.powered_server_ticks += site_powered[s];
       result.base.energy_mwh += site_mwh[s];
       result.base.energy_mwh_per_tick[n_ticks - 1] += site_mwh[s];
+      if (price != nullptr) {
+        const double usd =
+            price->value(s, static_cast<double>(n_ticks - 1)) * site_mwh[s];
+        result.base.cost_usd += usd;
+        result.base.cost_usd_per_tick[n_ticks - 1] += usd;
+      }
+      if (carbon != nullptr) {
+        const double kg =
+            carbon->value(s, static_cast<double>(n_ticks - 1)) * site_mwh[s];
+        result.base.carbon_kg += kg;
+        result.base.carbon_kg_per_tick[n_ticks - 1] += kg;
+      }
     }
   }
 
+  if (has_overlay) {
+    overlay.finalize();
+    result.base.batch = overlay.stats();
+  }
   result.base.fallback_activations = scheduler.fallback_count();
   return result;
 }

@@ -22,10 +22,12 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <tuple>
 
 #include "vbatt/core/cliques.h"
 #include "vbatt/core/forecast_cache.h"
 #include "vbatt/core/scheduler.h"
+#include "vbatt/energy/signal.h"
 #include "vbatt/solver/branch_bound.h"
 #include "vbatt/solver/incremental.h"
 
@@ -48,6 +50,27 @@ struct MipSchedulerConfig {
   bool optimize_peak = false;
   /// Allowed O1 degradation when minimizing the peak.
   double peak_eps_rel = 0.10;
+  /// Secondary *economic* objective, applied lexicographically after O1
+  /// (move + predicted-displacement bytes) and before the optional peak
+  /// stage: subject to O1 within objective_eps_rel of optimal, minimize
+  /// the app's summed electricity cost in USD (cost) or embodied grid
+  /// carbon in kg (carbon) over its planned trajectory. The coefficient
+  /// for residing at site s during bucket b is the signal summed over the
+  /// bucket's ticks times the app's stable cores, objective_kw_per_core,
+  /// and hours-per-tick (real units, deliberately undiscounted so the
+  /// stage value replays exactly against a per-tick ledger).
+  enum class Objective { none, cost, carbon };
+  Objective objective = Objective::none;
+  /// Per-(site, tick) signal backing the econ stage: electricity price in
+  /// $/MWh when objective == cost, grid carbon intensity in gCO2/kWh when
+  /// objective == carbon. Must be non-null (and outlive the scheduler)
+  /// whenever objective != none.
+  const energy::SiteSeries* objective_signal = nullptr;
+  /// Power attributed to one stable core when pricing a trajectory, kW
+  /// (default mirrors SitePowerModel::watts_per_active_core = 8 W).
+  double objective_kw_per_core = 0.008;
+  /// Allowed O1 degradation when minimizing the econ objective.
+  double objective_eps_rel = 0.01;
   /// Plan against this fraction of forecast capacity (forecast headroom).
   double capacity_safety = 0.90;
   /// Weight of predicted forced-migration/displacement cost relative to a
@@ -122,8 +145,9 @@ class MipScheduler final : public Scheduler {
         static_cast<std::int64_t>(basis_hints_.size());
     basis_hints_.clear();
     model_cache_invalidations_ +=
-        static_cast<std::int64_t>(model_cache_.size());
+        static_cast<std::int64_t>(model_cache_.size() + econ_cache_.size());
     model_cache_.clear();
+    econ_cache_.clear();
   }
 
   /// Total per-app MIP solves performed (observability / tests).
@@ -173,13 +197,24 @@ class MipScheduler final : public Scheduler {
   void save_state(util::wire::Writer& w) const override;
   void restore_state(util::wire::Reader& r) override;
 
- private:
   struct Trajectory {
-    double cost = 0.0;
+    double cost = 0.0;                   // O1 value of the chosen plan
+    /// Econ-stage value of the chosen plan (USD or kg, per config_.objective);
+    /// 0 when the econ stage is off. Undiscounted real units: replaying
+    /// signal(site, t) * stable_cores * kw_per_core * hours_per_tick / 1000
+    /// over the trajectory's modeled ticks reproduces it exactly.
+    double objective_cost = 0.0;
     util::Tick start = 0;                // tick of bucket 0
     std::vector<std::size_t> sites;      // site per bucket
   };
 
+  /// Last committed trajectory per live app (observability: the econ
+  /// accounting-identity tests replay these against the signal series).
+  const std::map<std::int64_t, Trajectory>& trajectories() const noexcept {
+    return prev_trajectories_;
+  }
+
+ private:
   /// Bucketized conservative capacity forecast for all sites, refreshed
   /// whenever `now` advances.
   void refresh_capacity(const FleetState& state);
@@ -225,6 +260,9 @@ class MipScheduler final : public Scheduler {
   std::vector<std::vector<double>> capacity_;   // [site][bucket]
   std::vector<std::vector<double>> load_;       // [site][bucket] cores
   std::vector<double> committed_moves_gb_;      // [bucket]
+  /// Econ-stage signal summed over each bucket's ticks, [site][bucket]
+  /// (same bucket boundaries as capacity_). Empty when objective == none.
+  std::vector<std::vector<double>> objective_sum_;
   std::vector<RankedSubgraph> ranked_;
   /// Last committed trajectory per live app; the next replan feeds it back
   /// to the solver as a warm-start incumbent. Pruned as apps depart.
@@ -239,11 +277,24 @@ class MipScheduler final : public Scheduler {
   /// serialized; the patch makes any cached entry exact before use.
   /// Cleared wholesale by on_topology_change.
   solver::ModelCache model_cache_;
+  /// Econ-stage cost vectors keyed by the same structural family as
+  /// model_cache_ (buckets, candidate-set size, has-current-site). Hits
+  /// are patched in place exactly like the model cache — the patched
+  /// vector is bitwise-identical to a scratch build (same arithmetic,
+  /// same order) — and verify_incremental_build cross-checks it too.
+  /// Pure derived state; cleared wholesale by on_topology_change.
+  std::map<std::tuple<int, std::int64_t, int>, std::vector<double>>
+      econ_cache_;
 };
 
 /// Convenience factories for the paper's four policies (Table 1).
 MipSchedulerConfig make_mip_config();
 MipSchedulerConfig make_mip24h_config();
 MipSchedulerConfig make_mip_peak_config();
+/// Econ variants: MIP with a lexicographic electricity-cost / carbon
+/// stage driven by `signal` ($/MWh or gCO2/kWh per site and tick). The
+/// series must outlive the scheduler.
+MipSchedulerConfig make_mip_cost_config(const energy::SiteSeries* signal);
+MipSchedulerConfig make_mip_carbon_config(const energy::SiteSeries* signal);
 
 }  // namespace vbatt::core

@@ -42,9 +42,13 @@ namespace vbatt::core {
 class SimStepper {
  public:
   /// State is sized to `graph.n_ticks()`; ticks step 0, 1, ….
+  /// `ext` (optional) attaches the opt-in scenario extensions: a batch
+  /// overlay stepped inside enforce_and_meter, and price/carbon series
+  /// that score the metered energy. Null leaves the run byte-identical.
   SimStepper(const VbGraph& graph, Scheduler& scheduler,
              const SitePowerModel& power_model = {},
-             const FaultConfig* faults = nullptr);
+             const FaultConfig* faults = nullptr,
+             const ScenarioExtensions* ext = nullptr);
 
   /// Last tick fully stepped (-1 before the first begin_tick).
   util::Tick now() const noexcept { return now_; }
@@ -65,6 +69,12 @@ class SimStepper {
   void arrive(const workload::Application& app);
   void execute_due_moves();
   void enforce_and_meter();
+
+  /// Dynamic batch submissions (BatchJob / HarvestTask service events).
+  /// Entities join the overlay's admission scan on the next
+  /// enforce_and_meter whose tick has reached their arrival.
+  void submit_batch_job(const workload::DeadlineJob& job);
+  void submit_harvest_task(const workload::HarvestTask& task);
 
   /// Finalize counters copied from the scheduler and move the result out.
   /// The stepper is spent afterwards.
@@ -104,6 +114,15 @@ class SimStepper {
   FleetState state_;
   SimResult result_;
   std::vector<int> avail_cache_;  // per-tick available, for the snapshot
+
+  /// Opt-in extensions: the overlay executor plus econ series pointers.
+  /// has_overlay_ flips on when a BatchWorkload is attached or the first
+  /// dynamic submission arrives; a default run never touches these.
+  workload::BatchOverlay overlay_;
+  bool has_overlay_ = false;
+  const energy::SiteSeries* price_ = nullptr;
+  const energy::SiteSeries* carbon_ = nullptr;
+  std::vector<std::int64_t> overlay_free_;  // scratch, per-site free cores
 
   /// Pending proactive moves per app (replans replace the whole set), plus
   /// a due-tick index so each tick touches only apps with a move due now.

@@ -15,7 +15,9 @@
 
 #include "vbatt/core/fault_hooks.h"
 #include "vbatt/core/scheduler.h"
+#include "vbatt/energy/signal.h"
 #include "vbatt/net/ledger.h"
+#include "vbatt/workload/batch.h"
 
 namespace vbatt::core {
 
@@ -75,11 +77,47 @@ struct SimResult {
   /// the loop early — per-tick series past this index are untouched zeros.
   std::int64_t completed_ticks = 0;
 
+  // Opt-in scenario extensions (ScenarioExtensions). All stay zero on a
+  // default run.
+  /// Batch overlay counters (deadline jobs + harvest fillers).
+  workload::BatchStats batch;
+  /// Metered energy priced with the attached per-site electricity price
+  /// series, USD, total and per tick.
+  double cost_usd = 0.0;
+  std::vector<double> cost_usd_per_tick;
+  /// Metered energy scored with the attached per-site grid carbon
+  /// intensity series, kgCO2 (gCO2/kWh × MWh = kg), total and per tick.
+  double carbon_kg = 0.0;
+  std::vector<double> carbon_kg_per_tick;
+
   SimResult(std::size_t n_sites, std::size_t n_ticks)
       : moved_gb(n_ticks, 0.0),
         ledger{n_sites, n_ticks},
         energy_mwh_per_tick(n_ticks, 0.0),
-        displaced_stable_cores_per_tick(n_ticks, 0) {}
+        displaced_stable_cores_per_tick(n_ticks, 0),
+        cost_usd_per_tick(n_ticks, 0.0),
+        carbon_kg_per_tick(n_ticks, 0.0) {}
+};
+
+/// Opt-in scenario extensions, threaded through every engine behind null
+/// defaults: a default run takes zero new branches and stays byte-identical
+/// to a build without this struct.
+struct ScenarioExtensions {
+  /// Batch overlay workload (deadline jobs + suspendable harvest tasks),
+  /// gang-scheduled each tick onto the cores the service workload leaves
+  /// free. Overlay cores soak surplus (otherwise-curtailed) renewable
+  /// capacity and are deliberately NOT added to energy_mwh — the service
+  /// energy series stays comparable across scenarios; use
+  /// BatchStats::overlay_active_core_ticks to derive overlay energy.
+  const workload::BatchWorkload* batch = nullptr;
+  /// Electricity price, $/MWh per (site, tick).
+  const energy::SiteSeries* price = nullptr;
+  /// Grid carbon intensity, gCO2/kWh per (site, tick).
+  const energy::SiteSeries* carbon = nullptr;
+
+  bool any() const noexcept {
+    return batch != nullptr || price != nullptr || carbon != nullptr;
+  }
 };
 
 /// Run the full span of `graph` with `apps` (sorted by arrival tick).
@@ -90,6 +128,7 @@ SimResult run_simulation(const VbGraph& graph,
                          const std::vector<workload::Application>& apps,
                          Scheduler& scheduler,
                          const SitePowerModel& power_model = {},
-                         const FaultConfig* faults = nullptr);
+                         const FaultConfig* faults = nullptr,
+                         const ScenarioExtensions* ext = nullptr);
 
 }  // namespace vbatt::core

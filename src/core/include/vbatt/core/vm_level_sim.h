@@ -28,6 +28,11 @@ struct VmLevelConfig {
   /// Optional fault injection (hooks == nullptr keeps the no-fault path
   /// byte-identical) plus the move retry/backoff discipline.
   FaultConfig faults{};
+  /// Opt-in scenario extensions (batch overlay, price/carbon series); null
+  /// keeps the run byte-identical. The overlay is stepped at a serial
+  /// point after degradable resume, so the sharded fleet engine
+  /// (fleet_sim.h) reproduces it bit-for-bit at any thread count.
+  const ScenarioExtensions* ext = nullptr;
 };
 
 struct VmLevelResult {

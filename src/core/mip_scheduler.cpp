@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -20,6 +21,17 @@ MipScheduler::MipScheduler(MipSchedulerConfig config)
   if (config_.capacity_safety <= 0.0 || config_.capacity_safety > 1.0) {
     throw std::invalid_argument{
         "MipSchedulerConfig: capacity_safety out of (0, 1]"};
+  }
+  if (config_.objective != MipSchedulerConfig::Objective::none) {
+    if (config_.objective_signal == nullptr) {
+      throw std::invalid_argument{
+          "MipSchedulerConfig: objective != none requires objective_signal"};
+    }
+    if (config_.objective_kw_per_core <= 0.0 ||
+        config_.objective_eps_rel < 0.0) {
+      throw std::invalid_argument{
+          "MipSchedulerConfig: invalid econ objective parameters"};
+    }
   }
 }
 
@@ -96,6 +108,30 @@ void MipScheduler::refresh_capacity(const FleetState& state) {
                            config_.bucket_ticks *
                                static_cast<util::Tick>(buckets),
                            forecast_cache_, pool);
+
+  // Econ-stage coefficients: the price/carbon signal summed over each
+  // bucket's ticks, same bucket boundaries as capacity_. The per-app x
+  // cost is this sum scaled by the app's core power draw.
+  if (config_.objective != MipSchedulerConfig::Objective::none) {
+    objective_sum_.assign(
+        n_sites,
+        std::vector<double>(static_cast<std::size_t>(buckets), 0.0));
+    const energy::SiteSeries& signal = *config_.objective_signal;
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      for (int b = 0; b < buckets; ++b) {
+        const util::Tick begin = cache_now_ + b * config_.bucket_ticks;
+        const util::Tick end =
+            std::min(trace_end, begin + config_.bucket_ticks);
+        double sum = 0.0;
+        for (util::Tick t = begin; t < end; ++t) {
+          sum += signal.value(s, static_cast<double>(t));
+        }
+        objective_sum_[s][static_cast<std::size_t>(b)] = sum;
+      }
+    }
+  } else {
+    objective_sum_.clear();
+  }
 }
 
 std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
@@ -113,6 +149,17 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
   if (n_sites == 0) return std::nullopt;
 
   const double demand = static_cast<double>(stable_cores);
+  const bool econ_stage =
+      config_.objective != MipSchedulerConfig::Objective::none;
+  // Scale turning a bucket's summed signal into real units for this app:
+  // cores * kW/core * h/tick gives kWh per tick; /1000 converts $/MWh
+  // to $/kWh (cost) or g to kg (carbon). Undiscounted by design — the
+  // stage value must replay exactly against a per-tick ledger.
+  const double econ_scale =
+      econ_stage ? demand * config_.objective_kw_per_core *
+                       (state.graph->axis().minutes_per_tick() / 60.0) /
+                       1000.0
+                 : 0.0;
 
   /// Build and solve the model over `nb` buckets; nullopt when the solver
   /// fails (infeasible or node budget exhausted).
@@ -314,8 +361,95 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
   if (primary.status != solver::LpStatus::optimal) return std::nullopt;
 
   solver::MipResult chosen = primary;
+
+  // Econ stage (in place): cap O1 at the stage-1 optimum, swap in the
+  // undiscounted cost/carbon coefficients, and minimize. The coefficient
+  // vector is cached per structural family and patched in place exactly
+  // like the model itself — patch and scratch evaluate the same
+  // expressions in the same order, so a patched vector is
+  // bitwise-identical to a rebuilt one. On success the cap row and econ
+  // costs stay active through the optional peak stage (which then bounds
+  // the econ objective, keeping the chain lexicographic) and are undone
+  // after it; on failure they unwind immediately and the peak stage runs
+  // against O1 as before.
+  std::vector<double> econ_saved_costs;
+  bool econ_capped = false;
+  if (econ_stage) {
+    const std::size_t n_structural = model.n_vars();
+    const auto econ_coeff = [&](int k, std::size_t s) {
+      return objective_sum_[sites[s]][static_cast<std::size_t>(b0 + k)] *
+             econ_scale;
+    };
+    const auto econ_scratch = [&]() {
+      std::vector<double> c(n_structural, 0.0);
+      for (int k = 0; k < nb; ++k) {
+        for (std::size_t s = 0; s < n_sites; ++s) {
+          c[x_index(k, s)] = econ_coeff(k, s);
+        }
+      }
+      return c;
+    };
+    const std::tuple<int, std::int64_t, int> key{
+        nb, static_cast<std::int64_t>(n_sites), has_y0 ? 1 : 0};
+    const auto [slot, fresh] = econ_cache_.try_emplace(key);
+    if (fresh) {
+      slot->second = econ_scratch();
+    } else {
+      for (int k = 0; k < nb; ++k) {
+        for (std::size_t s = 0; s < n_sites; ++s) {
+          slot->second[x_index(k, s)] = econ_coeff(k, s);
+        }
+      }
+      if (config_.verify_incremental_build) {
+        const std::vector<double> rebuilt = econ_scratch();
+        if (rebuilt.size() != slot->second.size() ||
+            (!rebuilt.empty() &&
+             std::memcmp(rebuilt.data(), slot->second.data(),
+                         rebuilt.size() * sizeof(double)) != 0)) {
+          throw std::logic_error{
+              "MipScheduler: patched econ coefficients diverged from "
+              "scratch build"};
+        }
+      }
+    }
+    const std::vector<double>& econ = slot->second;
+
+    econ_saved_costs.resize(n_structural);
+    std::vector<std::pair<int, double>> o1_terms;
+    for (std::size_t v = 0; v < n_structural; ++v) {
+      const double c = model.vars()[v].cost;
+      econ_saved_costs[v] = c;
+      if (c != 0.0) o1_terms.emplace_back(static_cast<int>(v), c);
+    }
+    model.add_constraint(std::move(o1_terms), solver::Rel::le,
+                         primary.objective +
+                             std::abs(primary.objective) *
+                                 config_.objective_eps_rel +
+                             1e-6);
+    for (std::size_t v = 0; v < n_structural; ++v) {
+      model.vars()[v].cost = econ[v];
+    }
+    solver::MipWarmStart econ_warm;
+    if (config_.warm_start) econ_warm.x = primary.x;
+    ++solve_count_;
+    solver::MipResult second = solver::solve_mip(
+        model, config_.mip, config_.warm_start ? &econ_warm : nullptr);
+    if (second.status == solver::LpStatus::optimal) {
+      chosen = second;
+      econ_capped = true;
+    } else {
+      // Unwind immediately: the peak stage below must see O1 costs.
+      model.pop_constraint();
+      for (std::size_t v = 0; v < n_structural; ++v) {
+        model.vars()[v].cost = econ_saved_costs[v];
+      }
+    }
+  }
+
   if (config_.optimize_peak) {
-    // Stage 2, in place: cap O1, zero the costs, and minimize the peak
+    // Peak stage, in place: cap the objective of the stage just solved
+    // (O1, or the econ objective when that stage is active — its costs
+    // are still on the model), zero the costs, and minimize the peak
     // per-bucket move volume; every edit is undone after the solve.
     const std::size_t n_structural = model.n_vars();
     std::vector<std::pair<int, double>> o1_terms;
@@ -326,8 +460,8 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
       if (c != 0.0) o1_terms.emplace_back(static_cast<int>(i), c);
     }
     model.add_constraint(std::move(o1_terms), solver::Rel::le,
-                         primary.objective +
-                             std::abs(primary.objective) *
+                         chosen.objective +
+                             std::abs(chosen.objective) *
                                  config_.peak_eps_rel +
                              1e-6);
     for (std::size_t i = 0; i < n_structural; ++i) {
@@ -347,18 +481,19 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
           -committed_moves_gb_[static_cast<std::size_t>(b0 + k)]);
       ++peak_rows;
     }
-    // Stage-2 warm start: the stage-1 optimum satisfies the O1 cap by
-    // construction; the peak variable takes its implied value.
+    // Peak-stage warm start: the incumbent (stage-1 or econ optimum)
+    // satisfies every active cap by construction; the peak variable takes
+    // its implied value.
     solver::MipWarmStart stage2_warm;
     if (config_.warm_start) {
-      stage2_warm.x = primary.x;
+      stage2_warm.x = chosen.x;
       stage2_warm.x.resize(model.n_vars(), 0.0);
       double peak_value = 0.0;
       for (int k = 0; k < nb; ++k) {
         if (!has_y(k)) continue;
         double volume = committed_moves_gb_[static_cast<std::size_t>(b0 + k)];
         for (std::size_t s = 0; s < n_sites; ++s) {
-          volume += stable_mem_gb * primary.x[y_index(k, s)];
+          volume += stable_mem_gb * chosen.x[y_index(k, s)];
         }
         peak_value = std::max(peak_value, volume);
       }
@@ -381,6 +516,17 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
     }
   }
 
+  if (econ_capped) {
+    // Undo the econ stage (LIFO under the peak stage's own pops) and
+    // re-express the chosen objective in O1 units, as every caller of
+    // Trajectory::cost expects.
+    model.pop_constraint();
+    for (std::size_t v = 0; v < econ_saved_costs.size(); ++v) {
+      model.vars()[v].cost = econ_saved_costs[v];
+    }
+    chosen.objective = model.objective_of(chosen.x);
+  }
+
   Trajectory trajectory;
   trajectory.cost = chosen.objective;
   trajectory.start = cache_now_ + b0 * config_.bucket_ticks;
@@ -394,6 +540,17 @@ std::optional<MipScheduler::Trajectory> MipScheduler::solve_app(
       }
     }
     trajectory.sites[static_cast<std::size_t>(k)] = site;
+  }
+  if (econ_stage) {
+    // Econ value of the final plan, bucket by bucket in horizon order —
+    // the exact quantity the accounting-identity tests replay per tick.
+    double econ_value = 0.0;
+    for (int k = 0; k < nb; ++k) {
+      const std::size_t site = trajectory.sites[static_cast<std::size_t>(k)];
+      econ_value +=
+          objective_sum_[site][static_cast<std::size_t>(b0 + k)] * econ_scale;
+    }
+    trajectory.objective_cost = econ_value;
   }
   return trajectory;
   };  // attempt
@@ -565,6 +722,7 @@ void MipScheduler::save_state(util::wire::Writer& w) const {
   save_matrix(capacity_);
   save_matrix(load_);
   w.vec_f64(committed_moves_gb_);
+  save_matrix(objective_sum_);
   w.u64(ranked_.size());
   for (const RankedSubgraph& sub : ranked_) {
     w.u64(sub.sites.size());
@@ -576,6 +734,7 @@ void MipScheduler::save_state(util::wire::Writer& w) const {
   for (const auto& [id, trajectory] : prev_trajectories_) {
     w.i64(id);
     w.f64(trajectory.cost);
+    w.f64(trajectory.objective_cost);
     w.i64(trajectory.start);
     w.u64(trajectory.sites.size());
     for (const std::size_t s : trajectory.sites) w.u64(s);
@@ -607,6 +766,7 @@ void MipScheduler::restore_state(util::wire::Reader& r) {
   capacity_ = load_matrix();
   load_ = load_matrix();
   committed_moves_gb_ = r.vec_f64();
+  objective_sum_ = load_matrix();
   ranked_.clear();
   const std::uint64_t n_ranked = r.u64();
   for (std::uint64_t i = 0; i < n_ranked; ++i) {
@@ -622,6 +782,7 @@ void MipScheduler::restore_state(util::wire::Reader& r) {
     const std::int64_t id = r.i64();
     Trajectory trajectory;
     trajectory.cost = r.f64();
+    trajectory.objective_cost = r.f64();
     trajectory.start = r.i64();
     trajectory.sites = load_sites();
     prev_trajectories_.emplace(id, std::move(trajectory));
@@ -642,6 +803,24 @@ MipSchedulerConfig make_mip_peak_config() {
   config.horizon_ticks = -1;
   config.optimize_peak = true;
   config.spread_moves_in_bucket = true;
+  return config;
+}
+
+MipSchedulerConfig make_mip_cost_config(const energy::SiteSeries* signal) {
+  MipSchedulerConfig config;
+  config.name = "MIP-cost";
+  config.horizon_ticks = -1;
+  config.objective = MipSchedulerConfig::Objective::cost;
+  config.objective_signal = signal;
+  return config;
+}
+
+MipSchedulerConfig make_mip_carbon_config(const energy::SiteSeries* signal) {
+  MipSchedulerConfig config;
+  config.name = "MIP-carbon";
+  config.horizon_ticks = -1;
+  config.objective = MipSchedulerConfig::Objective::carbon;
+  config.objective_signal = signal;
   return config;
 }
 

@@ -24,7 +24,8 @@ void relocate(FleetState& state, std::vector<std::set<std::int64_t>>& by_site,
 
 SimStepper::SimStepper(const VbGraph& graph, Scheduler& scheduler,
                        const SitePowerModel& power_model,
-                       const FaultConfig* faults)
+                       const FaultConfig* faults,
+                       const ScenarioExtensions* ext)
     : graph_{graph},
       scheduler_{scheduler},
       power_model_{power_model},
@@ -40,6 +41,24 @@ SimStepper::SimStepper(const VbGraph& graph, Scheduler& scheduler,
   state_.stable_cores.assign(n_sites_, 0);
   state_.degradable_cores.assign(n_sites_, 0);
   topo_epoch_ = hooks_ ? hooks_->topology_epoch() : 0;
+  if (ext != nullptr) {
+    if (ext->batch != nullptr && !ext->batch->empty()) {
+      overlay_ = workload::BatchOverlay{*ext->batch};
+      has_overlay_ = true;
+    }
+    price_ = ext->price;
+    carbon_ = ext->carbon;
+  }
+}
+
+void SimStepper::submit_batch_job(const workload::DeadlineJob& job) {
+  overlay_.submit(job);
+  has_overlay_ = true;
+}
+
+void SimStepper::submit_harvest_task(const workload::HarvestTask& task) {
+  overlay_.submit(task);
+  has_overlay_ = true;
 }
 
 void SimStepper::begin_tick(util::Tick t) {
@@ -280,6 +299,19 @@ void SimStepper::enforce_and_meter() {
     }
   }
 
+  // Batch overlay: gang-schedule deadline jobs and harvest fillers onto
+  // whatever the service workload left free this tick. Strictly opt-in —
+  // a run without an overlay never enters this branch.
+  if (has_overlay_) {
+    overlay_free_.assign(n_sites_, 0);
+    for (std::size_t s = 0; s < n_sites_; ++s) {
+      const int free = graph_.available_cores(s, t) -
+                       state_.stable_cores[s] - state_.degradable_cores[s];
+      overlay_free_[s] = std::max(0, free);
+    }
+    overlay_.step(t, overlay_free_);
+  }
+
   // Compute energy accounting (goal iii): powered servers draw idle power,
   // active cores draw incremental power.
   const double hours_per_tick = graph_.axis().minutes_per_tick() / 60.0;
@@ -293,6 +325,19 @@ void SimStepper::enforce_and_meter() {
     const double mwh = watts * hours_per_tick / 1e6;
     result_.energy_mwh += mwh;
     result_.energy_mwh_per_tick[i] += mwh;
+    if (price_ != nullptr) {
+      const double usd =
+          price_->value(s, static_cast<double>(t)) * mwh;
+      result_.cost_usd += usd;
+      result_.cost_usd_per_tick[i] += usd;
+    }
+    if (carbon_ != nullptr) {
+      // gCO2/kWh × MWh = kgCO2.
+      const double kg =
+          carbon_->value(s, static_cast<double>(t)) * mwh;
+      result_.carbon_kg += kg;
+      result_.carbon_kg_per_tick[i] += kg;
+    }
   }
 
   // Fault accounting and end-of-tick observation.
@@ -319,6 +364,10 @@ std::int64_t SimStepper::fallback_activations() const {
 SimResult SimStepper::take_result() {
   result_.fallback_activations = fallback_activations();
   result_.completed_ticks = now_ + 1;
+  if (has_overlay_) {
+    overlay_.finalize();
+    result_.batch = overlay_.stats();
+  }
   return std::move(result_);
 }
 
@@ -329,7 +378,8 @@ SimResult SimStepper::take_result() {
 
 namespace {
 
-constexpr std::uint32_t kStepperFormatVersion = 1;
+// Version 2 appends the batch-overlay state and the econ ledgers.
+constexpr std::uint32_t kStepperFormatVersion = 2;
 
 void save_move(util::wire::Writer& w, const Move& m) {
   w.i64(m.app_id);
@@ -445,6 +495,15 @@ void SimStepper::save(util::wire::Writer& w) const {
   w.i64(result_.stable_vm_downtime_ticks);
   w.vec_i64(result_.displaced_stable_cores_per_tick);
 
+  // Scenario extensions (v2): the overlay carries its own definitions, so
+  // a restore reproduces it even on a stepper constructed without one.
+  w.u8(has_overlay_ ? 1 : 0);
+  if (has_overlay_) overlay_.save_state(w);
+  w.f64(result_.cost_usd);
+  w.vec_f64(result_.cost_usd_per_tick);
+  w.f64(result_.carbon_kg);
+  w.vec_f64(result_.carbon_kg_per_tick);
+
   // The scheduler's decision-bearing caches ride along: placements between
   // replans read state (capacity/load ledgers, subgraph ranking) that a
   // fresh scheduler would not rebuild until its next refresh.
@@ -549,6 +608,16 @@ void SimStepper::restore(util::wire::Reader& r) {
   result_.abandoned_moves = r.i64();
   result_.stable_vm_downtime_ticks = r.i64();
   result_.displaced_stable_cores_per_tick = r.vec_i64();
+  has_overlay_ = r.u8() != 0;
+  if (has_overlay_) {
+    overlay_.restore_state(r);
+  } else {
+    overlay_ = workload::BatchOverlay{};
+  }
+  result_.cost_usd = r.f64();
+  result_.cost_usd_per_tick = r.vec_f64();
+  result_.carbon_kg = r.f64();
+  result_.carbon_kg_per_tick = r.vec_f64();
   if (result_.moved_gb.size() != n_ticks_ ||
       result_.energy_mwh_per_tick.size() != n_ticks_) {
     throw std::runtime_error{"SimStepper::restore: tick count mismatch"};

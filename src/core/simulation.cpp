@@ -9,11 +9,12 @@ SimResult run_simulation(const VbGraph& graph,
                          const std::vector<workload::Application>& apps,
                          Scheduler& scheduler,
                          const SitePowerModel& power_model,
-                         const FaultConfig* faults) {
+                         const FaultConfig* faults,
+                         const ScenarioExtensions* ext) {
   // Thin batch driver over the incremental stepper (sim_stepper.h): the
   // stepper owns all per-run state and the phase bodies; this loop only
   // feeds the arrival trace and polls the cooperative shutdown flag.
-  SimStepper stepper{graph, scheduler, power_model, faults};
+  SimStepper stepper{graph, scheduler, power_model, faults, ext};
   const std::size_t n_ticks = graph.n_ticks();
   std::size_t next_app = 0;
 

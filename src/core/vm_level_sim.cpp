@@ -210,6 +210,21 @@ VmLevelResult run_vm_level_simulation(
   std::vector<int> avail(n_sites, 0);
   std::uint64_t topo_epoch = hooks ? hooks->topology_epoch() : 0;
 
+  // Opt-in scenario extensions: batch overlay + econ series. Null keeps
+  // every new branch cold, so a default run stays byte-identical.
+  const bool has_overlay = config.ext != nullptr &&
+                           config.ext->batch != nullptr &&
+                           !config.ext->batch->empty();
+  workload::BatchOverlay overlay =
+      has_overlay ? workload::BatchOverlay{*config.ext->batch}
+                  : workload::BatchOverlay{};
+  const energy::SiteSeries* price =
+      config.ext != nullptr ? config.ext->price : nullptr;
+  const energy::SiteSeries* carbon =
+      config.ext != nullptr ? config.ext->carbon : nullptr;
+  std::vector<std::int64_t> overlay_free;
+  if (has_overlay) overlay_free.assign(n_sites, 0);
+
   for (std::size_t i = 0; i < n_ticks; ++i) {
     if (util::shutdown_requested()) break;
     const auto t = static_cast<util::Tick>(i);
@@ -617,6 +632,20 @@ VmLevelResult run_vm_level_simulation(
     result.base.paused_degradable_vm_ticks += fleet_paused;
     result.base.degradable_active_vm_ticks += fleet_degradable_ids;
 
+    // 7b. Batch overlay: gang-schedule deadline jobs and harvest fillers
+    // onto the cores the service ledger leaves free this tick. Uses the
+    // fleet ledger (not server-level headroom) so the sharded fleet engine
+    // computes the identical free series.
+    if (has_overlay) {
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        const std::int64_t free = static_cast<std::int64_t>(avail[s]) -
+                                  state.stable_cores[s] -
+                                  state.degradable_cores[s];
+        overlay_free[s] = free > 0 ? free : 0;
+      }
+      overlay.step(t, overlay_free);
+    }
+
     // 8. Energy: only servers actually hosting VMs are powered. The site
     // counters make each term O(1); the per-site terms fan across the
     // pool and reduce serially in site order (bit-identical).
@@ -640,6 +669,18 @@ VmLevelResult run_vm_level_simulation(
       result.powered_server_ticks += site_powered[s];
       result.base.energy_mwh += site_mwh[s];
       result.base.energy_mwh_per_tick[i] += site_mwh[s];
+      if (price != nullptr) {
+        const double usd =
+            price->value(s, static_cast<double>(t)) * site_mwh[s];
+        result.base.cost_usd += usd;
+        result.base.cost_usd_per_tick[i] += usd;
+      }
+      if (carbon != nullptr) {
+        const double kg =
+            carbon->value(s, static_cast<double>(t)) * site_mwh[s];
+        result.base.carbon_kg += kg;
+        result.base.carbon_kg_per_tick[i] += kg;
+      }
     }
 
     // 9. Fault accounting and end-of-tick observation.
@@ -657,6 +698,10 @@ VmLevelResult run_vm_level_simulation(
       snap.displaced_stable_cores = displaced_this_tick;
       hooks->on_tick_end(snap);
     }
+  }
+  if (has_overlay) {
+    overlay.finalize();
+    result.base.batch = overlay.stats();
   }
   result.base.fallback_activations = scheduler.fallback_count();
   return result;

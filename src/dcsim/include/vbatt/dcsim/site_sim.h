@@ -15,6 +15,7 @@
 #include "vbatt/energy/trace.h"
 #include "vbatt/net/ledger.h"
 #include "vbatt/dcsim/site.h"
+#include "vbatt/workload/batch.h"
 #include "vbatt/workload/vm.h"
 
 namespace vbatt::dcsim {
@@ -34,6 +35,11 @@ struct SiteSimConfig {
   /// "power down unallocated cores", at server granularity).
   double server_idle_watts = 150.0;
   double watts_per_active_core = 8.0;
+  /// Opt-in batch overlay (deadline jobs + suspendable harvest tasks),
+  /// gang-scheduled each tick onto `available - allocated` cores. Site
+  /// indices in the workload must all be 0 (one site). Null keeps the run
+  /// byte-identical.
+  const workload::BatchWorkload* batch = nullptr;
 };
 
 struct SiteSimResult {
@@ -53,6 +59,8 @@ struct SiteSimResult {
   /// (allocation-policy consolidation shows up here).
   double energy_mwh = 0.0;
   std::int64_t powered_server_ticks = 0;
+  /// Batch overlay counters; all zero unless SiteSimConfig::batch is set.
+  workload::BatchStats batch;
 
   /// Fraction of power changes that caused no migration (paper: >80%).
   double no_migration_fraction() const noexcept {

@@ -34,6 +34,13 @@ SiteSimResult simulate_site(const energy::PowerTrace& power,
   result.available_cores.assign(n_ticks, 0);
   result.allocated_cores.assign(n_ticks, 0);
 
+  // Opt-in batch overlay on the cores the service VMs leave free.
+  const bool has_overlay = config.batch != nullptr && !config.batch->empty();
+  workload::BatchOverlay overlay = has_overlay
+                                       ? workload::BatchOverlay{*config.batch}
+                                       : workload::BatchOverlay{};
+  std::vector<std::int64_t> overlay_free(1, 0);
+
   std::deque<PendingVm> pending;
   std::size_t next_vm = 0;
   int prev_available = total_cores;
@@ -117,6 +124,12 @@ SiteSimResult simulate_site(const energy::PowerTrace& power,
     result.allocated_cores[i] = site.allocated_cores();
     prev_available = available;
 
+    if (has_overlay) {
+      const std::int64_t free = available - site.allocated_cores();
+      overlay_free[0] = free > 0 ? free : 0;
+      overlay.step(t, overlay_free);
+    }
+
     // Energy: powered servers (those hosting VMs) draw idle + active-core
     // power for this tick. Both counts are maintained incrementally by the
     // site, so this is O(1) instead of a server sweep.
@@ -127,6 +140,10 @@ SiteSimResult simulate_site(const energy::PowerTrace& power,
     result.energy_mwh += (powered * config.server_idle_watts +
                           active_cores * config.watts_per_active_core) *
                          hours_per_tick / 1e6;
+  }
+  if (has_overlay) {
+    overlay.finalize();
+    result.batch = overlay.stats();
   }
   return result;
 }

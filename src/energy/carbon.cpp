@@ -1,8 +1,11 @@
 #include "vbatt/energy/carbon.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+
+#include "vbatt/util/rng.h"
 
 namespace vbatt::energy {
 
@@ -34,6 +37,32 @@ CarbonReport compare_carbon(const CarbonConfig& config,
     report.vb_tco2 += kwh * config.renewable_gco2_per_kwh / 1e6;
   }
   return report;
+}
+
+SiteSeries make_carbon_series(const CarbonSeriesConfig& config,
+                              const util::TimeAxis& axis, std::size_t n_sites,
+                              std::size_t n_ticks) {
+  if (config.grid.grid_base_gco2_per_kwh <
+      config.grid.grid_swing_gco2_per_kwh) {
+    throw std::invalid_argument{
+        "CarbonConfig: swing exceeds base (negative intensity)"};
+  }
+  if (config.site_spread_gco2_per_kwh < 0.0) {
+    throw std::invalid_argument{"CarbonSeriesConfig: negative spread"};
+  }
+  SiteSeries series{n_sites, n_ticks};
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    util::Rng rng{util::seed_for(config.seed, "carbon-site", s)};
+    const double offset = rng.uniform(-config.site_spread_gco2_per_kwh,
+                                      config.site_spread_gco2_per_kwh);
+    for (std::size_t t = 0; t < n_ticks; ++t) {
+      const double intensity =
+          grid_intensity_gco2(config.grid, axis, static_cast<util::Tick>(t)) +
+          offset;
+      series.at(s, t) = std::max(0.0, intensity);
+    }
+  }
+  return series;
 }
 
 }  // namespace vbatt::energy

@@ -1,6 +1,10 @@
 #include "vbatt/energy/cost.h"
 
+#include <cmath>
+#include <numbers>
 #include <stdexcept>
+
+#include "vbatt/util/rng.h"
 
 namespace vbatt::energy {
 
@@ -21,6 +25,30 @@ CostSummary evaluate_economics(const CostModelConfig& config,
   summary.recoverable_value_usd =
       summary.recoverable_curtailed_mwh * config.wholesale_usd_per_mwh;
   return summary;
+}
+
+SiteSeries make_price_series(const PriceSeriesConfig& config,
+                             const util::TimeAxis& axis, std::size_t n_sites,
+                             std::size_t n_ticks) {
+  if (config.swing_usd_per_mwh < 0.0 || config.site_spread_usd_per_mwh < 0.0) {
+    throw std::invalid_argument{"PriceSeriesConfig: negative swing or spread"};
+  }
+  SiteSeries series{n_sites, n_ticks};
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    util::Rng rng{util::seed_for(config.seed, "price-site", s)};
+    const double offset = rng.uniform(-config.site_spread_usd_per_mwh,
+                                      config.site_spread_usd_per_mwh);
+    for (std::size_t t = 0; t < n_ticks; ++t) {
+      const double hour = axis.hour_of_day(static_cast<util::Tick>(t));
+      series.at(s, t) =
+          config.base_usd_per_mwh +
+          config.swing_usd_per_mwh *
+              std::cos(2.0 * std::numbers::pi *
+                       (hour - config.peak_hour) / 24.0) +
+          offset;
+    }
+  }
+  return series;
 }
 
 }  // namespace vbatt::energy

@@ -7,8 +7,10 @@
 // gap) versus on co-located renewables (lifecycle emissions only).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "vbatt/energy/signal.h"
 #include "vbatt/util/time.h"
 
 namespace vbatt::energy {
@@ -43,5 +45,21 @@ struct CarbonReport {
 CarbonReport compare_carbon(const CarbonConfig& config,
                             const util::TimeAxis& axis,
                             const std::vector<double>& consumption_mwh);
+
+/// Deterministic per-site grid carbon-intensity series: the diurnal
+/// grid_intensity_gco2 curve plus a fixed per-site offset (regional grid
+/// mix differences), clamped to stay non-negative.
+struct CarbonSeriesConfig {
+  CarbonConfig grid{};
+  /// Per-site offset drawn uniformly in ±this (seeded, fixed per site),
+  /// gCO2/kWh.
+  double site_spread_gco2_per_kwh = 25.0;
+  std::uint64_t seed = 11;
+};
+
+/// One intensity sample per (site, tick), gCO2/kWh, always >= 0.
+SiteSeries make_carbon_series(const CarbonSeriesConfig& config,
+                              const util::TimeAxis& axis, std::size_t n_sites,
+                              std::size_t n_ticks);
 
 }  // namespace vbatt::energy

@@ -1,7 +1,12 @@
-// Economic model behind §2.1's motivation numbers.
+// Economic model behind §2.1's motivation numbers, plus the per-site
+// electricity price series the cost-aware MIP objective optimizes against.
 #pragma once
 
+#include <cstdint>
+
+#include "vbatt/energy/signal.h"
 #include "vbatt/energy/trace.h"
+#include "vbatt/util/time.h"
 
 namespace vbatt::energy {
 
@@ -31,5 +36,25 @@ struct CostSummary {
 /// Evaluate the VB economics for a farm with the given production trace.
 CostSummary evaluate_economics(const CostModelConfig& config,
                                const PowerTrace& trace);
+
+/// Deterministic synthetic day-ahead price series: a diurnal wholesale
+/// curve (base + swing·cos peaking in the evening demand ramp) plus a
+/// fixed per-site basis offset, so sites are price-distinguishable and the
+/// cost objective has something to arbitrage.
+struct PriceSeriesConfig {
+  double base_usd_per_mwh = 42.0;
+  double swing_usd_per_mwh = 18.0;
+  double peak_hour = 18.0;
+  /// Per-site offset drawn uniformly in ±this (seeded, fixed per site):
+  /// the regional basis spread between interconnect nodes.
+  double site_spread_usd_per_mwh = 6.0;
+  std::uint64_t seed = 7;
+};
+
+/// One price sample per (site, tick), $/MWh. Negative prices are legal
+/// (they happen in real markets); the swing and spread must be >= 0.
+SiteSeries make_price_series(const PriceSeriesConfig& config,
+                             const util::TimeAxis& axis, std::size_t n_sites,
+                             std::size_t n_ticks);
 
 }  // namespace vbatt::energy

@@ -1,0 +1,79 @@
+// Per-site economic signals: electricity price and grid carbon intensity.
+//
+// The cost/carbon modules (cost.h, carbon.h) score a *finished* run; this
+// module supplies the forward-looking series the scheduler optimizes
+// against — one scalar sample per (site, tick), e.g. a day-ahead
+// electricity price or a regional grid carbon intensity. SiteSeries is
+// the shared container: dense site-major storage, linear interpolation
+// between samples (clamped at both ends), and a CSV round-trip in the
+// fault-schedule style (shortest round-trip decimals on save; line/column
+// diagnostics on load).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vbatt::energy {
+
+/// A per-site scalar signal sampled once per tick on the simulation grid.
+class SiteSeries {
+ public:
+  SiteSeries() = default;
+  SiteSeries(std::size_t n_sites, std::size_t n_ticks, double fill = 0.0)
+      : n_sites_{n_sites},
+        n_ticks_{n_ticks},
+        values_(n_sites * n_ticks, fill) {
+    if (n_sites == 0 || n_ticks == 0) {
+      throw std::invalid_argument{"SiteSeries: empty dimensions"};
+    }
+  }
+
+  std::size_t n_sites() const noexcept { return n_sites_; }
+  std::size_t n_ticks() const noexcept { return n_ticks_; }
+  bool empty() const noexcept { return values_.empty(); }
+
+  double& at(std::size_t site, std::size_t tick) {
+    return values_[site * n_ticks_ + tick];
+  }
+  double at(std::size_t site, std::size_t tick) const {
+    return values_[site * n_ticks_ + tick];
+  }
+
+  /// Signal value at a (possibly fractional, possibly out-of-range) tick:
+  /// linear interpolation between adjacent samples, clamped to the first /
+  /// last sample outside [0, n_ticks - 1]. Sites are never interpolated —
+  /// `site` must be in range.
+  double value(std::size_t site, double t) const {
+    if (n_ticks_ == 0) return 0.0;
+    if (t <= 0.0) return at(site, 0);
+    const double last = static_cast<double>(n_ticks_ - 1);
+    if (t >= last) return at(site, n_ticks_ - 1);
+    const auto lo = static_cast<std::size_t>(t);
+    const double frac = t - static_cast<double>(lo);
+    if (frac == 0.0) return at(site, lo);
+    return at(site, lo) + frac * (at(site, lo + 1) - at(site, lo));
+  }
+
+  friend bool operator==(const SiteSeries&, const SiteSeries&) = default;
+
+ private:
+  std::size_t n_sites_ = 0;
+  std::size_t n_ticks_ = 0;
+  /// Site-major: values_[site * n_ticks_ + tick].
+  std::vector<double> values_;
+};
+
+/// Write `series` as CSV: header `site,tick,value`, one row per sample in
+/// (site, tick) order, values printed with the shortest decimal
+/// representation that round-trips bit-exactly. Throws std::runtime_error
+/// when the file cannot be written.
+void save_series_csv(const SiteSeries& series, const std::string& path);
+
+/// Inverse of save_series_csv. Rows must cover the full (site, tick) grid
+/// in (site, tick) order; any malformation throws std::runtime_error with
+/// a `load_series_csv: <what> at line L, column C` message.
+SiteSeries load_series_csv(const std::string& path);
+
+}  // namespace vbatt::energy

@@ -1,0 +1,139 @@
+#include "vbatt/energy/signal.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace vbatt::energy {
+
+namespace {
+
+/// "load_series_csv: <what> at line L, column C" — same diagnostic shape
+/// as the fault schedule loader, so tooling can treat both uniformly.
+[[noreturn]] void reject(const std::string& what, std::size_t line_no,
+                         int column) {
+  throw std::runtime_error{"load_series_csv: " + what + " at line " +
+                           std::to_string(line_no) + ", column " +
+                           std::to_string(column)};
+}
+
+double parse_number(const std::string& cell, std::size_t line_no,
+                    int column) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    reject("non-numeric value", line_no, column);
+  }
+  if (consumed == 0 || std::isnan(value)) {
+    reject("non-numeric value", line_no, column);
+  }
+  return value;
+}
+
+/// Shortest decimal that round-trips the exact bit pattern (to_chars
+/// shortest form), so save → load is bit-exact.
+std::string shortest_double(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string{buf, end};
+}
+
+}  // namespace
+
+void save_series_csv(const SiteSeries& series, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error{"save_series_csv: cannot open " + path};
+  }
+  out << "site,tick,value\n";
+  for (std::size_t s = 0; s < series.n_sites(); ++s) {
+    for (std::size_t t = 0; t < series.n_ticks(); ++t) {
+      out << s << ',' << t << ',' << shortest_double(series.at(s, t)) << '\n';
+    }
+  }
+}
+
+SiteSeries load_series_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"load_series_csv: cannot open " + path};
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error{"load_series_csv: empty file " + path};
+  }
+  if (line != "site,tick,value") reject("bad header", 1, 0);
+
+  // Rows must enumerate the dense (site, tick) grid in order; the first
+  // site's rows fix n_ticks, every later site must match it exactly.
+  std::vector<double> values;
+  std::size_t n_ticks = 0;
+  std::size_t expect_site = 0;
+  std::size_t expect_tick = 0;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row{line};
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(row, cell, ',')) cells.push_back(cell);
+    if (cells.size() != 3) {
+      reject("expected 3 columns, got " + std::to_string(cells.size()),
+             line_no, 0);
+    }
+    const double site = parse_number(cells[0], line_no, 0);
+    const double tick = parse_number(cells[1], line_no, 1);
+    const double value = parse_number(cells[2], line_no, 2);
+    if (site < 0) reject("negative site", line_no, 0);
+    if (tick < 0) reject("negative tick", line_no, 1);
+    if (std::isinf(value)) reject("non-finite value", line_no, 2);
+    const auto s_idx = static_cast<std::size_t>(site);
+    const auto t_idx = static_cast<std::size_t>(tick);
+    if (s_idx == expect_site + 1 && t_idx == 0 && expect_tick > 0) {
+      // Site rollover: the first site fixes n_ticks, later ones must match.
+      if (n_ticks == 0) {
+        n_ticks = expect_tick;
+      } else if (expect_tick != n_ticks) {
+        reject("site " + std::to_string(expect_site) + " has " +
+                   std::to_string(expect_tick) + " of " +
+                   std::to_string(n_ticks) + " ticks",
+               line_no, 1);
+      }
+      ++expect_site;
+      expect_tick = 0;
+    }
+    if (s_idx != expect_site) {
+      reject("expected site " + std::to_string(expect_site), line_no, 0);
+    }
+    if (t_idx != expect_tick) {
+      reject("expected tick " + std::to_string(expect_tick), line_no, 1);
+    }
+    values.push_back(value);
+    ++expect_tick;
+  }
+  if (values.empty()) {
+    throw std::runtime_error{"load_series_csv: no samples in " + path};
+  }
+  if (n_ticks == 0) {
+    n_ticks = expect_tick;  // single-site file: the body is site 0's ticks
+  } else if (expect_tick != n_ticks) {
+    reject("site " + std::to_string(expect_site) + " has " +
+               std::to_string(expect_tick) + " of " + std::to_string(n_ticks) +
+               " ticks",
+           line_no + 1, 0);
+  }
+  const std::size_t n_sites = expect_site + 1;
+  SiteSeries series{n_sites, n_ticks};
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    for (std::size_t t = 0; t < n_ticks; ++t) {
+      series.at(s, t) = values[s * n_ticks + t];
+    }
+  }
+  return series;
+}
+
+}  // namespace vbatt::energy

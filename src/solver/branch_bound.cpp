@@ -586,4 +586,67 @@ MipResult solve_lexicographic(Model& model,
   return second;
 }
 
+MipResult solve_lexicographic_stages(
+    Model& model, const std::vector<std::vector<double>>& stages,
+    double eps_rel, double eps_abs, const MipOptions& options,
+    const MipWarmStart* warm, std::vector<double>* stage_values) {
+  for (const std::vector<double>& costs : stages) {
+    if (costs.size() != model.n_vars()) {
+      throw std::invalid_argument{
+          "solve_lexicographic_stages: cost size mismatch"};
+    }
+  }
+  if (stage_values != nullptr) stage_values->clear();
+
+  MipResult incumbent = solve_mip(model, options, warm);
+  if (incumbent.status != LpStatus::optimal) return incumbent;
+  if (stage_values != nullptr) stage_values->push_back(incumbent.objective);
+
+  std::vector<double> original_costs;
+  original_costs.reserve(model.n_vars());
+  for (std::size_t i = 0; i < model.n_vars(); ++i) {
+    original_costs.push_back(model.vars()[i].cost);
+  }
+
+  std::size_t caps = 0;
+  for (const std::vector<double>& costs : stages) {
+    // Cap the stage just solved (its costs are still on the model), then
+    // swap in this stage's costs and re-solve from the incumbent.
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t i = 0; i < model.n_vars(); ++i) {
+      const double c = model.vars()[i].cost;
+      if (c != 0.0) terms.emplace_back(static_cast<int>(i), c);
+    }
+    const double cap = incumbent.objective +
+                       std::abs(incumbent.objective) * eps_rel + eps_abs;
+    model.add_constraint(std::move(terms), Rel::le, cap);
+    ++caps;
+    for (std::size_t i = 0; i < model.n_vars(); ++i) {
+      model.vars()[i].cost = costs[i];
+    }
+    const MipWarmStart stage_warm{incumbent.x};
+    MipResult next = solve_mip(model, options, &stage_warm);
+    if (next.status == LpStatus::optimal) {
+      next.used_basis_hint = incumbent.used_basis_hint;
+      incumbent = next;
+    } else {
+      // Numerical edge: keep the incumbent, evaluated under this stage's
+      // costs, so the chain (and its caps) stays well-defined.
+      double obj = 0.0;
+      for (std::size_t i = 0; i < costs.size(); ++i) {
+        obj += costs[i] * incumbent.x[i];
+      }
+      incumbent.objective = obj;
+      incumbent.proven_optimal = false;
+    }
+    if (stage_values != nullptr) stage_values->push_back(incumbent.objective);
+  }
+
+  for (std::size_t i = 0; i < model.n_vars(); ++i) {
+    model.vars()[i].cost = original_costs[i];
+  }
+  while (caps-- > 0) model.pop_constraint();
+  return incumbent;
+}
+
 }  // namespace vbatt::solver

@@ -204,4 +204,23 @@ MipResult solve_lexicographic(Model& model,
                               const MipWarmStart* warm = nullptr,
                               MipBasisHint* hint = nullptr);
 
+/// N-stage lexicographic solve. Stage 0 minimizes the model's own costs;
+/// stage j > 0 minimizes `stages[j-1]` subject to every earlier stage's
+/// objective staying within its cap (value + |value| * eps_rel + eps_abs).
+/// Returns the final stage's result (`objective` is the last stage's
+/// value); `stage_values` (optional) receives each stage's achieved
+/// objective, stage 0 first.
+///
+/// Works in place like solve_lexicographic: each stage appends one cap row
+/// and swaps the costs; all rows are popped and the original costs
+/// restored exactly before returning. A stage that fails to solve keeps
+/// the incumbent solution evaluated under the new costs
+/// (proven_optimal=false) and still caps it for later stages. `warm`
+/// seeds stage 0 only; later stages warm-start from the incumbent.
+MipResult solve_lexicographic_stages(
+    Model& model, const std::vector<std::vector<double>>& stages,
+    double eps_rel = 0.01, double eps_abs = 1e-6,
+    const MipOptions& options = {}, const MipWarmStart* warm = nullptr,
+    std::vector<double>* stage_values = nullptr);
+
 }  // namespace vbatt::solver

@@ -10,7 +10,7 @@ namespace {
 
 bool valid_kind(std::uint8_t k) {
   return k >= static_cast<std::uint8_t>(EventKind::tick_advance) &&
-         k <= static_cast<std::uint8_t>(EventKind::reconfigure);
+         k <= static_cast<std::uint8_t>(EventKind::harvest_task);
 }
 
 void encode_app(util::wire::Writer& w, const workload::Application& a) {
@@ -44,6 +44,44 @@ void encode_fault(util::wire::Writer& w, const fault::FaultEvent& f) {
   w.f64(f.alpha);
   w.f64(f.sigma);
   w.i64(f.count);
+}
+
+void encode_job(util::wire::Writer& w, const workload::DeadlineJob& j) {
+  w.i64(j.job_id);
+  w.i64(j.arrival);
+  w.i64(j.cores);
+  w.i64(j.work_core_ticks);
+  w.i64(j.deadline);
+}
+
+workload::DeadlineJob decode_job(util::wire::Reader& r) {
+  workload::DeadlineJob j;
+  j.job_id = r.i64();
+  j.arrival = r.i64();
+  j.cores = static_cast<int>(r.i64());
+  j.work_core_ticks = r.i64();
+  j.deadline = r.i64();
+  return j;
+}
+
+void encode_task(util::wire::Writer& w, const workload::HarvestTask& t) {
+  w.i64(t.task_id);
+  w.i64(t.arrival);
+  w.i64(t.cores);
+  w.i64(t.work_core_ticks);
+  w.i64(t.resume_latency_ticks);
+  w.i64(t.deadline);
+}
+
+workload::HarvestTask decode_task(util::wire::Reader& r) {
+  workload::HarvestTask t;
+  t.task_id = r.i64();
+  t.arrival = r.i64();
+  t.cores = static_cast<int>(r.i64());
+  t.work_core_ticks = r.i64();
+  t.resume_latency_ticks = r.i64();
+  t.deadline = r.i64();
+  return t;
 }
 
 fault::FaultEvent decode_fault(util::wire::Reader& r) {
@@ -92,6 +130,10 @@ const char* to_string(EventKind kind) noexcept {
       return "resume";
     case EventKind::reconfigure:
       return "reconfigure";
+    case EventKind::batch_job:
+      return "batch_job";
+    case EventKind::harvest_task:
+      return "harvest_task";
   }
   return "unknown";
 }
@@ -132,6 +174,12 @@ std::string encode_event(const Event& e) {
       break;
     case EventKind::reconfigure:
       w.str(e.text);
+      break;
+    case EventKind::batch_job:
+      encode_job(w, e.job);
+      break;
+    case EventKind::harvest_task:
+      encode_task(w, e.task);
       break;
   }
   return w.take();
@@ -179,6 +227,12 @@ Event decode_event(std::string_view payload) {
       break;
     case EventKind::reconfigure:
       e.text = r.str();
+      break;
+    case EventKind::batch_job:
+      e.job = decode_job(r);
+      break;
+    case EventKind::harvest_task:
+      e.task = decode_task(r);
       break;
   }
   if (!r.done()) {

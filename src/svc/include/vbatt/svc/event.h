@@ -21,6 +21,7 @@
 #include "vbatt/fault/schedule.h"
 #include "vbatt/util/time.h"
 #include "vbatt/workload/app.h"
+#include "vbatt/workload/batch.h"
 
 namespace vbatt::svc {
 
@@ -53,6 +54,11 @@ enum class EventKind : std::uint8_t {
   /// Operator: adjust runtime config; `text` holds "key=value;..." pairs
   /// (see apply_reconfigure in config.h).
   reconfigure = 12,
+  /// A deadline batch job (`job`) submitted to the batch overlay; admitted
+  /// at the first tick_advance whose tick reaches its arrival.
+  batch_job = 13,
+  /// A suspendable harvest task (`task`) submitted to the batch overlay.
+  harvest_task = 14,
 };
 
 /// Wire/debug name of an event kind.
@@ -72,6 +78,8 @@ struct Event {
   std::int64_t app_id = 0;              // vm_departure
   fault::FaultEvent fault{};            // fault_report
   std::string text;                     // reconfigure
+  workload::DeadlineJob job{};          // batch_job
+  workload::HarvestTask task{};         // harvest_task
 };
 
 /// Serialize to the log payload format (little-endian, fixed widths; only

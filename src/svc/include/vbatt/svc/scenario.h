@@ -37,12 +37,21 @@ struct ScenarioConfig {
   /// 0 = fault-free; otherwise a seeded chaos schedule of this intensity.
   double chaos_intensity = 0.0;
   std::uint64_t chaos_seed = 7;
+  /// Batch overlay arrival rates (entities per hour); both 0 leaves
+  /// Scenario::batch empty (the default, baseline-identical scenario).
+  double batch_jobs_per_hour = 0.0;
+  double batch_tasks_per_hour = 0.0;
+  std::uint64_t batch_seed = 17;
 };
 
 struct Scenario {
   core::VbGraph graph;  // pristine, fault-free
   std::vector<workload::Application> apps;
   fault::FaultSchedule schedule;  // empty when chaos_intensity == 0
+  /// Optional batch overlay workload; scenario_events() emits one
+  /// batch_job / harvest_task submission per entity, and the batch driver
+  /// passes it through ScenarioExtensions. Empty on a default scenario.
+  workload::BatchWorkload batch;
 };
 
 Scenario make_scenario(const ScenarioConfig& config);

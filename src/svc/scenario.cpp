@@ -32,6 +32,14 @@ Scenario make_scenario(const ScenarioConfig& config) {
     scenario.schedule =
         fault::make_chaos_schedule(scenario.graph, chaos, config.chaos_seed);
   }
+  if (config.batch_jobs_per_hour > 0.0 || config.batch_tasks_per_hour > 0.0) {
+    workload::BatchGeneratorConfig batch_config;
+    batch_config.jobs_per_hour = config.batch_jobs_per_hour;
+    batch_config.tasks_per_hour = config.batch_tasks_per_hour;
+    batch_config.seed = config.batch_seed;
+    scenario.batch =
+        workload::generate_batch(batch_config, util::TimeAxis{15}, n_ticks);
+  }
   return scenario;
 }
 
@@ -67,6 +75,23 @@ std::vector<Event> scenario_events(const Scenario& scenario, bool heartbeats) {
     Event e;
     e.kind = EventKind::fault_report;
     e.fault = f;
+    events.push_back(std::move(e));
+  }
+
+  // Batch overlay submissions upfront (jobs then tasks, definition order).
+  // The overlay admits each entity when the clock reaches its arrival, so
+  // submission time is immaterial — upfront matches how the batch driver
+  // hands run_simulation the whole workload.
+  for (const workload::DeadlineJob& job : scenario.batch.jobs) {
+    Event e;
+    e.kind = EventKind::batch_job;
+    e.job = job;
+    events.push_back(std::move(e));
+  }
+  for (const workload::HarvestTask& task : scenario.batch.tasks) {
+    Event e;
+    e.kind = EventKind::harvest_task;
+    e.task = task;
     events.push_back(std::move(e));
   }
 
@@ -127,6 +152,27 @@ std::string result_fingerprint(const core::SimResult& result) {
     w.vec_f64(ledger.out_series(s));
     w.vec_f64(ledger.in_series(s));
   }
+  // Scenario-extension counters (all zero on a default run, so default
+  // fingerprints differ from the pre-extension format only by these
+  // constant trailing bytes).
+  const workload::BatchStats& batch = result.batch;
+  w.i64(batch.deadline_jobs_completed);
+  w.i64(batch.deadline_jobs_missed);
+  w.i64(batch.deadline_work_core_ticks);
+  w.i64(batch.harvest_offered_core_ticks);
+  w.i64(batch.harvest_goodput_core_ticks);
+  w.i64(batch.harvest_lost_core_ticks);
+  w.i64(batch.harvest_suspended_core_ticks);
+  w.i64(batch.harvest_warmup_core_ticks);
+  w.i64(batch.harvest_tasks_completed);
+  w.i64(batch.harvest_deadline_misses);
+  w.i64(batch.suspend_episodes);
+  w.i64(batch.resume_episodes);
+  w.i64(batch.overlay_active_core_ticks);
+  w.f64(result.cost_usd);
+  w.vec_f64(result.cost_usd_per_tick);
+  w.f64(result.carbon_kg);
+  w.vec_f64(result.carbon_kg_per_tick);
   return w.take();
 }
 

@@ -180,6 +180,31 @@ void ControlPlane::apply(const Event& e) {
       apply_reconfigure(config_, e.text);
       health_.set_config(config_.health);
       break;
+    case EventKind::batch_job: {
+      const workload::DeadlineJob& j = e.job;
+      if (j.cores <= 0 || j.work_core_ticks <= 0) {
+        reject("batch_job: cores and work_core_ticks must be positive");
+      }
+      if (j.arrival < 0 || j.deadline <= j.arrival) {
+        reject("batch_job: deadline must follow a non-negative arrival");
+      }
+      stepper_->submit_batch_job(j);
+      break;
+    }
+    case EventKind::harvest_task: {
+      const workload::HarvestTask& t = e.task;
+      if (t.cores <= 0 || t.work_core_ticks <= 0) {
+        reject("harvest_task: cores and work_core_ticks must be positive");
+      }
+      if (t.arrival < 0 || t.deadline <= t.arrival) {
+        reject("harvest_task: deadline must follow a non-negative arrival");
+      }
+      if (t.resume_latency_ticks < 0) {
+        reject("harvest_task: resume_latency_ticks must be non-negative");
+      }
+      stepper_->submit_harvest_task(t);
+      break;
+    }
   }
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "vbatt/energy/carbon.h"
+#include "vbatt/energy/cost.h"
 #include "vbatt/energy/site.h"
 
 namespace vbatt::testkit {
@@ -189,6 +191,56 @@ solver::Model make_model(const Spec& spec) {
   return model;
 }
 
+workload::BatchWorkload make_batch(const Spec& spec, const util::TimeAxis& axis,
+                                   std::size_t n_ticks) {
+  workload::BatchGeneratorConfig config;
+  config.jobs_per_hour =
+      std::max<std::int64_t>(0, spec.get("jph100", 60)) / 100.0;
+  config.tasks_per_hour =
+      std::max<std::int64_t>(0, spec.get("tph100", 120)) / 100.0;
+  config.max_cores = static_cast<int>(
+      std::clamp<std::int64_t>(spec.get("bcores", 8), 1, 64));
+  config.min_cores = std::min(config.min_cores, config.max_cores);
+  config.max_run_ticks = static_cast<util::Tick>(
+      std::clamp<std::int64_t>(spec.get("brun", 24), 1, 96));
+  config.min_run_ticks = std::min(config.min_run_ticks, config.max_run_ticks);
+  config.max_slack =
+      std::clamp<std::int64_t>(spec.get("bslack100", 300), 100, 800) / 100.0;
+  config.min_slack = std::min(config.min_slack, config.max_slack);
+  config.max_resume_latency_ticks = static_cast<util::Tick>(
+      std::clamp<std::int64_t>(spec.get("blat", 4), 0, 16));
+  config.seed = spec.child_seed("batch");
+  return workload::generate_batch(config, axis, n_ticks);
+}
+
+energy::SiteSeries make_price_series(const Spec& spec, std::size_t n_sites,
+                                     std::size_t n_ticks) {
+  energy::PriceSeriesConfig config;
+  config.base_usd_per_mwh =
+      static_cast<double>(spec.get("pbase", std::int64_t{42}));
+  config.swing_usd_per_mwh = static_cast<double>(
+      std::max<std::int64_t>(0, spec.get("pswing", 18)));
+  config.site_spread_usd_per_mwh = static_cast<double>(
+      std::max<std::int64_t>(0, spec.get("pspread", 6)));
+  config.seed = spec.child_seed("price");
+  return energy::make_price_series(config, util::TimeAxis{15}, n_sites,
+                                   n_ticks);
+}
+
+energy::SiteSeries make_carbon_series(const Spec& spec, std::size_t n_sites,
+                                      std::size_t n_ticks) {
+  energy::CarbonSeriesConfig config;
+  config.grid.grid_base_gco2_per_kwh = static_cast<double>(
+      std::max<std::int64_t>(0, spec.get("cbase", 320)));
+  config.grid.grid_swing_gco2_per_kwh = static_cast<double>(
+      std::max<std::int64_t>(0, spec.get("cswing", 90)));
+  config.site_spread_gco2_per_kwh = static_cast<double>(
+      std::max<std::int64_t>(0, spec.get("cspread", 25)));
+  config.seed = spec.child_seed("carbon");
+  return energy::make_carbon_series(config, util::TimeAxis{15}, n_sites,
+                                    n_ticks);
+}
+
 void gen_graph_keys(Spec& spec, util::Rng& rng) {
   const auto sites = 1 + static_cast<std::int64_t>(rng.below(3));
   spec.set("sites", sites);
@@ -207,6 +259,24 @@ void gen_app_keys(Spec& spec, util::Rng& rng) {
   spec.set("maxvms", 2 + static_cast<std::int64_t>(rng.below(10)));
   spec.set("deg100", static_cast<std::int64_t>(rng.below(101)));
   spec.set("life", 4 + static_cast<std::int64_t>(rng.below(60)));
+}
+
+void gen_batch_keys(Spec& spec, util::Rng& rng) {
+  spec.set("jph100", static_cast<std::int64_t>(rng.below(301)));
+  spec.set("tph100", static_cast<std::int64_t>(rng.below(401)));
+  spec.set("bcores", 1 + static_cast<std::int64_t>(rng.below(16)));
+  spec.set("brun", 2 + static_cast<std::int64_t>(rng.below(47)));
+  spec.set("bslack100", 100 + static_cast<std::int64_t>(rng.below(501)));
+  spec.set("blat", static_cast<std::int64_t>(rng.below(9)));
+}
+
+void gen_econ_keys(Spec& spec, util::Rng& rng) {
+  spec.set("pbase", 20 + static_cast<std::int64_t>(rng.below(61)));
+  spec.set("pswing", static_cast<std::int64_t>(rng.below(41)));
+  spec.set("pspread", static_cast<std::int64_t>(rng.below(21)));
+  spec.set("cbase", 200 + static_cast<std::int64_t>(rng.below(301)));
+  spec.set("cswing", static_cast<std::int64_t>(rng.below(151)));
+  spec.set("cspread", static_cast<std::int64_t>(rng.below(61)));
 }
 
 }  // namespace vbatt::testkit

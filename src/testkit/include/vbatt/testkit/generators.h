@@ -16,16 +16,23 @@
 //   faults  events (event count; event i draws from child stream
 //           ("fault", i), so shrinking `events` keeps a prefix)
 //   model   vars, rows, ints (integer variables among vars)
+//   batch   jph100 / tph100 (deadline-job / harvest-task arrivals per hour
+//           x100), bcores (max gang width), brun (max run ticks),
+//           bslack100 (max deadline slack x100), blat (max resume latency)
+//   econ    pbase/pswing/pspread (price $/MWh), cbase/cswing/cspread
+//           (carbon gCO2/kWh)
 #pragma once
 
 #include <vector>
 
 #include "vbatt/core/vb_graph.h"
+#include "vbatt/energy/signal.h"
 #include "vbatt/fault/schedule.h"
 #include "vbatt/solver/model.h"
 #include "vbatt/testkit/spec.h"
 #include "vbatt/util/rng.h"
 #include "vbatt/workload/app.h"
+#include "vbatt/workload/batch.h"
 
 namespace vbatt::testkit {
 
@@ -60,8 +67,24 @@ fault::FaultSchedule make_fault_events(const Spec& spec);
 /// on the status, too.
 solver::Model make_model(const Spec& spec);
 
+/// Deadline-job + harvest-task overlay workload over `n_ticks` (child
+/// stream "batch"). jph100=0 and tph100=0 disable a class each; both zero
+/// yields an empty workload.
+workload::BatchWorkload make_batch(const Spec& spec, const util::TimeAxis& axis,
+                                   std::size_t n_ticks);
+
+/// Per-site day-ahead electricity price series (child stream "price").
+energy::SiteSeries make_price_series(const Spec& spec, std::size_t n_sites,
+                                     std::size_t n_ticks);
+
+/// Per-site grid carbon-intensity series (child stream "carbon").
+energy::SiteSeries make_carbon_series(const Spec& spec, std::size_t n_sites,
+                                      std::size_t n_ticks);
+
 // Spec drawers: append this component's keys to `spec` using `rng`.
 void gen_graph_keys(Spec& spec, util::Rng& rng);
 void gen_app_keys(Spec& spec, util::Rng& rng);
+void gen_batch_keys(Spec& spec, util::Rng& rng);
+void gen_econ_keys(Spec& spec, util::Rng& rng);
 
 }  // namespace vbatt::testkit

@@ -88,6 +88,31 @@ const std::vector<ShrinkKey> kScenarioShrink = {
     {"deg100", 0}, {"life", 1},
 };
 
+/// Scenario keys plus the batch-overlay knobs (harvest_closure,
+/// batch_sharded_diff).
+const std::vector<ShrinkKey> kBatchScenarioShrink = {
+    {"days", 1},     {"sites", 1},  {"wind", 0},      {"peak", 1},
+    {"amp", 0},      {"period", 1}, {"aph100", 0},    {"maxvms", 1},
+    {"deg100", 0},   {"life", 1},   {"jph100", 0},    {"tph100", 0},
+    {"bcores", 1},   {"brun", 1},   {"bslack100", 100}, {"blat", 0},
+};
+
+/// Bare-overlay keys (deadline_conservation drives BatchOverlay directly,
+/// no graph).
+const std::vector<ShrinkKey> kOverlayShrink = {
+    {"days", 1},   {"jph100", 0}, {"tph100", 0},      {"bcores", 1},
+    {"brun", 1},   {"bslack100", 100}, {"blat", 0},   {"bsites", 1},
+    {"bfree", 0},
+};
+
+/// Scenario keys plus the price/carbon trace knobs (objective_identity).
+const std::vector<ShrinkKey> kEconScenarioShrink = {
+    {"days", 1},   {"sites", 1},  {"wind", 0},   {"peak", 1},
+    {"amp", 0},    {"period", 1}, {"aph100", 0}, {"maxvms", 1},
+    {"deg100", 0}, {"life", 1},   {"pbase", 20}, {"pswing", 0},
+    {"pspread", 0}, {"cbase", 200}, {"cswing", 0}, {"cspread", 0},
+};
+
 CaseResult eval_conservation(const Spec& spec) {
   const Scenario sc = make_scenario(spec);
   const auto scheduler = make_scheduler(spec);
@@ -302,6 +327,309 @@ CaseResult eval_fleet_shard_invariance(const Spec& spec) {
         return fail_str("chaos run, shards=" + std::to_string(shards) +
                         (p != nullptr ? ", 4 lanes: " : ", serial: ") + diff);
       }
+    }
+  }
+  return CaseResult::pass();
+}
+
+// --- batch overlay / econ suite ------------------------------------------
+
+/// Deadline conservation on the bare overlay: drive BatchOverlay with a
+/// random free-core sequence, then audit every per-entity record. No
+/// entity may be both completed and missed; a miss requires work left and
+/// a reachable deadline; every admitted entity whose deadline is inside
+/// the horizon resolves one way or the other; and a second run with
+/// unlimited cores must complete everything on time (the generator's
+/// slack >= 1 guarantees feasibility at full capacity).
+CaseResult eval_deadline_conservation(const Spec& spec) {
+  const util::TimeAxis axis{15};
+  const auto n_ticks = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, spec.get("days", 1)) * axis.ticks_per_day());
+  const workload::BatchWorkload batch = make_batch(spec, axis, n_ticks);
+  const auto n_sites = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(spec.get("bsites", 3), 1, 8));
+  const auto max_free = static_cast<std::uint64_t>(
+      std::clamp<std::int64_t>(spec.get("bfree", 20), 0, 512));
+
+  workload::BatchOverlay overlay{batch};
+  util::Rng free_rng{spec.child_seed("free")};
+  std::vector<std::int64_t> free(n_sites, 0);
+  for (std::size_t t = 0; t < n_ticks; ++t) {
+    for (std::int64_t& f : free) {
+      f = static_cast<std::int64_t>(free_rng.below(max_free + 1));
+    }
+    overlay.step(static_cast<util::Tick>(t), free);
+  }
+  overlay.finalize();
+
+  const auto horizon = static_cast<util::Tick>(n_ticks);
+  std::int64_t completed = 0;
+  std::int64_t missed = 0;
+  // Resolution is only guaranteed while the miss check still runs after
+  // the deadline: deadline == horizon leaves no post-deadline step, so an
+  // unscheduled final-tick remnant may legally end unresolved.
+  const auto audit = [&](std::int64_t id, bool got_admitted, bool got_completed,
+                         bool got_missed, util::Tick finish,
+                         std::int64_t remaining, util::Tick arrival,
+                         util::Tick deadline, const char* kind) -> std::string {
+    const std::string tag = std::string{kind} + " " + std::to_string(id);
+    if (got_completed && got_missed) {
+      return tag + " both completed and missed";
+    }
+    if (got_admitted != (arrival < horizon)) {
+      return tag + " admission disagrees with its arrival";
+    }
+    if (got_completed &&
+        (remaining != 0 || finish < arrival || finish >= deadline)) {
+      return tag + " completed outside [arrival, deadline)";
+    }
+    if (got_missed && remaining <= 0) {
+      return tag + " missed with no work left";
+    }
+    if (got_admitted && deadline < horizon && !got_completed && !got_missed) {
+      return tag + " unresolved despite an in-horizon deadline";
+    }
+    completed += got_completed ? 1 : 0;
+    missed += got_missed ? 1 : 0;
+    return {};
+  };
+  const auto job_records = overlay.job_records();
+  const auto task_records = overlay.task_records();
+  if (job_records.size() != batch.jobs.size() ||
+      task_records.size() != batch.tasks.size()) {
+    return fail_str("record count disagrees with workload size");
+  }
+  for (std::size_t i = 0; i < job_records.size(); ++i) {
+    const auto& r = job_records[i];
+    const workload::DeadlineJob& job = batch.jobs[i];
+    if (r.job_id != job.job_id) return fail_str("job record order changed");
+    if (std::string bad =
+            audit(r.job_id, r.admitted, r.completed, r.missed, r.finish_tick,
+                  r.remaining_core_ticks, job.arrival, job.deadline, "job");
+        !bad.empty()) {
+      return fail_str(std::move(bad));
+    }
+  }
+  if (overlay.stats().deadline_jobs_completed != completed ||
+      overlay.stats().deadline_jobs_missed != missed) {
+    return fail_str("job counters disagree with per-record flags");
+  }
+  completed = missed = 0;
+  for (std::size_t i = 0; i < task_records.size(); ++i) {
+    const auto& r = task_records[i];
+    const workload::HarvestTask& task = batch.tasks[i];
+    if (r.task_id != task.task_id) return fail_str("task record order changed");
+    if (std::string bad =
+            audit(r.task_id, r.admitted, r.completed, r.missed, r.finish_tick,
+                  r.remaining_core_ticks, task.arrival, task.deadline, "task");
+        !bad.empty()) {
+      return fail_str(std::move(bad));
+    }
+    if (r.resumes > r.suspends) {
+      return fail_str("task resumed more often than it suspended");
+    }
+  }
+  if (overlay.stats().harvest_tasks_completed != completed ||
+      overlay.stats().harvest_deadline_misses != missed) {
+    return fail_str("task counters disagree with per-record flags");
+  }
+
+  // Unlimited capacity: nothing may miss, suspend, or warm up.
+  std::int64_t total_cores = 0;
+  for (const workload::DeadlineJob& job : batch.jobs) total_cores += job.cores;
+  for (const workload::HarvestTask& task : batch.tasks) {
+    total_cores += task.cores;
+  }
+  workload::BatchOverlay roomy{batch};
+  const std::vector<std::int64_t> plenty(1, total_cores);
+  for (std::size_t t = 0; t < n_ticks; ++t) {
+    roomy.step(static_cast<util::Tick>(t), plenty);
+  }
+  roomy.finalize();
+  const workload::BatchStats& full = roomy.stats();
+  if (full.deadline_jobs_missed != 0 || full.harvest_deadline_misses != 0) {
+    return fail_str("misses under unlimited capacity");
+  }
+  if (full.suspend_episodes != 0 || full.harvest_warmup_core_ticks != 0) {
+    return fail_str("suspends/warmup under unlimited capacity");
+  }
+  return CaseResult::pass();
+}
+
+/// Harvest goodput closure through a full engine run: offered work splits
+/// exactly into goodput + lost + suspended, and occupancy covers every
+/// executed/warmup core-tick.
+CaseResult eval_harvest_closure(const Spec& spec) {
+  const Scenario sc = make_scenario(spec);
+  const workload::BatchWorkload batch =
+      make_batch(spec, sc.graph.axis(), sc.graph.n_ticks());
+  core::ScenarioExtensions ext;
+  ext.batch = &batch;
+  core::VmLevelConfig config;
+  config.ext = &ext;
+  const auto scheduler = make_scheduler(spec);
+  const core::VmLevelResult r = core::run_vm_level_simulation(
+      sc.graph, sc.apps, *scheduler, config, nullptr);
+  const workload::BatchStats& b = r.base.batch;
+
+  for (const auto& [name, v] :
+       {std::pair{"deadline_jobs_completed", b.deadline_jobs_completed},
+        {"deadline_jobs_missed", b.deadline_jobs_missed},
+        {"deadline_work_core_ticks", b.deadline_work_core_ticks},
+        {"harvest_offered_core_ticks", b.harvest_offered_core_ticks},
+        {"harvest_goodput_core_ticks", b.harvest_goodput_core_ticks},
+        {"harvest_lost_core_ticks", b.harvest_lost_core_ticks},
+        {"harvest_suspended_core_ticks", b.harvest_suspended_core_ticks},
+        {"harvest_warmup_core_ticks", b.harvest_warmup_core_ticks},
+        {"suspend_episodes", b.suspend_episodes},
+        {"resume_episodes", b.resume_episodes},
+        {"overlay_active_core_ticks", b.overlay_active_core_ticks}}) {
+    if (v < 0) {
+      return fail_str(std::string{name} + " negative: " + std::to_string(v));
+    }
+  }
+  if (b.harvest_offered_core_ticks !=
+      b.harvest_goodput_core_ticks + b.harvest_lost_core_ticks +
+          b.harvest_suspended_core_ticks) {
+    return fail_str(
+        "closure broken: offered=" +
+        std::to_string(b.harvest_offered_core_ticks) + " != goodput=" +
+        std::to_string(b.harvest_goodput_core_ticks) + " + lost=" +
+        std::to_string(b.harvest_lost_core_ticks) + " + suspended=" +
+        std::to_string(b.harvest_suspended_core_ticks));
+  }
+  if (b.resume_episodes > b.suspend_episodes) {
+    return fail_str("more resumes than suspends");
+  }
+  if (b.overlay_active_core_ticks < b.deadline_work_core_ticks +
+                                        b.harvest_goodput_core_ticks +
+                                        b.harvest_warmup_core_ticks) {
+    return fail_str("occupancy below executed work + warmup");
+  }
+  // Offered must equal the admitted tasks' total work, recomputed here.
+  const auto horizon = static_cast<util::Tick>(sc.graph.n_ticks());
+  std::int64_t offered = 0;
+  for (const workload::HarvestTask& task : batch.tasks) {
+    if (task.arrival < horizon) offered += task.work_core_ticks;
+  }
+  if (offered != b.harvest_offered_core_ticks) {
+    return fail_str("offered=" +
+                    std::to_string(b.harvest_offered_core_ticks) +
+                    " != admitted work=" + std::to_string(offered));
+  }
+  return CaseResult::pass();
+}
+
+/// Econ accounting identity: the MIP's cost/carbon stage value for every
+/// committed trajectory must replay against the per-tick signal to 1e-6,
+/// and the metered ledger totals must equal their per-tick series.
+CaseResult eval_objective_identity(const Spec& spec) {
+  const Scenario sc = make_scenario(spec);
+  const bool carbon = spec.get("obj", std::string{"cost"}) == "carbon";
+  const energy::SiteSeries signal =
+      carbon ? make_carbon_series(spec, sc.graph.n_sites(), sc.graph.n_ticks())
+             : make_price_series(spec, sc.graph.n_sites(), sc.graph.n_ticks());
+  core::MipSchedulerConfig mc = carbon
+                                    ? core::make_mip_carbon_config(&signal)
+                                    : core::make_mip_cost_config(&signal);
+  mc.horizon_ticks = 96;  // keep the per-case solve budget small
+  core::MipScheduler scheduler{mc};
+  core::ScenarioExtensions ext;
+  if (carbon) {
+    ext.carbon = &signal;
+  } else {
+    ext.price = &signal;
+  }
+  core::VmLevelConfig config;
+  config.ext = &ext;
+  const core::VmLevelResult r = core::run_vm_level_simulation(
+      sc.graph, sc.apps, scheduler, config, nullptr);
+
+  // Ledger totals close over their per-tick series.
+  double per_tick = 0.0;
+  for (const double v : r.base.cost_usd_per_tick) per_tick += v;
+  if (!near(per_tick, r.base.cost_usd, 1e-9)) {
+    return fail_str("cost_usd != per-tick sum");
+  }
+  per_tick = 0.0;
+  for (const double v : r.base.carbon_kg_per_tick) per_tick += v;
+  if (!near(per_tick, r.base.carbon_kg, 1e-9)) {
+    return fail_str("carbon_kg != per-tick sum");
+  }
+  if (carbon ? r.base.cost_usd != 0.0 : r.base.carbon_kg != 0.0) {
+    return fail_str("unattached ledger metered anyway");
+  }
+
+  // Stage-value replay, bucket arithmetic mirrored from refresh_capacity.
+  std::map<std::int64_t, int> cores_by_app;
+  for (const workload::Application& app : sc.apps) {
+    cores_by_app.emplace(app.app_id, app.stable_cores());
+  }
+  const auto trace_end = static_cast<util::Tick>(sc.graph.n_ticks());
+  const double hours = sc.graph.axis().minutes_per_tick() / 60.0;
+  for (const auto& [app_id, trajectory] : scheduler.trajectories()) {
+    const double scale = static_cast<double>(cores_by_app.at(app_id)) *
+                         mc.objective_kw_per_core * hours / 1000.0;
+    double replayed = 0.0;
+    for (std::size_t k = 0; k < trajectory.sites.size(); ++k) {
+      const util::Tick begin =
+          trajectory.start + static_cast<util::Tick>(k) * mc.bucket_ticks;
+      const util::Tick end = std::min(trace_end, begin + mc.bucket_ticks);
+      double sum = 0.0;
+      for (util::Tick t = begin; t < end; ++t) {
+        sum += signal.value(trajectory.sites[k], static_cast<double>(t));
+      }
+      replayed += sum * scale;
+    }
+    if (std::abs(replayed - trajectory.objective_cost) > 1e-6) {
+      return fail_str("app " + std::to_string(app_id) +
+                      " objective_cost diverges from replay by " +
+                      std::to_string(replayed - trajectory.objective_cost));
+    }
+  }
+  return CaseResult::pass();
+}
+
+/// Sharded fleet engine vs unsharded on the full extension surface (batch
+/// overlay + price + carbon), serial and pooled: bit-for-bit, fingerprint
+/// included.
+CaseResult eval_batch_fleet_diff(const Spec& spec) {
+  const Scenario sc = make_scenario(spec);
+  const workload::BatchWorkload batch =
+      make_batch(spec, sc.graph.axis(), sc.graph.n_ticks());
+  const energy::SiteSeries price =
+      make_price_series(spec, sc.graph.n_sites(), sc.graph.n_ticks());
+  const energy::SiteSeries carbon =
+      make_carbon_series(spec, sc.graph.n_sites(), sc.graph.n_ticks());
+  core::ScenarioExtensions ext;
+  ext.batch = &batch;
+  ext.price = &price;
+  ext.carbon = &carbon;
+  core::VmLevelConfig config;
+  config.ext = &ext;
+
+  const auto sched_a = make_scheduler(spec);
+  const core::VmLevelResult unsharded = core::run_vm_level_simulation(
+      sc.graph, sc.apps, *sched_a, config, nullptr);
+  util::ThreadPool pool{3};
+  core::FleetSimOptions options;
+  options.n_shards = static_cast<int>(
+      std::clamp<std::int64_t>(spec.get("shards", 2), 1, 64));
+  for (util::ThreadPool* p :
+       {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    options.pool = p;
+    const auto sched_b = make_scheduler(spec);
+    const core::VmLevelResult sharded = core::run_fleet_simulation(
+        sc.graph, sc.apps, *sched_b, config, options);
+    const std::string diff =
+        diff_vm_results(unsharded, sharded, sc.graph.n_sites());
+    if (!diff.empty()) {
+      return fail_str("extensions, shards=" + std::to_string(options.n_shards) +
+                      (p != nullptr ? ", 4 lanes: " : ", serial: ") + diff);
+    }
+    if (svc::result_fingerprint(unsharded.base) !=
+        svc::result_fingerprint(sharded.base)) {
+      return fail_str("fingerprints diverge despite field-level equality");
     }
   }
   return CaseResult::pass();
@@ -1124,6 +1452,11 @@ svc::ScenarioConfig svc_scenario_config(const Spec& spec) {
   config.chaos_intensity =
       std::max<std::int64_t>(0, spec.get("i100", 0)) / 100.0;
   config.chaos_seed = spec.child_seed("chaos");
+  config.batch_jobs_per_hour =
+      std::max<std::int64_t>(0, spec.get("jph100", 0)) / 100.0;
+  config.batch_tasks_per_hour =
+      std::max<std::int64_t>(0, spec.get("tph100", 0)) / 100.0;
+  config.batch_seed = spec.child_seed("batch");
   return config;
 }
 
@@ -1149,8 +1482,12 @@ core::SimResult svc_run_batch(const svc::Scenario& scenario,
   const std::unique_ptr<core::Scheduler> scheduler =
       svc::make_service_scheduler(config.policy);
   core::FaultConfig faults{&injector, config.retry};
+  // The service receives batch entities as submission events; the batch
+  // engine gets the identical workload attached up front via extensions.
+  core::ScenarioExtensions ext;
+  if (!scenario.batch.empty()) ext.batch = &scenario.batch;
   return core::run_simulation(injector.graph(), scenario.apps, *scheduler,
-                              config.power_model, &faults);
+                              config.power_model, &faults, &ext);
 }
 
 /// Feeding a scenario's event stream through the ControlPlane must
@@ -1283,6 +1620,55 @@ std::vector<Property> all_properties() {
                       },
                       eval_fleet_shard_invariance, kScenarioShrink});
 
+  registry.push_back({"sim", "deadline_conservation",
+                      [](util::Rng& rng) {
+                        Spec spec;
+                        spec.set("seed",
+                                 static_cast<std::int64_t>(rng.next() >> 1));
+                        spec.set("days",
+                                 1 + static_cast<std::int64_t>(rng.below(3)));
+                        gen_batch_keys(spec, rng);
+                        spec.set("bsites",
+                                 1 + static_cast<std::int64_t>(rng.below(6)));
+                        spec.set("bfree",
+                                 static_cast<std::int64_t>(rng.below(65)));
+                        return spec;
+                      },
+                      eval_deadline_conservation, kOverlayShrink});
+  registry.push_back({"sim", "harvest_closure",
+                      [](util::Rng& rng) {
+                        Spec spec = gen_scenario_spec(rng);
+                        gen_batch_keys(spec, rng);
+                        if (rng.chance(0.125)) {
+                          spec.set("sched", std::string{"mip24h"});
+                        }
+                        return spec;
+                      },
+                      eval_harvest_closure, kBatchScenarioShrink});
+  registry.push_back({"solver", "objective_identity",
+                      [](util::Rng& rng) {
+                        Spec spec = gen_scenario_spec(rng);
+                        gen_econ_keys(spec, rng);
+                        if (rng.chance(0.5)) {
+                          spec.set("obj", std::string{"carbon"});
+                        }
+                        return spec;
+                      },
+                      eval_objective_identity, kEconScenarioShrink});
+  registry.push_back({"fleet", "batch_sharded_diff",
+                      [](util::Rng& rng) {
+                        Spec spec = gen_scenario_spec(rng);
+                        gen_batch_keys(spec, rng);
+                        gen_econ_keys(spec, rng);
+                        if (rng.chance(0.125)) {
+                          spec.set("sched", std::string{"mip24h"});
+                        }
+                        spec.set("shards", 1 + static_cast<std::int64_t>(
+                                                   rng.below(8)));
+                        return spec;
+                      },
+                      eval_batch_fleet_diff, kBatchScenarioShrink});
+
   registry.push_back({"dcsim", "placement_diff",
                       [](util::Rng& rng) {
                         Spec spec;
@@ -1370,11 +1756,15 @@ std::vector<Property> all_properties() {
       spec.set("i100", static_cast<std::int64_t>(rng.below(300)));
     }
     if (rng.chance(0.125)) spec.set("sched", std::string{"mip24h"});
+    if (rng.chance(0.5)) {
+      spec.set("jph100", static_cast<std::int64_t>(rng.below(150)));
+      spec.set("tph100", static_cast<std::int64_t>(rng.below(250)));
+    }
     return spec;
   };
-  const std::vector<ShrinkKey> svc_shrink = {{"days", 1},   {"solar", 0},
-                                             {"wind", 0},   {"aph100", 0},
-                                             {"i100", 0},   {"cut100", 0}};
+  const std::vector<ShrinkKey> svc_shrink = {
+      {"days", 1},   {"solar", 0},  {"wind", 0},   {"aph100", 0},
+      {"i100", 0},   {"cut100", 0}, {"jph100", 0}, {"tph100", 0}};
 
   registry.push_back({"svc", "batch_diff",
                       [svc_gen](util::Rng& rng) {

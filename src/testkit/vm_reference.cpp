@@ -497,6 +497,19 @@ std::string diff_vm_results(const core::VmLevelResult& a,
       return "ledger series differ at site " + std::to_string(s);
     }
   }
+  if (a.base.batch != b.base.batch) return "batch overlay stats differ";
+  if (a.base.cost_usd != b.base.cost_usd) {  // bit-equal, no tolerance
+    return mismatch("cost_usd", a.base.cost_usd, b.base.cost_usd);
+  }
+  if (a.base.carbon_kg != b.base.carbon_kg) {
+    return mismatch("carbon_kg", a.base.carbon_kg, b.base.carbon_kg);
+  }
+  if (a.base.cost_usd_per_tick != b.base.cost_usd_per_tick) {
+    return "cost_usd_per_tick series differ";
+  }
+  if (a.base.carbon_kg_per_tick != b.base.carbon_kg_per_tick) {
+    return "carbon_kg_per_tick series differ";
+  }
   return {};
 }
 

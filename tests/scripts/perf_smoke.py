@@ -88,7 +88,9 @@ def main():
     solver_keys = ("sites", "k", "horizon_hours")
     solver_fields = ("ref_ms", "revised_ms", "decomposed_ms", "parallel_ms",
                      "build_first_ms", "build_steady_ms")
-    fleet_keys = ("sites",)
+    # "scenario" splits the base cells from the mixed_econ ones (batch
+    # overlay + price/carbon metering) at the same site count.
+    fleet_keys = ("sites", "scenario")
     fleet_fields = ("fleet_serial_ms", "fleet_pool_ms")
 
     with tempfile.TemporaryDirectory(prefix="perf_smoke_") as tmp:

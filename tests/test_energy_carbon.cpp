@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 namespace vbatt::energy {
 namespace {
 
@@ -61,6 +65,78 @@ TEST(Carbon, VbAlwaysCleanerWithDefaults) {
       compare_carbon(CarbonConfig{}, axis15(), consumption);
   EXPECT_GT(report.avoided_fraction(), 0.90);  // ~95% avoided
   EXPECT_GT(report.grid_tco2, report.vb_tco2);
+}
+
+// --- intensity series ----------------------------------------------------
+
+TEST(CarbonSeries, DeterministicNonNegativeAndBounded) {
+  CarbonSeriesConfig config;
+  config.site_spread_gco2_per_kwh = 500.0;  // force the clamp to engage
+  const SiteSeries a = make_carbon_series(config, axis15(), 4, 96);
+  const SiteSeries b = make_carbon_series(config, axis15(), 4, 96);
+  EXPECT_TRUE(a == b);
+
+  const double hi = config.grid.grid_base_gco2_per_kwh +
+                    config.grid.grid_swing_gco2_per_kwh +
+                    config.site_spread_gco2_per_kwh;
+  bool clamped = false;
+  for (std::size_t s = 0; s < a.n_sites(); ++s) {
+    for (std::size_t t = 0; t < a.n_ticks(); ++t) {
+      EXPECT_GE(a.at(s, t), 0.0);
+      EXPECT_LE(a.at(s, t), hi);
+      clamped = clamped || a.at(s, t) == 0.0;
+    }
+  }
+  EXPECT_TRUE(clamped);  // a ±500 spread on a 320-base curve must floor
+
+  CarbonSeriesConfig bad;
+  bad.site_spread_gco2_per_kwh = -1.0;
+  EXPECT_THROW(make_carbon_series(bad, axis15(), 1, 4),
+               std::invalid_argument);
+}
+
+TEST(CarbonSeries, CsvRoundTripIsBitExact) {
+  const std::string path =
+      ::testing::TempDir() + "vbatt_carbon_series.csv";
+  const SiteSeries original = make_carbon_series({}, axis15(), 3, 48);
+  save_series_csv(original, path);
+  const SiteSeries loaded = load_series_csv(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(loaded == original);
+}
+
+TEST(CarbonSeries, InterpolationClampsAtTheTraceEdges) {
+  const SiteSeries series = make_carbon_series({}, axis15(), 2, 8);
+  EXPECT_EQ(series.value(1, -1.0), series.at(1, 0));
+  EXPECT_EQ(series.value(1, 99.0), series.at(1, 7));
+  EXPECT_EQ(series.value(1, 3.0), series.at(1, 3));
+  EXPECT_DOUBLE_EQ(series.value(1, 3.5),
+                   series.at(1, 3) + 0.5 * (series.at(1, 4) - series.at(1, 3)));
+}
+
+TEST(CarbonSeries, LoaderNamesLineAndColumnOnMalformedRows) {
+  const std::string path =
+      ::testing::TempDir() + "vbatt_carbon_series_bad.csv";
+  const auto load_error = [&](const std::string& text) {
+    {
+      std::ofstream out{path};
+      out << text;
+    }
+    std::string what;
+    try {
+      load_series_csv(path);
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    std::remove(path.c_str());
+    return what;
+  };
+  EXPECT_NE(load_error("site,tick,value\n0,0,1\n0,1,nan\n")
+                .find("non-numeric value at line 3, column 2"),
+            std::string::npos);
+  EXPECT_NE(load_error("site,tick,value\n1,0,1\n")
+                .find("expected site 0 at line 2, column 0"),
+            std::string::npos);
 }
 
 }  // namespace

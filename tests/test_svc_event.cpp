@@ -34,6 +34,17 @@ void expect_roundtrip(const Event& e) {
   EXPECT_EQ(d.fault.alpha, e.fault.alpha);
   EXPECT_EQ(d.fault.sigma, e.fault.sigma);
   EXPECT_EQ(d.fault.count, e.fault.count);
+  EXPECT_EQ(d.job.job_id, e.job.job_id);
+  EXPECT_EQ(d.job.arrival, e.job.arrival);
+  EXPECT_EQ(d.job.cores, e.job.cores);
+  EXPECT_EQ(d.job.work_core_ticks, e.job.work_core_ticks);
+  EXPECT_EQ(d.job.deadline, e.job.deadline);
+  EXPECT_EQ(d.task.task_id, e.task.task_id);
+  EXPECT_EQ(d.task.arrival, e.task.arrival);
+  EXPECT_EQ(d.task.cores, e.task.cores);
+  EXPECT_EQ(d.task.work_core_ticks, e.task.work_core_ticks);
+  EXPECT_EQ(d.task.resume_latency_ticks, e.task.resume_latency_ticks);
+  EXPECT_EQ(d.task.deadline, e.task.deadline);
   // Re-encoding the decoded event must reproduce the bytes exactly.
   EXPECT_EQ(encode_event(d), payload);
 }
@@ -107,6 +118,25 @@ TEST(SvcEvent, RoundTripsEveryKind) {
   reconf.kind = EventKind::reconfigure;
   reconf.text = "health.enabled=1;health.suspect_after=6";
   expect_roundtrip(reconf);
+
+  Event batch_job;
+  batch_job.kind = EventKind::batch_job;
+  batch_job.job.job_id = 7;
+  batch_job.job.arrival = 12;
+  batch_job.job.cores = 6;
+  batch_job.job.work_core_ticks = 240;
+  batch_job.job.deadline = 90;
+  expect_roundtrip(batch_job);
+
+  Event harvest;
+  harvest.kind = EventKind::harvest_task;
+  harvest.task.task_id = 8;
+  harvest.task.arrival = 3;
+  harvest.task.cores = 2;
+  harvest.task.work_core_ticks = 64;
+  harvest.task.resume_latency_ticks = 2;
+  harvest.task.deadline = 200;
+  expect_roundtrip(harvest);
 }
 
 TEST(SvcEvent, DecodeRejectsGarbage) {

@@ -1,0 +1,323 @@
+// Directed coverage for the batch overlay: deadline-job miss timing (the
+// "never earlier, never later" slack rule), gang occupancy on the final
+// partial tick, EDF ordering with jobs strictly ahead of harvest fillers,
+// suspend/checkpoint/resume accounting with warmup, the goodput closure
+// after finalize, generator feasibility, and the wire round-trip. The
+// fuzz properties (sim.deadline_conservation, sim.harvest_closure) cover
+// the same invariants statistically; these cases pin the exact tick each
+// transition happens on.
+#include "vbatt/workload/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vbatt/util/wire.h"
+
+namespace vbatt::workload {
+namespace {
+
+DeadlineJob job_of(std::int64_t id, util::Tick arrival, int cores,
+                   std::int64_t work, util::Tick deadline) {
+  DeadlineJob job;
+  job.job_id = id;
+  job.arrival = arrival;
+  job.cores = cores;
+  job.work_core_ticks = work;
+  job.deadline = deadline;
+  return job;
+}
+
+HarvestTask task_of(std::int64_t id, util::Tick arrival, int cores,
+                    std::int64_t work, util::Tick deadline,
+                    util::Tick resume_latency = 0) {
+  HarvestTask task;
+  task.task_id = id;
+  task.arrival = arrival;
+  task.cores = cores;
+  task.work_core_ticks = work;
+  task.resume_latency_ticks = resume_latency;
+  task.deadline = deadline;
+  return task;
+}
+
+void run(BatchOverlay& overlay, util::Tick ticks,
+         const std::vector<std::int64_t>& free) {
+  for (util::Tick t = 0; t < ticks; ++t) overlay.step(t, free);
+}
+
+TEST(BatchOverlay, SingleJobRunsToCompletion) {
+  BatchWorkload batch;
+  batch.jobs.push_back(job_of(1, 0, 2, 6, 5));
+  BatchOverlay overlay{batch};
+  run(overlay, 5, {4});
+  overlay.finalize();
+
+  const BatchStats& s = overlay.stats();
+  EXPECT_EQ(s.deadline_jobs_completed, 1);
+  EXPECT_EQ(s.deadline_jobs_missed, 0);
+  EXPECT_EQ(s.deadline_work_core_ticks, 6);
+  EXPECT_EQ(s.overlay_active_core_ticks, 6);  // 3 ticks x 2-core gang
+
+  const auto records = overlay.job_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_EQ(records[0].finish_tick, 2);
+  EXPECT_EQ(records[0].remaining_core_ticks, 0);
+}
+
+TEST(BatchOverlay, MissFiresExactlyWhenSlackRunsOut) {
+  // 6 core-ticks on a 2-wide gang with deadline 3 needs every tick from
+  // 0. Starved at tick 0, the slack check still passes there
+  // (6 == 2 * 3); at t=1 it fires (6 > 2 * 2) — never earlier, never
+  // later.
+  BatchWorkload batch;
+  batch.jobs.push_back(job_of(1, 0, 2, 6, 3));
+  BatchOverlay overlay{batch};
+
+  overlay.step(0, {0});
+  EXPECT_EQ(overlay.stats().deadline_jobs_missed, 0);
+  overlay.step(1, {0});
+  EXPECT_EQ(overlay.stats().deadline_jobs_missed, 1);
+  overlay.step(2, {8});  // capacity arrives too late; no resurrection
+  overlay.finalize();
+
+  EXPECT_EQ(overlay.stats().deadline_jobs_missed, 1);
+  EXPECT_EQ(overlay.stats().deadline_work_core_ticks, 0);
+  const auto records = overlay.job_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].missed);
+  EXPECT_FALSE(records[0].completed);
+  EXPECT_EQ(records[0].remaining_core_ticks, 6);
+}
+
+TEST(BatchOverlay, FinalPartialTickOccupiesTheFullGang) {
+  // 6 core-ticks on a 4-wide gang: tick 0 burns 4, tick 1 burns the last
+  // 2 but the gang still occupies all 4 cores.
+  BatchWorkload batch;
+  batch.jobs.push_back(job_of(1, 0, 4, 6, 4));
+  BatchOverlay overlay{batch};
+  run(overlay, 4, {4});
+  overlay.finalize();
+
+  EXPECT_EQ(overlay.stats().deadline_work_core_ticks, 6);
+  EXPECT_EQ(overlay.stats().overlay_active_core_ticks, 8);
+  EXPECT_EQ(overlay.job_records()[0].finish_tick, 1);
+}
+
+TEST(BatchOverlay, EdfRunsTheTighterDeadlineFirst) {
+  // One 2-core slot, two 2-wide jobs of 4 core-ticks each. The deadline-4
+  // job must take ticks 0-1 and the deadline-8 job ticks 2-3, regardless
+  // of id order.
+  BatchWorkload batch;
+  batch.jobs.push_back(job_of(1, 0, 2, 4, 8));
+  batch.jobs.push_back(job_of(2, 0, 2, 4, 4));
+  BatchOverlay overlay{batch};
+  run(overlay, 4, {2});
+  overlay.finalize();
+
+  const auto records = overlay.job_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].job_id, 1);
+  EXPECT_EQ(records[0].finish_tick, 3);
+  EXPECT_EQ(records[1].job_id, 2);
+  EXPECT_EQ(records[1].finish_tick, 1);
+  EXPECT_EQ(overlay.stats().deadline_jobs_completed, 2);
+  EXPECT_EQ(overlay.stats().deadline_jobs_missed, 0);
+}
+
+TEST(BatchOverlay, DeadlineJobDisplacesHarvestWhichResumesWithWarmup) {
+  // Tick 0: only the task is live, it runs (2 of 8 core-ticks). Tick 1:
+  // the job arrives, EDF hands it the only gang slot, the task
+  // checkpoints (suspend #1). Ticks 1-2: job runs. Tick 3: the task comes
+  // back (resume #1) and pays one warmup tick — occupancy without
+  // progress — then finishes its remaining 6 core-ticks over ticks 4-6.
+  BatchWorkload batch;
+  batch.jobs.push_back(job_of(1, 1, 2, 4, 3));
+  batch.tasks.push_back(task_of(1, 0, 2, 8, 12, /*resume_latency=*/1));
+  BatchOverlay overlay{batch};
+  run(overlay, 8, {2});
+  overlay.finalize();
+
+  const BatchStats& s = overlay.stats();
+  EXPECT_EQ(s.deadline_jobs_completed, 1);
+  EXPECT_EQ(s.harvest_tasks_completed, 1);
+  EXPECT_EQ(s.suspend_episodes, 1);
+  EXPECT_EQ(s.resume_episodes, 1);
+  EXPECT_EQ(s.harvest_warmup_core_ticks, 2);  // 1 warmup tick x 2 cores
+  EXPECT_EQ(s.harvest_goodput_core_ticks, 8);
+  EXPECT_EQ(s.harvest_lost_core_ticks, 0);
+  EXPECT_EQ(s.harvest_suspended_core_ticks, 0);
+  EXPECT_EQ(s.harvest_offered_core_ticks, 8);
+
+  const auto tasks = overlay.task_records();
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].suspends, 1);
+  EXPECT_EQ(tasks[0].resumes, 1);
+  EXPECT_EQ(tasks[0].finish_tick, 6);
+}
+
+TEST(BatchOverlay, HarvestMissIsAKillNotACheckpoint) {
+  // A progress tick always leaves remaining <= cores * ticks_left, so the
+  // only way to die while occupying a site is through warmup: the task
+  // runs at t=0 (6 of 8 core-ticks left), starves at t=1 (suspend #1),
+  // resumes into a warmup tick at t=2 (occupancy, no progress), and at
+  // t=3 the check 6 > 2 * (5 - 3) kills it mid-occupancy. The remainder
+  // goes to lost — no second suspend episode for the kill.
+  BatchWorkload batch;
+  batch.tasks.push_back(task_of(1, 0, 2, 8, 5, /*resume_latency=*/1));
+  BatchOverlay overlay{batch};
+  overlay.step(0, {2});
+  overlay.step(1, {0});
+  overlay.step(2, {2});
+  overlay.step(3, {2});
+  overlay.step(4, {2});
+  overlay.finalize();
+
+  const BatchStats& s = overlay.stats();
+  EXPECT_EQ(s.harvest_deadline_misses, 1);
+  EXPECT_EQ(s.harvest_goodput_core_ticks, 2);
+  EXPECT_EQ(s.harvest_lost_core_ticks, 6);
+  EXPECT_EQ(s.harvest_suspended_core_ticks, 0);
+  EXPECT_EQ(s.suspend_episodes, 1);
+  EXPECT_EQ(s.resume_episodes, 1);
+  EXPECT_EQ(s.harvest_warmup_core_ticks, 2);
+  EXPECT_EQ(s.harvest_offered_core_ticks,
+            s.harvest_goodput_core_ticks + s.harvest_lost_core_ticks +
+                s.harvest_suspended_core_ticks);
+}
+
+TEST(BatchOverlay, FinalizeCheckpointsOutstandingWorkIdempotently) {
+  // A far-deadline task half-done when the horizon ends: finalize books
+  // the remainder as suspended (a checkpoint the next epoch could
+  // resume), and a second finalize must not double-count it.
+  BatchWorkload batch;
+  batch.tasks.push_back(task_of(1, 0, 2, 10, 100));
+  BatchOverlay overlay{batch};
+  run(overlay, 3, {2});
+  overlay.finalize();
+  overlay.finalize();
+
+  const BatchStats& s = overlay.stats();
+  EXPECT_EQ(s.harvest_goodput_core_ticks, 6);
+  EXPECT_EQ(s.harvest_suspended_core_ticks, 4);
+  EXPECT_EQ(s.harvest_offered_core_ticks,
+            s.harvest_goodput_core_ticks + s.harvest_lost_core_ticks +
+                s.harvest_suspended_core_ticks);
+  EXPECT_THROW(overlay.step(3, {2}), std::logic_error);
+}
+
+TEST(BatchOverlay, PicksTheEmptiestSiteAndSticksToIt) {
+  // First placement takes the emptiest site (index 1 with 5 free); once
+  // there, the task stays while it fits even though site 2 later has
+  // more headroom.
+  BatchWorkload batch;
+  batch.tasks.push_back(task_of(1, 0, 1, 3, 10));
+  BatchOverlay overlay{batch};
+  overlay.step(0, {1, 5, 3});
+  overlay.step(1, {1, 2, 9});
+  overlay.step(2, {1, 2, 9});
+  overlay.finalize();
+
+  EXPECT_EQ(overlay.stats().harvest_tasks_completed, 1);
+  EXPECT_EQ(overlay.stats().suspend_episodes, 0);  // never displaced
+  EXPECT_EQ(overlay.stats().resume_episodes, 0);
+}
+
+TEST(BatchOverlay, ValidatesEntities) {
+  {
+    BatchWorkload bad;
+    bad.jobs.push_back(job_of(1, 0, 0, 4, 4));  // non-positive gang
+    EXPECT_THROW(BatchOverlay{bad}, std::invalid_argument);
+  }
+  {
+    BatchWorkload bad;
+    bad.jobs.push_back(job_of(1, 4, 2, 4, 4));  // deadline <= arrival
+    EXPECT_THROW(BatchOverlay{bad}, std::invalid_argument);
+  }
+  {
+    BatchWorkload bad;
+    bad.tasks.push_back(task_of(1, 0, 2, 0, 4));  // non-positive work
+    EXPECT_THROW(BatchOverlay{bad}, std::invalid_argument);
+  }
+  {
+    BatchWorkload bad;
+    bad.tasks.push_back(task_of(1, 0, 2, 4, 4, /*resume_latency=*/-1));
+    EXPECT_THROW(BatchOverlay{bad}, std::invalid_argument);
+  }
+}
+
+TEST(BatchOverlay, WireRoundTripResumesBitExactly) {
+  BatchWorkload batch;
+  batch.jobs.push_back(job_of(1, 0, 2, 10, 9));
+  batch.jobs.push_back(job_of(2, 2, 3, 6, 6));
+  batch.tasks.push_back(task_of(1, 1, 2, 12, 20, 1));
+
+  BatchOverlay original{batch};
+  run(original, 4, {4});
+
+  util::wire::Writer w;
+  original.save_state(w);
+  BatchOverlay restored;
+  util::wire::Reader r{w.data()};
+  restored.restore_state(r);
+
+  // Both copies must emit identical bytes now and evolve identically.
+  for (util::Tick t = 4; t < 10; ++t) {
+    original.step(t, {4});
+    restored.step(t, {4});
+  }
+  original.finalize();
+  restored.finalize();
+  EXPECT_TRUE(original.stats() == restored.stats());
+
+  util::wire::Writer wa;
+  original.save_state(wa);
+  util::wire::Writer wb;
+  restored.save_state(wb);
+  EXPECT_EQ(wa.data(), wb.data());
+}
+
+TEST(GenerateBatch, DeterministicFeasibleAndDenselyNumbered) {
+  BatchGeneratorConfig config;
+  config.jobs_per_hour = 2.0;
+  config.tasks_per_hour = 3.0;
+  const util::TimeAxis axis{15};
+  const BatchWorkload a = generate_batch(config, axis, 96);
+  const BatchWorkload b = generate_batch(config, axis, 96);
+
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  EXPECT_FALSE(a.jobs.empty());
+  EXPECT_FALSE(a.tasks.empty());
+
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const DeadlineJob& job = a.jobs[i];
+    EXPECT_EQ(job.job_id, b.jobs[i].job_id);
+    EXPECT_EQ(job.deadline, b.jobs[i].deadline);
+    EXPECT_EQ(job.work_core_ticks, b.jobs[i].work_core_ticks);
+    EXPECT_EQ(job.job_id, static_cast<std::int64_t>(i) + 1);
+    // Feasible at full capacity: the gang running every tick from arrival
+    // finishes before the deadline (slack >= 1 by construction).
+    const std::int64_t run_ticks =
+        (job.work_core_ticks + job.cores - 1) / job.cores;
+    EXPECT_GE(job.deadline, job.arrival + run_ticks);
+  }
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    const HarvestTask& task = a.tasks[i];
+    EXPECT_EQ(task.task_id, b.tasks[i].task_id);
+    EXPECT_EQ(task.task_id, static_cast<std::int64_t>(i) + 1);
+    const std::int64_t run_ticks =
+        (task.work_core_ticks + task.cores - 1) / task.cores;
+    EXPECT_GE(task.deadline, task.arrival + run_ticks);
+  }
+
+  BatchGeneratorConfig off;
+  off.jobs_per_hour = 0.0;
+  off.tasks_per_hour = 0.0;
+  EXPECT_TRUE(generate_batch(off, axis, 96).jobs.empty());
+  EXPECT_TRUE(generate_batch(off, axis, 96).tasks.empty());
+}
+
+}  // namespace
+}  // namespace vbatt::workload

@@ -24,6 +24,8 @@
 // Stdin mode (--stdin) reads operator commands, one per line:
 //   tick [n] | power <site> <start> <v>... | arrive <id> <arrival>
 //   <lifetime> <cores> <mem_gb> <n_stable> <n_degradable> | depart <id> |
+//   job <id> <arrival> <cores> <work_core_ticks> <deadline> |
+//   task <id> <arrival> <cores> <work_core_ticks> <resume_lat> <deadline> |
 //   fault <blackout|brownout|forecast|link|server> <start> <end> <site>
 //   [alpha] [sigma] [peer] [count] | heartbeat <site> | drain <site> |
 //   undrain <site> | pause | resume | reconfigure <spec> | status |
@@ -161,8 +163,12 @@ core::SimResult run_batch(const svc::Scenario& scenario,
   const std::unique_ptr<core::Scheduler> scheduler =
       svc::make_service_scheduler(config.policy);
   core::FaultConfig faults{&injector, config.retry};
+  // The service delivers batch entities as submission events; the batch
+  // engine gets the same workload attached up front via extensions.
+  core::ScenarioExtensions ext;
+  if (!scenario.batch.empty()) ext.batch = &scenario.batch;
   return core::run_simulation(injector.graph(), scenario.apps, *scheduler,
-                              config.power_model, &faults);
+                              config.power_model, &faults, &ext);
 }
 
 int run_scenario_mode(const Args& args) {
@@ -177,6 +183,10 @@ int run_scenario_mode(const Args& args) {
   scenario_config.chaos_intensity = args.number("chaos", 0.0);
   scenario_config.chaos_seed =
       static_cast<std::uint64_t>(args.number("chaos-seed", 7));
+  scenario_config.batch_jobs_per_hour = args.number("batch-jobs", 0.0);
+  scenario_config.batch_tasks_per_hour = args.number("batch-tasks", 0.0);
+  scenario_config.batch_seed =
+      static_cast<std::uint64_t>(args.number("batch-seed", 17));
 
   const svc::Scenario scenario = svc::make_scenario(scenario_config);
   const std::vector<svc::Event> events =
@@ -314,6 +324,17 @@ int run_stdin_mode(const Args& args) {
         e.kind = svc::EventKind::vm_departure;
         in >> e.app_id;
         service.submit(e);
+      } else if (cmd == "job") {
+        e.kind = svc::EventKind::batch_job;
+        in >> e.job.job_id >> e.job.arrival >> e.job.cores >>
+            e.job.work_core_ticks >> e.job.deadline;
+        service.submit(e);
+      } else if (cmd == "task") {
+        e.kind = svc::EventKind::harvest_task;
+        in >> e.task.task_id >> e.task.arrival >> e.task.cores >>
+            e.task.work_core_ticks >> e.task.resume_latency_ticks >>
+            e.task.deadline;
+        service.submit(e);
       } else if (cmd == "fault") {
         e.kind = svc::EventKind::fault_report;
         std::string kind;
@@ -374,6 +395,8 @@ int run_stdin_mode(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: vbatt_svc [--days=2] [--policy=mip] [--chaos=<x>]\n"
+               "                 [--batch-jobs=R --batch-tasks=R\n"
+               "                  --batch-seed=N]\n"
                "                 [--heartbeats] [--verify] [--log=PATH]\n"
                "                 [--snapshot=PATH --snapshot-every=N]\n"
                "                 [--recover] [--kill-at=N]\n"
